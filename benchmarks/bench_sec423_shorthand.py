@@ -1,0 +1,41 @@
+"""Section 4.2.3: shorthand-notation detection accuracy.
+
+Paper: "Experiments on 1,000 ads in various domains show that our Perl
+script achieves a 98% accuracy in detecting shorthand notations."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation.experiments import shorthand_experiment
+from repro.evaluation.reporting import format_percent, format_table
+from repro.text.shorthand import shorthand_match
+
+PAPER_ACCURACY = 0.98
+
+
+@pytest.fixture(scope="module")
+def shorthand_accuracy(full_system):
+    return shorthand_experiment(full_system, variants=1000)
+
+
+def test_sec423_shorthand_detection(benchmark, full_system, shorthand_accuracy):
+    emit(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                [
+                    "shorthand detection accuracy (1000 variants)",
+                    format_percent(PAPER_ACCURACY),
+                    format_percent(shorthand_accuracy),
+                ]
+            ],
+            title="Section 4.2.3 — shorthand notation detection",
+        )
+    )
+    assert shorthand_accuracy >= 0.75
+
+    values = full_system.domains["cars"].domain.all_categorical_values()
+    benchmark(shorthand_match, "4dr", values)

@@ -1,0 +1,58 @@
+"""Section 5.3: exact-match retrieval precision / recall / F-measure.
+
+Paper: 93.8% precision, 92.7% recall, 93.2% F-measure over the 650
+survey questions; "most of the test questions yield 100% for precision
+and recall, whereas a few yield 0%".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation.experiments import exact_match_experiment
+from repro.evaluation.reporting import format_percent, format_table
+
+PAPER = {"precision": 0.938, "recall": 0.927, "f": 0.932}
+
+
+@pytest.fixture(scope="module")
+def section53(full_system):
+    # 8 domains x 81 questions = 648 ~ the paper's 650
+    return exact_match_experiment(
+        full_system, questions_per_domain=81, noise_rate=0.15
+    )
+
+
+def test_sec53_exact_match(benchmark, full_system, section53):
+    rows = [
+        ["precision", format_percent(PAPER["precision"]),
+         format_percent(section53.precision)],
+        ["recall", format_percent(PAPER["recall"]),
+         format_percent(section53.recall)],
+        ["F-measure", format_percent(PAPER["f"]),
+         format_percent(section53.f_measure)],
+    ]
+    emit(
+        format_table(
+            ["metric", "paper", "measured"],
+            rows,
+            title="Section 5.3 — exact-match retrieval over 648 questions",
+        )
+    )
+    # shape: same band as the paper
+    assert section53.precision >= 0.85
+    assert section53.recall >= 0.85
+    # all-or-nothing observation: most questions score 1.0 or 0.0
+    extreme = sum(
+        1
+        for _, prf in section53.per_question
+        if prf.precision in (0.0, 1.0) and prf.recall in (0.0, 1.0)
+    )
+    assert extreme / len(section53.per_question) >= 0.8
+
+    benchmark(
+        full_system.cqads.answer,
+        "blue honda accord less than 15000 dollars",
+        "cars",
+    )

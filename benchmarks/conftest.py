@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+``full_system`` is the paper-scale build: all eight ads domains with
+500 ads each (Section 4.1.4), 1,500 query-log sessions per domain and
+a 1,000-document corpus.  It is built once per benchmark session.
+
+Every bench prints a paper-vs-measured table (run with ``-s`` to see
+them inline; they also land in ``benchmark_report.txt`` next to this
+file).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.system import build_system
+
+REPORT_PATH = pathlib.Path(__file__).parent / "benchmark_report.txt"
+
+
+@pytest.fixture(scope="session")
+def full_system():
+    """All eight domains at the paper's scale."""
+    return build_system(
+        ads_per_domain=500,
+        sessions_per_domain=1500,
+        corpus_documents=1000,
+    )
+
+
+@pytest.fixture(scope="session")
+def large_cars_system():
+    """A bigger single-domain build for the latency crossover study."""
+    return build_system(
+        ["cars"],
+        ads_per_domain=2000,
+        sessions_per_domain=1000,
+        corpus_documents=500,
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report():
+    REPORT_PATH.write_text("")
+    yield
+
+
+def emit(text: str) -> None:
+    """Print a result table and append it to the session report."""
+    print("\n" + text + "\n")
+    with REPORT_PATH.open("a") as handle:
+        handle.write(text + "\n\n")

@@ -1,0 +1,59 @@
+"""Quickstart: provision CQAds and ask natural-language ads questions.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_system
+
+
+def main() -> None:
+    # Build a single-domain system: 500 synthetic car ads, a query log
+    # for the TI-matrix, a corpus for the WS-matrix, all seeded and
+    # deterministic.
+    print("Provisioning CQAds (cars domain) ...")
+    system = build_system(["cars"], ads_per_domain=500)
+    cqads = system.cqads
+
+    questions = [
+        "Do you have a 2 door red BMW?",
+        "Cheapest 2dr mazda with automatic transmission",
+        "I want a 4 wheel drive with less than 20k miles",
+        "Find Honda Accord blue less than 15000 dollars",
+        "Hondaaccord less than $2000",          # forgotten space
+        "honda accorr less than $2000",          # misspelling
+        "Honda accord 2000",                     # incomplete: 2000 of what?
+        "Any car priced below $7000 and not less than $2000",
+        "Show me Black Silver cars",             # mutually exclusive values
+    ]
+
+    for question in questions:
+        result = cqads.answer(question, domain="cars")
+        print("=" * 72)
+        print(f"Q: {question}")
+        if result.corrections:
+            fixed = ", ".join(
+                f"{c.original!r} -> {c.corrected!r}" for c in result.corrections
+            )
+            print(f"   corrected: {fixed}")
+        if result.interpretation is None:
+            print(f"   {result.message}")
+            continue
+        print(f"   interpreted as: {result.interpretation.describe()}")
+        print(f"   SQL: {result.sql}")
+        exact = result.exact_answers
+        partial = result.partial_answers
+        print(f"   answers: {len(exact)} exact, {len(partial)} partial")
+        for answer in result.answers[:3]:
+            record = answer.record
+            tag = "exact" if answer.exact else f"{answer.similarity_kind} {answer.score:.2f}"
+            print(
+                f"     [{tag}] {record.get('year')} {record['make']} "
+                f"{record['model']}, {record.get('color', '?')}, "
+                f"${record.get('price')}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pyproject.toml`` is the source of truth; this file only exists so
+that environments without PEP 517 editable-install support (e.g.
+offline machines missing the ``wheel`` package) can still run
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""CQAds: a question-answering system for advertisements.
+
+A from-scratch reproduction of *"Generating Exact- and Ranked
+Partially-Matched Answers to Questions in Advertisements"*
+(Qumsiyeh, Pera & Ng — PVLDB 5(3), 2011).
+
+Quickstart::
+
+    from repro import build_system
+
+    system = build_system(["cars"])
+    result = system.cqads.answer("Find Honda Accord blue less than 15000 dollars")
+    for answer in result.answers[:5]:
+        print(answer.exact, answer.score, dict(answer.record))
+
+Public surface:
+
+* :func:`build_system` — provision the full system (synthetic ads,
+  query logs, corpus, similarity matrices, classifier);
+* :class:`CQAds` — the question-answering pipeline;
+* :class:`Database` and :mod:`repro.db.sql` — the relational substrate;
+* :mod:`repro.ranking` — Rank_Sim and the four baseline rankers;
+* :mod:`repro.datagen` — the synthetic-data generators;
+* :mod:`repro.evaluation` — the paper's metrics and experiment harness.
+"""
+
+from repro.db.database import Database
+from repro.qa.conditions import Condition, ConditionOp, Interpretation, Superlative
+from repro.qa.domain import AdsDomain
+from repro.qa.pipeline import MAX_ANSWERS, Answer, CQAds, QuestionResult
+from repro.system import BuiltDomain, BuiltSystem, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Condition",
+    "ConditionOp",
+    "Interpretation",
+    "Superlative",
+    "AdsDomain",
+    "CQAds",
+    "Answer",
+    "QuestionResult",
+    "MAX_ANSWERS",
+    "BuiltDomain",
+    "BuiltSystem",
+    "build_system",
+    "__version__",
+]

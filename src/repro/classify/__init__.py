@@ -1,0 +1,30 @@
+"""Question-domain classification (Section 3 of the paper).
+
+CQAds routes each incoming question to one of the eight ads domains
+with a Naive Bayes classifier whose class-conditional likelihood
+``P(d | c)`` is the Joint Beta-Binomial Sampling Model (JBBSM) of
+Allison (2008): each word's per-document count is beta-binomially
+distributed, capturing *burstiness* (a word that appears once in a
+document is likely to appear again) and giving non-zero mass to unseen
+words.
+
+Two classifiers share one interface so the Figure 2 benchmark can
+ablate the burstiness model:
+
+* :class:`BetaBinomialNaiveBayes` — the paper's JBBSM classifier;
+* :class:`MultinomialNaiveBayes` — the plain Laplace-smoothed baseline.
+"""
+
+from repro.classify.features import question_features
+from repro.classify.naive_bayes import (
+    BetaBinomialNaiveBayes,
+    MultinomialNaiveBayes,
+    NaiveBayesClassifier,
+)
+
+__all__ = [
+    "question_features",
+    "NaiveBayesClassifier",
+    "MultinomialNaiveBayes",
+    "BetaBinomialNaiveBayes",
+]

@@ -1,0 +1,36 @@
+"""Feature extraction for question classification.
+
+A question is represented as a bag of stemmed, non-stop words.
+Numbers are mapped to a shared ``<num>`` feature: the magnitude of a
+number carries almost no domain signal (every domain has prices), but
+*having* numbers does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.text.stemmer import stem
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenizer import tokenize
+
+__all__ = ["question_features", "NUMBER_FEATURE"]
+
+NUMBER_FEATURE = "<num>"
+
+
+def question_features(text: str) -> Counter:
+    """Return the bag-of-words feature counts for *text*.
+
+    >>> question_features("Cheapest 2dr mazda with automatic transmission")
+    Counter({'cheapest': 1, '2dr': 1, 'mazda': 1, 'automat': 1, 'transmiss': 1})
+    """
+    counts: Counter = Counter()
+    for token in tokenize(text):
+        if token in STOPWORDS:
+            continue
+        if token.lstrip("$").replace(".", "", 1).isdigit():
+            counts[NUMBER_FEATURE] += 1
+            continue
+        counts[stem(token)] += 1
+    return counts

@@ -1,0 +1,40 @@
+"""Synthetic-data substrate.
+
+The paper's evaluation uses four resources we cannot obtain: ebay.com
+schemas with real ads, 650 Facebook survey questions, commercial
+ads-search query logs, and the Wikipedia-derived word-similarity
+corpus.  This subpackage synthesizes all four (DESIGN.md Section 2
+documents each substitution):
+
+* :mod:`repro.datagen.vocab` — the eight ads-domain definitions
+  (schemas, products, property vocabularies, latent similarity
+  structure);
+* :mod:`repro.datagen.ads` — ad-record sampling, including the
+  top-10/bottom-10 range statistics of Section 4.3.2;
+* :mod:`repro.datagen.noise` — misspelling, missing-space and
+  shorthand channels;
+* :mod:`repro.datagen.questions` — natural-language questions with
+  machine-checkable ground truth;
+* :mod:`repro.datagen.querylog` — session-structured query logs driven
+  by the latent similarity model (feeds the TI-matrix);
+* :mod:`repro.datagen.corpus` — a topical document collection (feeds
+  the WS-matrix);
+* :mod:`repro.datagen.latent` — the latent similarity model itself,
+  which doubles as the appraisers' ground truth.
+"""
+
+from repro.datagen.ads import AdsGenerator, DomainDataset, build_dataset
+from repro.datagen.latent import LatentSimilarity
+from repro.datagen.vocab import DOMAIN_NAMES, build_domain_spec
+from repro.datagen.vocab.base import DomainSpec, Product
+
+__all__ = [
+    "AdsGenerator",
+    "DomainDataset",
+    "build_dataset",
+    "LatentSimilarity",
+    "DOMAIN_NAMES",
+    "build_domain_spec",
+    "DomainSpec",
+    "Product",
+]

@@ -1,0 +1,128 @@
+"""Noise channels for question generation.
+
+Section 4.2 of the paper enumerates the errors users make: misspelled
+keywords, forgotten spaces between keywords, missing attribute names
+next to numbers, and shorthand notations.  Each channel here takes the
+clean surface form and an ``random.Random`` and produces the noisy
+variant, so the question generator can label exactly which corruption
+it applied (the correction benchmarks need that ground truth).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "misspell",
+    "drop_space",
+    "to_shorthand",
+    "number_to_shorthand",
+]
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+_VOWELS = set("aeiou")
+
+# Adjacent keys on a QWERTY keyboard: substitutions users actually make.
+_QWERTY_NEIGHBORS = {
+    "a": "sq", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "x",
+}
+
+
+def misspell(word: str, rng: random.Random) -> str:
+    """Return a single-edit misspelling of *word*.
+
+    Edits mimic real typos: drop a letter, double a letter, swap two
+    adjacent letters, or substitute a QWERTY neighbor.  The first
+    character is never touched — users rarely mistype it, and the
+    paper's trie-based corrector relies on a good prefix.  Words of
+    three characters or fewer are returned unchanged (a one-character
+    edit would destroy them).
+    """
+    if len(word) <= 3 or not word.isalpha():
+        return word
+    kind = rng.choice(("drop", "double", "swap", "substitute"))
+    position = rng.randrange(1, len(word))
+    if kind == "drop":
+        return word[:position] + word[position + 1 :]
+    if kind == "double":
+        return word[:position] + word[position] + word[position:]
+    if kind == "swap":
+        if position == len(word) - 1:
+            position -= 1
+        if position < 1:
+            return word
+        return (
+            word[:position]
+            + word[position + 1]
+            + word[position]
+            + word[position + 2 :]
+        )
+    neighbors = _QWERTY_NEIGHBORS.get(word[position], _LETTERS)
+    return word[:position] + rng.choice(neighbors) + word[position + 1 :]
+
+
+def drop_space(phrase: str, rng: random.Random) -> str:
+    """Remove one random space from *phrase* ("honda accord" -> "hondaaccord")."""
+    positions = [i for i, ch in enumerate(phrase) if ch == " "]
+    if not positions:
+        return phrase
+    position = rng.choice(positions)
+    return phrase[:position] + phrase[position + 1 :]
+
+
+def to_shorthand(value: str, rng: random.Random) -> str:
+    """Produce a shorthand notation of *value* (Section 4.2.3).
+
+    Keeps characters in order (the paper's invariant): either the first
+    word's consonant skeleton ("door" -> "dr"), a truncation
+    ("automatic" -> "auto"), or digits joined to the next word
+    ("4 door" -> "4dr" / "4door").
+    """
+    words = value.lower().split()
+    if len(words) > 1 and words[0].isdigit():
+        rest = " ".join(words[1:])
+        tail = _consonant_skeleton(rest) if rng.random() < 0.5 else rest.replace(" ", "")
+        return words[0] + tail
+    word = words[0]
+    if len(word) > 5 and rng.random() < 0.5:
+        short = word[:4]
+    else:
+        skeleton = _consonant_skeleton(word)
+        short = skeleton if len(skeleton) >= 2 else word
+    # Multi-word values keep their remaining words: users write
+    # "lrg pizza", not "lrgpzz".
+    if len(words) > 1:
+        return " ".join([short] + words[1:])
+    return short
+
+
+def _consonant_skeleton(text: str) -> str:
+    """First character plus subsequent consonants ("door" -> "dr")."""
+    text = text.replace(" ", "")
+    if not text:
+        return text
+    kept = [text[0]]
+    kept.extend(ch for ch in text[1:] if ch not in _VOWELS and ch.isalpha())
+    # Collapse doubled consonants; shorthand users don't repeat letters.
+    collapsed = [kept[0]]
+    for ch in kept[1:]:
+        if ch != collapsed[-1]:
+            collapsed.append(ch)
+    return "".join(collapsed)
+
+
+def number_to_shorthand(value: float, rng: random.Random) -> str:
+    """Render a number the way users type it: "20k", "20,000" or "20000"."""
+    value = float(value)
+    style = rng.random()
+    if value >= 1000 and value % 1000 == 0 and style < 0.4:
+        return f"{int(value // 1000)}k"
+    if value >= 1000 and style < 0.7:
+        return f"{int(value):,}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"

@@ -1,0 +1,663 @@
+"""Natural-language question generation with machine-checkable ground
+truth — the synthetic stand-in for the paper's 650 Facebook survey
+questions (Section 5.1).
+
+Every generated question carries:
+
+* the surface text a user would type (with optional noise:
+  misspellings, dropped spaces, shorthand — Section 4.2's phenomena);
+* the *intended* :class:`~repro.qa.conditions.Interpretation` (what the
+  user meant), built directly from structured conditions, never from
+  the text;
+* bookkeeping: the source record, the question kind, the Boolean
+  category (none/implicit/explicit), and which noise channels fired.
+
+Question kinds mirror the phenomena the surveys solicited:
+
+=================  ====================================================
+``simple``         conjunctive Type I + Type II criteria
+``boundary``       adds a Type III range ("less than 15000 dollars")
+``between``        a two-bound range
+``superlative``    "cheapest …", "newest …"
+``incomplete``     a bare number with its attribute omitted
+``negation``       implicit Boolean: "… not red", "… except manual"
+``mutex``          implicit Boolean: two same-attribute values
+``range_combo``    implicit Boolean: "below X and not less than Y"
+``explicit_or``    explicit Boolean: "A or B"
+``explicit_and``   explicit Boolean: values joined with "and"
+=================  ====================================================
+
+Ground truth answer sets are *not* stored here; the evaluation harness
+computes them by executing the intended interpretation against the
+database, so generator and pipeline share one semantics.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.datagen.ads import DomainDataset
+from repro.datagen.noise import drop_space, misspell, number_to_shorthand, to_shorthand
+from repro.db.schema import AttributeType, Column
+from repro.db.table import Record
+from repro.errors import DataGenerationError
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionOp,
+    Interpretation,
+    Superlative,
+)
+
+__all__ = ["GeneratedQuestion", "QuestionGenerator", "QUESTION_KINDS"]
+
+QUESTION_KINDS = (
+    "simple",
+    "boundary",
+    "between",
+    "superlative",
+    "incomplete",
+    "negation",
+    "mutex",
+    "range_combo",
+    "explicit_or",
+    "explicit_and",
+    "explicit_complex",
+)
+
+_IMPLICIT_KINDS = {"negation", "mutex", "range_combo"}
+_EXPLICIT_KINDS = {"explicit_or", "explicit_and", "explicit_complex"}
+
+_PREFIXES = (
+    "",
+    "do you have a",
+    "i want a",
+    "looking for a",
+    "find",
+    "show me",
+    "any",
+)
+
+
+@dataclass
+class GeneratedQuestion:
+    """One synthetic question with its intended semantics."""
+
+    text: str
+    domain: str
+    interpretation: Interpretation
+    kind: str
+    source_record: Record | None = None
+    noise: tuple[str, ...] = ()
+    clean_text: str = ""
+
+    @property
+    def boolean_kind(self) -> str:
+        if self.kind in _IMPLICIT_KINDS:
+            return "implicit"
+        if self.kind in _EXPLICIT_KINDS:
+            return "explicit"
+        return "none"
+
+
+class QuestionGenerator:
+    """Generates questions for one domain dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The domain's generated ads (questions are anchored on real
+        records so most are satisfiable).
+    rng:
+        Seeded RNG; every choice flows through it.
+    noise_rate:
+        Per-question probability of applying each noise channel.
+    """
+
+    def __init__(
+        self,
+        dataset: DomainDataset,
+        rng: random.Random,
+        noise_rate: float = 0.0,
+    ) -> None:
+        self.dataset = dataset
+        self.spec = dataset.spec
+        self.rng = rng
+        self.noise_rate = noise_rate
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self, kind: str | None = None) -> GeneratedQuestion:
+        """Generate one question of *kind* (random kind when None)."""
+        if kind is None:
+            kind = self.rng.choice(QUESTION_KINDS)
+        builder = getattr(self, f"_build_{kind}", None)
+        if builder is None:
+            raise DataGenerationError(f"unknown question kind {kind!r}")
+        question: GeneratedQuestion = builder()
+        question.clean_text = question.text
+        if self.noise_rate > 0:
+            question = self._apply_noise(question)
+        return question
+
+    def generate_many(
+        self, count: int, kinds: tuple[str, ...] | None = None
+    ) -> list[GeneratedQuestion]:
+        kinds = kinds or QUESTION_KINDS
+        return [self.generate(self.rng.choice(kinds)) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def _record(self) -> Record:
+        return self.rng.choice(self.dataset.records)
+
+    def _identity_conditions(self, record: Record) -> list[Condition]:
+        return [
+            Condition(
+                column=column.name,
+                attribute_type=AttributeType.TYPE_I,
+                op=ConditionOp.EQ,
+                value=str(record[column.name]),
+            )
+            for column in self.spec.schema.type_i_columns
+        ]
+
+    def _identity_phrase(self, record: Record) -> str:
+        return " ".join(
+            str(record[column.name])
+            for column in self.spec.schema.type_i_columns
+        )
+
+    def _tii_column_with_value(self, record: Record) -> tuple[Column, str] | None:
+        columns = [
+            column
+            for column in self.spec.schema.type_ii_columns
+            if record.get(column.name) is not None
+        ]
+        if not columns:
+            return None
+        column = self.rng.choice(columns)
+        return column, str(record[column.name])
+
+    def _tii_condition(self, column: Column, value: str, negated: bool = False) -> Condition:
+        return Condition(
+            column=column.name,
+            attribute_type=AttributeType.TYPE_II,
+            op=ConditionOp.EQ,
+            value=value,
+            negated=negated,
+        )
+
+    def _price_like_column(self) -> Column:
+        for column in self.spec.schema.numeric_columns:
+            if any(unit in ("$", "usd", "dollars") for unit in column.unit_words):
+                return column
+        return self.spec.schema.numeric_columns[0]
+
+    def _nice_bound_above(self, value: float) -> float:
+        """A round number strictly above *value* (so the record matches)."""
+        for step in (100, 500, 1000, 5000):
+            bound = (int(value) // step + 1) * step
+            if bound > value:
+                return float(bound)
+        return float(int(value) + 1)
+
+    def _nice_bound_below(self, value: float) -> float:
+        step = 100 if value < 5000 else 1000
+        bound = (int(value) // step) * step
+        if bound >= value:
+            bound -= step
+        return float(max(bound, 0))
+
+    def _unit_phrase(self, column: Column, value: float) -> str:
+        rendered = number_to_shorthand(value, self.rng)
+        if not column.unit_words:
+            return f"{column.name.replace('_', ' ')} {rendered}"
+        unit = self.rng.choice(column.unit_words)
+        if unit == "$":
+            return f"${rendered}"
+        return f"{rendered} {unit}"
+
+    def _prefix(self) -> str:
+        return self.rng.choice(_PREFIXES)
+
+    def _compose(self, *parts: str) -> str:
+        return " ".join(part for part in parts if part).strip()
+
+    @staticmethod
+    def _conjunction(conditions: list[Condition]) -> Interpretation:
+        if len(conditions) == 1:
+            return Interpretation(tree=conditions[0])
+        return Interpretation(
+            tree=ConditionGroup(BooleanOperator.AND, list(conditions))
+        )
+
+    # ------------------------------------------------------------------
+    # kind builders
+    # ------------------------------------------------------------------
+    def _build_simple(self) -> GeneratedQuestion:
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        phrase_parts: list[str] = []
+        tii = self._tii_column_with_value(record)
+        if tii is not None:
+            column, value = tii
+            conditions.append(self._tii_condition(column, value))
+            phrase_parts.append(value)
+        phrase_parts.append(self._identity_phrase(record))
+        text = self._compose(self._prefix(), *phrase_parts)
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=self._conjunction(conditions),
+            kind="simple",
+            source_record=record,
+        )
+
+    def _build_boundary(self) -> GeneratedQuestion:
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        column = self._price_like_column()
+        value = float(record[column.name])
+        less_than = self.rng.random() < 0.7
+        if less_than:
+            bound = self._nice_bound_above(value)
+            op = ConditionOp.LT
+            phrase = self.rng.choice(("less than", "under", "below", "at most"))
+        else:
+            bound = self._nice_bound_below(value)
+            op = ConditionOp.GT
+            phrase = self.rng.choice(("more than", "over", "above"))
+        conditions.append(
+            Condition(
+                column=column.name,
+                attribute_type=AttributeType.TYPE_III,
+                op=op,
+                value=bound,
+            )
+        )
+        text = self._compose(
+            self._prefix(),
+            self._identity_phrase(record),
+            phrase,
+            self._unit_phrase(column, bound),
+        )
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=self._conjunction(conditions),
+            kind="boundary",
+            source_record=record,
+        )
+
+    def _build_between(self) -> GeneratedQuestion:
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        column = self._price_like_column()
+        value = float(record[column.name])
+        low = self._nice_bound_below(value)
+        high = self._nice_bound_above(value)
+        conditions.append(
+            Condition(
+                column=column.name,
+                attribute_type=AttributeType.TYPE_III,
+                op=ConditionOp.BETWEEN,
+                value=(low, high),
+            )
+        )
+        low_text = number_to_shorthand(low, self.rng)
+        text = self._compose(
+            self._prefix(),
+            self._identity_phrase(record),
+            "between",
+            low_text,
+            "and",
+            self._unit_phrase(column, high),
+        )
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=self._conjunction(conditions),
+            kind="between",
+            source_record=record,
+        )
+
+    def _build_superlative(self) -> GeneratedQuestion:
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        price = self._price_like_column()
+        year_ok = self.spec.schema.has_column("year")
+        choices = [("cheapest", price.name, False), ("most expensive", price.name, True)]
+        if year_ok:
+            choices.extend([("newest", "year", True), ("oldest", "year", False)])
+        word, column_name, maximum = self.rng.choice(choices)
+        interpretation = self._conjunction(conditions)
+        interpretation.superlative = Superlative(column=column_name, maximum=maximum)
+        text = self._compose(word, self._identity_phrase(record))
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=interpretation,
+            kind="superlative",
+            source_record=record,
+        )
+
+    def _build_incomplete(self) -> GeneratedQuestion:
+        """A bare number: the user *means* one attribute but names none."""
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        numeric = [
+            column
+            for column in self.spec.schema.numeric_columns
+            if record.get(column.name) is not None
+        ]
+        column = self.rng.choice(numeric)
+        value = float(record[column.name])
+        # Users type round numbers; snap to one that still matches the
+        # intended attribute as an upper bound.
+        bound = self._nice_bound_above(value)
+        conditions.append(
+            Condition(
+                column=column.name,
+                attribute_type=AttributeType.TYPE_III,
+                op=ConditionOp.LT,
+                value=bound,
+            )
+        )
+        text = self._compose(
+            self._identity_phrase(record),
+            "less than",
+            number_to_shorthand(bound, self.rng),
+        )
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=self._conjunction(conditions),
+            kind="incomplete",
+            source_record=record,
+        )
+
+    def _build_negation(self) -> GeneratedQuestion:
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        tii = self._tii_column_with_value(record)
+        if tii is None:
+            return self._build_simple()
+        column, actual = tii
+        others = [
+            value
+            for value in self.spec.type_ii_values[column.name]
+            if value != actual
+        ]
+        if not others:
+            return self._build_simple()
+        excluded = self.rng.choice(others)
+        conditions.append(self._tii_condition(column, excluded, negated=True))
+        negation_word = self.rng.choice(("not", "no", "without", "except"))
+        text = self._compose(
+            self._prefix(),
+            self._identity_phrase(record),
+            negation_word,
+            excluded,
+        )
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=self._conjunction(conditions),
+            kind="negation",
+            source_record=record,
+        )
+
+    def _build_mutex(self) -> GeneratedQuestion:
+        """Two same-attribute values with no OR: "blue red toyota"."""
+        record = self._record()
+        identity = self._identity_conditions(record)
+        tii = self._tii_column_with_value(record)
+        if tii is None:
+            return self._build_simple()
+        column, first = tii
+        others = [
+            value
+            for value in self.spec.type_ii_values[column.name]
+            if value != first
+        ]
+        if not others:
+            return self._build_simple()
+        second = self.rng.choice(others)
+        alternatives = ConditionGroup(
+            BooleanOperator.OR,
+            [
+                self._tii_condition(column, first),
+                self._tii_condition(column, second),
+            ],
+        )
+        tree = ConditionGroup(BooleanOperator.AND, [*identity, alternatives])
+        text = self._compose(first, second, self._identity_phrase(record))
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=Interpretation(tree=tree),
+            kind="mutex",
+            source_record=record,
+        )
+
+    def _build_range_combo(self) -> GeneratedQuestion:
+        """Implicit range: "below $7000 and not less than $2000"."""
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        column = self._price_like_column()
+        value = float(record[column.name])
+        high = self._nice_bound_above(value)
+        low = self._nice_bound_below(value)
+        conditions.append(
+            Condition(
+                column=column.name,
+                attribute_type=AttributeType.TYPE_III,
+                op=ConditionOp.GE,
+                value=low,
+            )
+        )
+        conditions.append(
+            Condition(
+                column=column.name,
+                attribute_type=AttributeType.TYPE_III,
+                op=ConditionOp.LT,
+                value=high,
+            )
+        )
+        text = self._compose(
+            self._identity_phrase(record),
+            "below",
+            self._unit_phrase(column, high),
+            "and not less than",
+            number_to_shorthand(low, self.rng),
+        )
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=self._conjunction(conditions),
+            kind="range_combo",
+            source_record=record,
+        )
+
+    def _build_explicit_or(self) -> GeneratedQuestion:
+        record_a = self._record()
+        record_b = self._record()
+        attempts = 0
+        while (
+            self._identity_phrase(record_b) == self._identity_phrase(record_a)
+            and attempts < 10
+        ):
+            record_b = self._record()
+            attempts += 1
+        group_a = self._conjunction(self._identity_conditions(record_a)).tree
+        group_b = self._conjunction(self._identity_conditions(record_b)).tree
+        assert group_a is not None and group_b is not None
+        tree = ConditionGroup(BooleanOperator.OR, [group_a, group_b])
+        text = self._compose(
+            self._identity_phrase(record_a), "or", self._identity_phrase(record_b)
+        )
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=Interpretation(tree=tree),
+            kind="explicit_or",
+            source_record=record_a,
+        )
+
+    def _build_explicit_and(self) -> GeneratedQuestion:
+        record = self._record()
+        conditions = self._identity_conditions(record)
+        with_values = [
+            (column, str(record[column.name]))
+            for column in self.spec.schema.type_ii_columns
+            if record.get(column.name) is not None
+        ]
+        if len(with_values) < 2:
+            return self._build_simple()
+        (col_a, val_a), (col_b, val_b) = self.rng.sample(with_values, k=2)
+        conditions.append(self._tii_condition(col_a, val_a))
+        conditions.append(self._tii_condition(col_b, val_b))
+        text = self._compose(
+            val_a, "and", val_b, self._identity_phrase(record)
+        )
+        return GeneratedQuestion(
+            text=text,
+            domain=self.spec.name,
+            interpretation=self._conjunction(conditions),
+            kind="explicit_and",
+            source_record=record,
+        )
+
+    def _build_explicit_complex(self) -> GeneratedQuestion:
+        """The paper's Q10 shape: two clauses with negations, joined by
+        an explicit OR — "Black Mustang, exclude 2 wheel drive, or a
+        yellow Corvette without a gps".  The intended reading scopes
+        each negation to its own clause; 29% of the paper's users read
+        the first negation across both."""
+        record_a = self._record()
+        record_b = self._record()
+        attempts = 0
+        while (
+            self._identity_phrase(record_b) == self._identity_phrase(record_a)
+            and attempts < 10
+        ):
+            record_b = self._record()
+            attempts += 1
+        clause_a = self._clause_with_negation(record_a)
+        clause_b = self._clause_with_negation(record_b)
+        if clause_a is None or clause_b is None:
+            return self._build_explicit_or()
+        conditions_a, text_a = clause_a
+        conditions_b, text_b = clause_b
+        tree = ConditionGroup(
+            BooleanOperator.OR,
+            [
+                ConditionGroup(BooleanOperator.AND, conditions_a),
+                ConditionGroup(BooleanOperator.AND, conditions_b),
+            ],
+        )
+        return GeneratedQuestion(
+            text=f"{text_a} or {text_b}",
+            domain=self.spec.name,
+            interpretation=Interpretation(tree=tree),
+            kind="explicit_complex",
+            source_record=record_a,
+        )
+
+    def _clause_with_negation(
+        self, record: Record
+    ) -> tuple[list[Condition], str] | None:
+        """One clause: positive property + identity + negated property."""
+        conditions = self._identity_conditions(record)
+        with_values = [
+            (column, str(record[column.name]))
+            for column in self.spec.schema.type_ii_columns
+            if record.get(column.name) is not None
+        ]
+        if len(with_values) < 2:
+            return None
+        (pos_col, pos_val), (neg_col, neg_actual) = self.rng.sample(
+            with_values, k=2
+        )
+        excludable = [
+            value
+            for value in self.spec.type_ii_values[neg_col.name]
+            if value != neg_actual
+        ]
+        if not excludable:
+            return None
+        excluded = self.rng.choice(excludable)
+        conditions.append(self._tii_condition(pos_col, pos_val))
+        conditions.append(self._tii_condition(neg_col, excluded, negated=True))
+        negation_word = self.rng.choice(("exclude", "without", "not"))
+        text = self._compose(
+            pos_val, self._identity_phrase(record), negation_word, excluded
+        )
+        return conditions, text
+
+    # ------------------------------------------------------------------
+    # noise
+    # ------------------------------------------------------------------
+    def _apply_noise(self, question: GeneratedQuestion) -> GeneratedQuestion:
+        noise: list[str] = []
+        text = question.text
+        if self.rng.random() < self.noise_rate:
+            mutated = self._misspell_one(text)
+            if mutated != text:
+                text = mutated
+                noise.append("misspell")
+        if self.rng.random() < self.noise_rate:
+            identity = self._identity_phrase(question.source_record) if (
+                question.source_record is not None
+            ) else ""
+            if identity and identity in text and " " in identity:
+                text = text.replace(identity, drop_space(identity, self.rng), 1)
+                noise.append("drop_space")
+        if self.rng.random() < self.noise_rate:
+            mutated = self._shorthand_one(text, question)
+            if mutated != text:
+                text = mutated
+                noise.append("shorthand")
+        question.text = text
+        question.noise = tuple(noise)
+        return question
+
+    def _misspell_one(self, text: str) -> str:
+        words = text.split()
+        eligible = [
+            index
+            for index, word in enumerate(words)
+            if len(word) >= 4 and word.isalpha()
+        ]
+        if not eligible:
+            return text
+        index = self.rng.choice(eligible)
+        words[index] = misspell(words[index], self.rng)
+        return " ".join(words)
+
+    def _shorthand_one(self, text: str, question: GeneratedQuestion) -> str:
+        for condition in question.interpretation.conditions():
+            if (
+                condition.attribute_type is AttributeType.TYPE_II
+                and isinstance(condition.value, str)
+                and condition.value in text
+                and len(condition.value) >= 4
+            ):
+                short = to_shorthand(condition.value, self.rng)
+                if short != condition.value and len(short) >= 2:
+                    return text.replace(condition.value, short, 1)
+        return text
+
+
+def make_generator(
+    dataset: DomainDataset, noise_rate: float = 0.0, seed: int = 23
+) -> QuestionGenerator:
+    """A :class:`QuestionGenerator` with a stable per-domain seed."""
+    rng = random.Random(seed ^ zlib.crc32(dataset.spec.name.encode()))
+    return QuestionGenerator(dataset, rng, noise_rate=noise_rate)

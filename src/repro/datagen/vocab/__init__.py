@@ -1,0 +1,54 @@
+"""The eight ads-domain vocabularies of the paper's evaluation.
+
+Section 5.1: "The eight ads domains we consider are Cars, Motorcycles,
+Clothing, Computer Science Jobs, Furniture, Food Coupons, Musical
+Instruments, and Jewellery."  Each module builds one
+:class:`~repro.datagen.vocab.base.DomainSpec`; this package is the
+registry.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.vocab import (
+    cars,
+    clothing,
+    cs_jobs,
+    food_coupons,
+    furniture,
+    instruments,
+    jewellery,
+    motorcycles,
+)
+from repro.datagen.vocab.base import DomainSpec, Product
+from repro.errors import DataGenerationError
+
+__all__ = ["DOMAIN_NAMES", "build_domain_spec", "build_all_specs", "DomainSpec", "Product"]
+
+_BUILDERS = {
+    "cars": cars.build_spec,
+    "motorcycles": motorcycles.build_spec,
+    "clothing": clothing.build_spec,
+    "cs_jobs": cs_jobs.build_spec,
+    "furniture": furniture.build_spec,
+    "food_coupons": food_coupons.build_spec,
+    "instruments": instruments.build_spec,
+    "jewellery": jewellery.build_spec,
+}
+
+DOMAIN_NAMES: tuple[str, ...] = tuple(_BUILDERS.keys())
+
+
+def build_domain_spec(name: str) -> DomainSpec:
+    """Build the spec for domain *name*; raise on unknown names."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise DataGenerationError(
+            f"unknown ads domain {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def build_all_specs() -> dict[str, DomainSpec]:
+    """Build all eight domain specs, keyed by name."""
+    return {name: build_domain_spec(name) for name in DOMAIN_NAMES}

@@ -1,0 +1,159 @@
+"""Cars-for-Sale domain: the paper's running example.
+
+The product inventory covers every make/model the paper mentions
+(Honda Accord, Toyota Camry, Chevy Malibu, Ford Focus, Mazda, BMW,
+Mustang, Corvette, Corolla, Civic) plus enough others to populate the
+latent market-segment structure.  Makes shared with the Motorcycles
+domain (Honda, Suzuki, BMW) reproduce the classifier confusion the
+paper reports between the two domains (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="car_ads",
+        columns=[
+            categorical("make", _TI, synonyms=("maker", "brand")),
+            categorical("model", _TI),
+            categorical("color", _TII, synonyms=("colour", "paint")),
+            categorical("transmission", _TII),
+            categorical("doors", _TII, synonyms=("door",)),
+            categorical("drivetrain", _TII, synonyms=("drive",)),
+            categorical("body_style", _TII, synonyms=("body", "style")),
+            categorical("fuel", _TII, synonyms=("engine",)),
+            numeric(
+                "year",
+                (1985, 2011),
+                synonyms=("year", "model year"),
+            ),
+            numeric(
+                "price",
+                (500, 80000),
+                unit_words=("usd", "dollars", "dollar", "$", "bucks"),
+                synonyms=("price", "cost", "priced", "asking"),
+            ),
+            numeric(
+                "mileage",
+                (0, 250000),
+                unit_words=("miles", "mile", "mi", "k miles"),
+                synonyms=("mileage", "odometer"),
+            ),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def car(
+        make: str,
+        model: str,
+        group: str,
+        price: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"make": make, "model": model},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"price": price},
+        )
+
+    return [
+        # --- compact economy ------------------------------------------
+        car("honda", "civic", "compact economy", (2000, 16000), 2.0),
+        car("toyota", "corolla", "compact economy", (1800, 15000), 2.0),
+        car("mazda", "3", "compact economy", (2500, 15000), 1.4),
+        car("ford", "focus", "compact economy", (1500, 13000), 1.5),
+        car("chevy", "cobalt", "compact economy", (1200, 9000), 1.0),
+        car("nissan", "sentra", "compact economy", (1500, 11000), 1.1),
+        car("hyundai", "elantra", "compact economy", (1500, 12000), 1.0),
+        car("suzuki", "aerio", "compact economy", (1000, 7000), 0.5),
+        car("kia", "rio", "compact economy", (1000, 8000), 0.7),
+        # --- midsize sedan --------------------------------------------
+        car("honda", "accord", "midsize sedan", (2500, 20000), 2.0),
+        car("toyota", "camry", "midsize sedan", (2500, 20000), 2.0),
+        car("chevy", "malibu", "midsize sedan", (1800, 15000), 1.3),
+        car("ford", "fusion", "midsize sedan", (3000, 16000), 1.1),
+        car("nissan", "altima", "midsize sedan", (2500, 16000), 1.2),
+        car("mazda", "6", "midsize sedan", (2800, 15000), 0.9),
+        car("hyundai", "sonata", "midsize sedan", (2200, 14000), 0.9),
+        # --- luxury sedan ----------------------------------------------
+        car("bmw", "3 series", "luxury sedan", (5000, 45000), 1.2),
+        car("bmw", "5 series", "luxury sedan", (7000, 55000), 0.8),
+        car("mercedes", "c class", "luxury sedan", (6000, 45000), 1.0),
+        car("mercedes", "e class", "luxury sedan", (8000, 60000), 0.7),
+        car("audi", "a4", "luxury sedan", (5500, 42000), 0.9),
+        car("lexus", "es", "luxury sedan", (6000, 40000), 0.8),
+        # --- suv --------------------------------------------------------
+        car("toyota", "rav4", "suv", (4000, 25000), 1.3),
+        car("honda", "crv", "suv", (4000, 24000), 1.3),
+        car("ford", "explorer", "suv", (3000, 28000), 1.1),
+        car("chevy", "tahoe", "suv", (5000, 40000), 0.9),
+        car("jeep", "wrangler", "suv", (5000, 32000), 1.2),
+        car("jeep", "cherokee", "suv", (2500, 22000), 1.0),
+        car("nissan", "pathfinder", "suv", (3000, 24000), 0.8),
+        # --- pickup truck ----------------------------------------------
+        car("ford", "f150", "pickup truck", (3000, 40000), 1.5),
+        car("chevy", "silverado", "pickup truck", (3500, 42000), 1.3),
+        car("toyota", "tacoma", "pickup truck", (4000, 30000), 1.1),
+        car("dodge", "ram", "pickup truck", (3000, 38000), 1.0),
+        # --- sports -----------------------------------------------------
+        car("ford", "mustang", "sports", (4000, 45000), 1.3),
+        car("chevy", "corvette", "sports", (9000, 70000), 0.9),
+        car("chevy", "camaro", "sports", (4000, 45000), 0.9),
+        car("mazda", "miata", "sports", (3000, 25000), 0.7),
+        car("nissan", "350z", "sports", (8000, 35000), 0.7),
+        car("bmw", "m3", "sports", (12000, 65000), 0.6),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the Cars-for-Sale :class:`DomainSpec`."""
+    return DomainSpec(
+        name="cars",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "color": [
+                "red", "blue", "black", "white", "silver", "grey",
+                "green", "gold", "yellow", "orange", "brown", "maroon",
+            ],
+            "transmission": ["automatic", "manual"],
+            "doors": ["2 door", "4 door"],
+            "drivetrain": ["2 wheel drive", "4 wheel drive", "all wheel drive"],
+            "body_style": [
+                "sedan", "coupe", "hatchback", "convertible", "wagon", "van",
+            ],
+            "fuel": ["gas", "diesel", "hybrid", "electric"],
+        },
+        word_clusters=[
+            # colors that appraisers (and the WS-matrix) treat as close
+            ["black", "grey", "brown", "maroon"],
+            ["white", "silver", "gold"],
+            ["red", "orange", "yellow"],
+            ["blue", "green"],
+            ["automatic", "manual", "transmission"],
+            ["sedan", "coupe", "hatchback"],
+            ["convertible", "wagon", "van"],
+            ["gas", "diesel", "hybrid", "electric", "fuel"],
+        ],
+        filler_phrases=[
+            "clean title", "one owner", "garage kept", "new tires",
+            "low mileage", "excellent condition", "runs great",
+            "power windows", "power door locks", "cd player", "radio",
+            "leather seats", "sunroof", "anti lock brake",
+            "power steering", "cruise control", "alloy wheels",
+            "backup camera", "gps system", "cassette player",
+            "auto off headlights", "4 cylinder", "6 cylinder",
+            "cold air conditioning", "recent oil change", "test drive welcome",
+        ],
+    )

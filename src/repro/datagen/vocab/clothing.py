@@ -1,0 +1,121 @@
+"""Clothing domain."""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="clothing_ads",
+        columns=[
+            categorical("brand", _TI, synonyms=("maker", "label")),
+            categorical("item", _TI, synonyms=("garment",)),
+            categorical("color", _TII, synonyms=("colour",)),
+            categorical("size", _TII),
+            categorical("material", _TII, synonyms=("fabric",)),
+            categorical("gender", _TII, synonyms=("for",)),
+            numeric(
+                "price",
+                (3, 600),
+                unit_words=("usd", "dollars", "dollar", "$", "bucks"),
+                synonyms=("price", "cost", "priced"),
+            ),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def garment(
+        brand: str,
+        item: str,
+        group: str,
+        price: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"brand": brand, "item": item},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"price": price},
+        )
+
+    return [
+        # --- denim ------------------------------------------------------
+        garment("levis", "jeans", "denim", (15, 80), 2.0),
+        garment("wrangler", "jeans", "denim", (10, 50), 1.3),
+        garment("lee", "jeans", "denim", (8, 45), 1.0),
+        garment("levis", "denim jacket", "denim", (20, 90), 0.9),
+        # --- outerwear --------------------------------------------------
+        garment("north face", "jacket", "outerwear", (40, 250), 1.5),
+        garment("columbia", "jacket", "outerwear", (25, 150), 1.3),
+        garment("patagonia", "fleece", "outerwear", (30, 180), 1.0),
+        garment("carhartt", "coat", "outerwear", (35, 160), 1.1),
+        garment("north face", "parka", "outerwear", (60, 300), 0.8),
+        # --- athletic ---------------------------------------------------
+        garment("nike", "hoodie", "athletic", (15, 70), 1.6),
+        garment("adidas", "track jacket", "athletic", (15, 80), 1.2),
+        garment("under armour", "shirt", "athletic", (8, 40), 1.2),
+        garment("nike", "shorts", "athletic", (8, 40), 1.3),
+        garment("adidas", "sweatpants", "athletic", (10, 50), 1.1),
+        # --- formal -----------------------------------------------------
+        garment("ralph lauren", "dress shirt", "formal", (15, 90), 1.0),
+        garment("brooks brothers", "suit", "formal", (80, 500), 0.6),
+        garment("calvin klein", "blazer", "formal", (40, 220), 0.8),
+        garment("ralph lauren", "polo shirt", "formal", (12, 60), 1.3),
+        # --- dresses ----------------------------------------------------
+        garment("gap", "dress", "dresses", (12, 80), 1.1),
+        garment("banana republic", "dress", "dresses", (20, 120), 0.9),
+        garment("old navy", "skirt", "dresses", (8, 40), 0.9),
+        # --- footwear ---------------------------------------------------
+        garment("nike", "sneakers", "footwear", (20, 150), 1.7),
+        garment("adidas", "sneakers", "footwear", (18, 140), 1.4),
+        garment("timberland", "boots", "footwear", (40, 180), 1.1),
+        garment("doc martens", "boots", "footwear", (45, 170), 0.9),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the Clothing :class:`DomainSpec`."""
+    return DomainSpec(
+        name="clothing",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "color": [
+                "black", "white", "blue", "red", "green", "grey",
+                "navy", "brown", "pink", "purple", "beige", "khaki",
+            ],
+            "size": [
+                "extra small", "small", "medium", "large", "extra large",
+            ],
+            "material": [
+                "cotton", "denim", "wool", "leather", "polyester",
+                "fleece", "silk", "linen",
+            ],
+            "gender": ["mens", "womens", "unisex", "kids"],
+        },
+        word_clusters=[
+            ["black", "grey", "navy", "brown"],
+            ["white", "beige", "khaki"],
+            ["red", "pink", "purple"],
+            ["blue", "green"],
+            ["cotton", "linen", "silk"],
+            ["wool", "fleece", "polyester"],
+            ["small", "medium", "large"],
+            ["mens", "womens", "unisex", "kids"],
+        ],
+        filler_phrases=[
+            "never worn", "new with tags", "gently used", "smoke free home",
+            "true to size", "slim fit", "relaxed fit", "machine washable",
+            "vintage", "limited edition", "great for winter",
+            "perfect for summer", "barely used", "retail price",
+        ],
+        type_ii_missing_rate=0.2,
+    )

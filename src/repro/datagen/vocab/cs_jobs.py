@@ -1,0 +1,126 @@
+"""Computer-Science Jobs domain.
+
+The paper singles this domain out in Section 5.5.3: appraisers judged
+"a C++ software programmer job is closely related to a C programmer
+job" inconsistently.  The latent groups below encode that intended
+relatedness (languages in the same family share a group) so the
+simulated appraisers can reproduce the effect with extra noise.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="cs_job_ads",
+        columns=[
+            categorical("title", _TI, synonyms=("position", "role")),
+            categorical("company", _TI, synonyms=("employer",)),
+            categorical("language", _TII, synonyms=("stack", "technology")),
+            categorical("seniority", _TII, synonyms=("level",)),
+            categorical("workplace", _TII, synonyms=("location type",)),
+            categorical("employment", _TII, synonyms=("schedule",)),
+            numeric(
+                "salary",
+                (30000, 200000),
+                unit_words=("usd", "dollars", "dollar", "$", "a year", "annually"),
+                synonyms=("salary", "pay", "compensation", "paying"),
+            ),
+            numeric(
+                "experience_years",
+                (0, 15),
+                unit_words=("years", "yrs", "years experience"),
+                synonyms=("experience",),
+            ),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def job(
+        title: str,
+        company: str,
+        group: str,
+        salary: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"title": title, "company": company},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"salary": salary},
+        )
+
+    return [
+        # --- systems programming ---------------------------------------
+        job("c programmer", "intel", "systems programming", (60000, 120000), 1.2),
+        job("c++ developer", "nvidia", "systems programming", (70000, 140000), 1.3),
+        job("embedded engineer", "qualcomm", "systems programming", (65000, 130000), 1.0),
+        job("kernel developer", "redhat", "systems programming", (80000, 150000), 0.7),
+        # --- web development --------------------------------------------
+        job("web developer", "amazon", "web development", (55000, 120000), 1.8),
+        job("frontend engineer", "google", "web development", (70000, 150000), 1.4),
+        job("php developer", "facebook", "web development", (50000, 110000), 1.1),
+        job("javascript engineer", "netflix", "web development", (65000, 140000), 1.2),
+        job("ruby developer", "github", "web development", (60000, 130000), 0.8),
+        # --- data ---------------------------------------------------------
+        job("data analyst", "microsoft", "data", (50000, 100000), 1.4),
+        job("database administrator", "oracle", "data", (60000, 120000), 1.2),
+        job("data engineer", "ibm", "data", (70000, 140000), 1.1),
+        job("machine learning engineer", "google", "data", (90000, 180000), 0.9),
+        # --- enterprise ---------------------------------------------------
+        job("java developer", "oracle", "enterprise", (60000, 130000), 1.6),
+        job("dotnet developer", "microsoft", "enterprise", (55000, 120000), 1.2),
+        job("software engineer", "ibm", "enterprise", (55000, 125000), 1.9),
+        job("sap consultant", "accenture", "enterprise", (70000, 140000), 0.7),
+        # --- quality and ops ----------------------------------------------
+        job("qa engineer", "apple", "quality and ops", (45000, 95000), 1.2),
+        job("test automation engineer", "cisco", "quality and ops", (55000, 110000), 0.9),
+        job("devops engineer", "amazon", "quality and ops", (70000, 145000), 1.1),
+        job("system administrator", "dell", "quality and ops", (40000, 90000), 1.0),
+        # --- mobile ---------------------------------------------------------
+        job("ios developer", "apple", "mobile", (70000, 150000), 1.1),
+        job("android developer", "samsung", "mobile", (65000, 140000), 1.1),
+        job("mobile engineer", "uber", "mobile", (70000, 145000), 0.9),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the CS Jobs :class:`DomainSpec`."""
+    return DomainSpec(
+        name="cs_jobs",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "language": [
+                "c", "c++", "java", "python", "javascript", "php",
+                "ruby", "sql", "objective c", "csharp",
+            ],
+            "seniority": ["junior", "mid level", "senior", "lead", "principal"],
+            "workplace": ["onsite", "remote", "hybrid"],
+            "employment": ["full time", "part time", "contract", "internship"],
+        },
+        word_clusters=[
+            ["c", "c++", "objective", "csharp"],
+            ["java", "python", "ruby", "php", "javascript"],
+            ["junior", "mid", "senior", "lead", "principal"],
+            ["onsite", "remote", "hybrid"],
+            ["full", "part", "contract", "internship", "time"],
+        ],
+        filler_phrases=[
+            "competitive benefits", "health insurance", "stock options",
+            "401k match", "flexible hours", "paid time off",
+            "agile team", "code review culture", "fast growing startup",
+            "relocation assistance", "on call rotation", "great culture",
+            "cutting edge projects", "equal opportunity employer",
+        ],
+        type_ii_missing_rate=0.3,
+    )

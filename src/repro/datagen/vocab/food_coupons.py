@@ -1,0 +1,122 @@
+"""Food-Coupons domain."""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="food_coupon_ads",
+        columns=[
+            categorical("restaurant", _TI, synonyms=("place", "chain")),
+            categorical("item", _TI, synonyms=("deal", "food")),
+            categorical("meal", _TII),
+            categorical("service", _TII, synonyms=("order type",)),
+            categorical("cuisine", _TII, synonyms=("food type",)),
+            numeric(
+                "discount_percent",
+                (5, 80),
+                unit_words=("percent", "%", "percent off", "off"),
+                synonyms=("discount", "savings"),
+            ),
+            numeric(
+                "price",
+                (1, 60),
+                unit_words=("usd", "dollars", "dollar", "$", "bucks"),
+                synonyms=("price", "cost"),
+            ),
+            numeric(
+                "expires_days",
+                (1, 90),
+                unit_words=("days", "day"),
+                synonyms=("expires", "valid for"),
+            ),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def deal(
+        restaurant: str,
+        item: str,
+        group: str,
+        price: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"restaurant": restaurant, "item": item},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"price": price},
+        )
+
+    return [
+        # --- burgers --------------------------------------------------------
+        deal("mcdonalds", "big mac meal", "burgers", (4, 9), 1.8),
+        deal("burger king", "whopper meal", "burgers", (4, 9), 1.4),
+        deal("wendys", "baconator combo", "burgers", (5, 10), 1.1),
+        deal("five guys", "cheeseburger", "burgers", (6, 12), 0.9),
+        # --- pizza ----------------------------------------------------------
+        deal("dominos", "large pizza", "pizza", (6, 16), 1.7),
+        deal("pizza hut", "family box", "pizza", (10, 25), 1.3),
+        deal("papa johns", "two topping pizza", "pizza", (7, 15), 1.1),
+        deal("little caesars", "hot and ready", "pizza", (5, 9), 1.0),
+        # --- mexican ----------------------------------------------------------
+        deal("taco bell", "taco box", "mexican", (4, 12), 1.4),
+        deal("chipotle", "burrito bowl", "mexican", (6, 11), 1.3),
+        deal("qdoba", "quesadilla meal", "mexican", (6, 11), 0.7),
+        # --- sandwiches --------------------------------------------------------
+        deal("subway", "footlong sub", "sandwiches", (4, 9), 1.5),
+        deal("jimmy johns", "club sandwich", "sandwiches", (5, 10), 0.9),
+        deal("panera", "soup and sandwich", "sandwiches", (6, 13), 1.0),
+        # --- chicken ------------------------------------------------------------
+        deal("kfc", "bucket meal", "chicken", (10, 25), 1.2),
+        deal("chick fil a", "nuggets meal", "chicken", (5, 10), 1.3),
+        deal("popeyes", "chicken sandwich combo", "chicken", (5, 10), 1.1),
+        # --- asian ---------------------------------------------------------------
+        deal("panda express", "two entree plate", "asian", (6, 10), 1.1),
+        deal("pf changs", "dinner for two", "asian", (20, 45), 0.6),
+        # --- coffee and dessert ------------------------------------------------
+        deal("starbucks", "latte", "coffee and dessert", (3, 7), 1.5),
+        deal("dunkin", "dozen donuts", "coffee and dessert", (6, 12), 1.1),
+        deal("baskin robbins", "ice cream cake", "coffee and dessert", (15, 40), 0.6),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the Food-Coupons :class:`DomainSpec`."""
+    return DomainSpec(
+        name="food_coupons",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "meal": ["breakfast", "lunch", "dinner", "late night", "snack"],
+            "service": ["delivery", "takeout", "dine in", "drive thru"],
+            "cuisine": [
+                "american", "mexican", "italian", "chinese",
+                "fast food", "dessert", "coffee",
+            ],
+        },
+        word_clusters=[
+            ["breakfast", "lunch", "dinner", "snack"],
+            ["delivery", "takeout", "drive", "thru"],
+            ["american", "mexican", "italian", "chinese"],
+            ["dessert", "coffee", "donuts", "ice", "cream"],
+            ["pizza", "burger", "taco", "sandwich", "chicken"],
+        ],
+        filler_phrases=[
+            "limited time offer", "valid weekdays only", "online code",
+            "cannot combine offers", "participating locations",
+            "free drink included", "buy one get one", "kids eat free",
+            "no minimum purchase", "app exclusive", "printable coupon",
+            "while supplies last",
+        ],
+        type_ii_missing_rate=0.3,
+    )

@@ -1,0 +1,127 @@
+"""Furniture domain."""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="furniture_ads",
+        columns=[
+            categorical("item", _TI, synonyms=("piece",)),
+            categorical("brand", _TI, synonyms=("maker",)),
+            categorical("material", _TII),
+            categorical("color", _TII, synonyms=("colour", "finish")),
+            categorical("style", _TII),
+            categorical("room", _TII, synonyms=("for",)),
+            numeric(
+                "price",
+                (10, 3000),
+                unit_words=("usd", "dollars", "dollar", "$", "bucks"),
+                synonyms=("price", "cost", "priced", "asking"),
+            ),
+            numeric(
+                "width_inches",
+                (10, 120),
+                unit_words=("inches", "inch", "in", "wide"),
+                synonyms=("width",),
+            ),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def piece(
+        item: str,
+        brand: str,
+        group: str,
+        price: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"item": item, "brand": brand},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"price": price},
+        )
+
+    return [
+        # --- seating ------------------------------------------------------
+        piece("sofa", "ikea", "seating", (80, 700), 1.8),
+        piece("couch", "ashley", "seating", (120, 1200), 1.5),
+        piece("loveseat", "lazboy", "seating", (100, 900), 1.0),
+        piece("recliner", "lazboy", "seating", (90, 800), 1.2),
+        piece("armchair", "pottery barn", "seating", (70, 600), 0.9),
+        piece("sectional", "ashley", "seating", (250, 2500), 0.9),
+        # --- tables ---------------------------------------------------------
+        piece("dining table", "ikea", "tables", (60, 800), 1.3),
+        piece("coffee table", "west elm", "tables", (40, 500), 1.4),
+        piece("desk", "ikea", "tables", (40, 500), 1.5),
+        piece("end table", "target", "tables", (15, 150), 0.9),
+        piece("console table", "west elm", "tables", (50, 450), 0.6),
+        # --- storage ---------------------------------------------------------
+        piece("bookshelf", "ikea", "storage", (25, 300), 1.4),
+        piece("dresser", "ashley", "storage", (60, 700), 1.3),
+        piece("wardrobe", "ikea", "storage", (80, 900), 0.8),
+        piece("cabinet", "pottery barn", "storage", (60, 800), 0.8),
+        piece("tv stand", "walmart", "storage", (30, 300), 1.1),
+        # --- bedroom ---------------------------------------------------------
+        piece("bed frame", "ikea", "bedroom", (60, 800), 1.4),
+        piece("mattress", "sealy", "bedroom", (100, 1500), 1.3),
+        piece("nightstand", "ikea", "bedroom", (20, 250), 1.0),
+        piece("bunk bed", "ashley", "bedroom", (150, 900), 0.6),
+        # --- office -----------------------------------------------------------
+        piece("office chair", "herman miller", "office", (50, 1200), 1.2),
+        piece("standing desk", "uplift", "office", (150, 1200), 0.7),
+        piece("filing cabinet", "staples", "office", (25, 250), 0.6),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the Furniture :class:`DomainSpec`."""
+    return DomainSpec(
+        name="furniture",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "material": [
+                "wood", "oak", "pine", "metal", "glass", "leather",
+                "fabric", "plastic", "marble",
+            ],
+            "color": [
+                "black", "white", "brown", "grey", "beige", "walnut",
+                "cherry", "natural", "espresso",
+            ],
+            "style": [
+                "modern", "traditional", "rustic", "industrial",
+                "mid century", "farmhouse", "contemporary",
+            ],
+            "room": [
+                "living room", "bedroom", "dining room", "office",
+                "kids room", "patio",
+            ],
+        },
+        word_clusters=[
+            ["wood", "oak", "pine", "walnut", "cherry"],
+            ["metal", "glass", "marble", "industrial"],
+            ["leather", "fabric"],
+            ["brown", "beige", "natural", "espresso"],
+            ["black", "grey", "white"],
+            ["modern", "contemporary", "mid", "century"],
+            ["traditional", "rustic", "farmhouse"],
+        ],
+        filler_phrases=[
+            "like new", "barely used", "pet free home", "smoke free",
+            "must pick up", "moving sale", "solid construction",
+            "easy assembly", "scratch free", "very comfortable",
+            "great condition", "downsizing", "original receipt",
+            "delivery available", "sturdy build",
+        ],
+    )

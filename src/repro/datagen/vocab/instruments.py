@@ -1,0 +1,116 @@
+"""Musical-Instruments domain."""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="instrument_ads",
+        columns=[
+            categorical("brand", _TI, synonyms=("maker",)),
+            categorical("instrument", _TI),
+            categorical("color", _TII, synonyms=("finish",)),
+            categorical("condition", _TII),
+            categorical("level", _TII, synonyms=("grade",)),
+            categorical("kind", _TII, synonyms=("type",)),
+            numeric(
+                "price",
+                (20, 8000),
+                unit_words=("usd", "dollars", "dollar", "$", "bucks"),
+                synonyms=("price", "cost", "priced", "asking"),
+            ),
+            numeric("year", (1950, 2011), synonyms=("year",)),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def inst(
+        brand: str,
+        instrument: str,
+        group: str,
+        price: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"brand": brand, "instrument": instrument},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"price": price},
+        )
+
+    return [
+        # --- guitars ----------------------------------------------------------
+        inst("fender", "stratocaster", "guitars", (300, 2500), 1.8),
+        inst("gibson", "les paul", "guitars", (600, 5000), 1.4),
+        inst("fender", "telecaster", "guitars", (350, 2200), 1.2),
+        inst("epiphone", "sg", "guitars", (150, 700), 1.0),
+        inst("taylor", "acoustic guitar", "guitars", (300, 3000), 1.2),
+        inst("martin", "acoustic guitar", "guitars", (400, 4000), 1.0),
+        inst("yamaha", "classical guitar", "guitars", (80, 600), 1.1),
+        # --- bass ----------------------------------------------------------------
+        inst("fender", "precision bass", "bass", (350, 2000), 0.9),
+        inst("ibanez", "bass guitar", "bass", (150, 1200), 0.8),
+        # --- keyboards -------------------------------------------------------------
+        inst("yamaha", "keyboard", "keyboards", (80, 1500), 1.4),
+        inst("casio", "keyboard", "keyboards", (40, 500), 1.1),
+        inst("roland", "digital piano", "keyboards", (300, 2500), 0.9),
+        inst("korg", "synthesizer", "keyboards", (250, 2500), 0.7),
+        inst("steinway", "upright piano", "keyboards", (2000, 8000), 0.4),
+        # --- drums ---------------------------------------------------------------
+        inst("pearl", "drum set", "drums", (200, 2500), 1.0),
+        inst("ludwig", "snare drum", "drums", (80, 900), 0.7),
+        inst("zildjian", "cymbal pack", "drums", (100, 900), 0.7),
+        inst("roland", "electronic drums", "drums", (300, 2500), 0.8),
+        # --- orchestral --------------------------------------------------------------
+        inst("yamaha", "trumpet", "orchestral", (100, 1500), 0.9),
+        inst("selmer", "saxophone", "orchestral", (300, 3500), 0.8),
+        inst("stentor", "violin", "orchestral", (60, 900), 0.9),
+        inst("yamaha", "flute", "orchestral", (80, 1200), 0.8),
+        inst("buffet", "clarinet", "orchestral", (150, 2000), 0.6),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the Musical-Instruments :class:`DomainSpec`."""
+    return DomainSpec(
+        name="instruments",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "color": [
+                "sunburst", "black", "white", "red", "blue", "natural",
+                "cherry", "gold", "silver",
+            ],
+            "condition": ["mint", "excellent", "good", "fair", "needs repair"],
+            "level": ["beginner", "intermediate", "professional", "student"],
+            "kind": ["acoustic", "electric", "electro acoustic", "digital"],
+        },
+        word_clusters=[
+            ["sunburst", "cherry", "natural", "gold"],
+            ["black", "white", "silver"],
+            ["red", "blue"],
+            ["mint", "excellent", "good", "fair"],
+            ["beginner", "student", "intermediate", "professional"],
+            ["acoustic", "electric", "digital"],
+            ["guitar", "bass", "violin"],
+            ["keyboard", "piano", "synthesizer"],
+            ["drum", "snare", "cymbal"],
+            ["trumpet", "saxophone", "flute", "clarinet"],
+        ],
+        filler_phrases=[
+            "includes case", "hard shell case", "gig bag included",
+            "new strings", "recently serviced", "studio use only",
+            "barely played", "no scratches", "original owner",
+            "amp included", "stand included", "tuned and ready",
+            "smoke free studio", "great tone", "plays beautifully",
+        ],
+    )

@@ -1,0 +1,121 @@
+"""Jewellery domain."""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="jewellery_ads",
+        columns=[
+            categorical("item", _TI, synonyms=("piece",)),
+            categorical("brand", _TI, synonyms=("maker", "designer")),
+            categorical("metal", _TII),
+            categorical("gemstone", _TII, synonyms=("stone",)),
+            categorical("style", _TII),
+            categorical("gender", _TII, synonyms=("for",)),
+            numeric(
+                "price",
+                (15, 20000),
+                unit_words=("usd", "dollars", "dollar", "$", "bucks"),
+                synonyms=("price", "cost", "priced", "asking"),
+            ),
+            numeric(
+                "carat",
+                (0.1, 5.0),
+                unit_words=("carat", "carats", "ct"),
+                synonyms=("carat",),
+            ),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def piece(
+        item: str,
+        brand: str,
+        group: str,
+        price: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"item": item, "brand": brand},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"price": price},
+        )
+
+    return [
+        # --- rings -----------------------------------------------------------
+        piece("engagement ring", "tiffany", "rings", (1500, 20000), 1.3),
+        piece("wedding band", "kay", "rings", (200, 3000), 1.4),
+        piece("diamond ring", "zales", "rings", (500, 9000), 1.3),
+        piece("signet ring", "david yurman", "rings", (250, 2500), 0.6),
+        # --- necklaces --------------------------------------------------------
+        piece("pendant necklace", "tiffany", "necklaces", (200, 5000), 1.2),
+        piece("gold chain", "kay", "necklaces", (150, 3000), 1.2),
+        piece("pearl necklace", "mikimoto", "necklaces", (400, 8000), 0.8),
+        piece("locket", "pandora", "necklaces", (60, 600), 0.8),
+        # --- earrings ------------------------------------------------------------
+        piece("stud earrings", "zales", "earrings", (80, 3000), 1.3),
+        piece("hoop earrings", "pandora", "earrings", (40, 900), 1.1),
+        piece("drop earrings", "swarovski", "earrings", (60, 1200), 0.9),
+        # --- bracelets --------------------------------------------------------------
+        piece("charm bracelet", "pandora", "bracelets", (50, 900), 1.3),
+        piece("tennis bracelet", "zales", "bracelets", (300, 6000), 0.9),
+        piece("bangle", "cartier", "bracelets", (200, 8000), 0.7),
+        piece("cuff bracelet", "david yurman", "bracelets", (150, 3000), 0.6),
+        # --- watches -----------------------------------------------------------------
+        piece("dive watch", "seiko", "watches", (100, 2000), 1.1),
+        piece("dress watch", "omega", "watches", (800, 12000), 0.8),
+        piece("chronograph watch", "tag heuer", "watches", (500, 8000), 0.8),
+        piece("smart watch", "fossil", "watches", (80, 500), 0.9),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the Jewellery :class:`DomainSpec`."""
+    return DomainSpec(
+        name="jewellery",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "metal": [
+                "gold", "white gold", "rose gold", "silver", "platinum",
+                "titanium", "stainless steel",
+            ],
+            "gemstone": [
+                "diamond", "ruby", "sapphire", "emerald", "pearl",
+                "opal", "amethyst", "topaz", "cubic zirconia",
+            ],
+            "style": ["vintage", "modern", "art deco", "minimalist", "classic"],
+            "gender": ["womens", "mens", "unisex"],
+        },
+        word_clusters=[
+            ["gold", "rose", "white", "platinum"],
+            ["silver", "titanium", "stainless", "steel"],
+            ["diamond", "cubic", "zirconia"],
+            ["ruby", "sapphire", "emerald", "topaz", "amethyst"],
+            ["pearl", "opal"],
+            ["vintage", "art", "deco", "classic"],
+            ["modern", "minimalist"],
+            ["ring", "band"],
+            ["necklace", "pendant", "chain", "locket"],
+            ["bracelet", "bangle", "cuff"],
+        ],
+        filler_phrases=[
+            "comes with box", "gift receipt", "appraisal included",
+            "certified authentic", "never worn", "hypoallergenic",
+            "free resizing", "anniversary gift", "estate sale",
+            "hallmarked", "insured shipping", "original packaging",
+            "sparkles beautifully", "heirloom quality",
+        ],
+        type_ii_missing_rate=0.3,
+    )

@@ -1,0 +1,130 @@
+"""Motorcycles-for-Sale domain.
+
+Deliberately shares makes (Honda, Suzuki, BMW), colors, and the
+year/price/mileage numeric attributes with the Cars domain — that
+overlap is what drives the Cars/Motorcycles classifier confusion the
+paper reports in Section 5.2 (both domains land in the upper-80s while
+the others reach the 90s).
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType, TableSchema
+from repro.datagen.vocab.base import DomainSpec, Product, categorical, numeric
+
+__all__ = ["build_spec"]
+
+_TI = AttributeType.TYPE_I
+_TII = AttributeType.TYPE_II
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="motorcycle_ads",
+        columns=[
+            categorical("make", _TI, synonyms=("maker", "brand")),
+            categorical("model", _TI),
+            categorical("color", _TII, synonyms=("colour", "paint")),
+            categorical("bike_type", _TII, synonyms=("type", "class")),
+            categorical("condition", _TII),
+            numeric("year", (1985, 2011), synonyms=("year",)),
+            numeric(
+                "price",
+                (300, 40000),
+                unit_words=("usd", "dollars", "dollar", "$", "bucks"),
+                synonyms=("price", "cost", "priced", "asking"),
+            ),
+            numeric(
+                "mileage",
+                (0, 120000),
+                unit_words=("miles", "mile", "mi"),
+                synonyms=("mileage", "odometer"),
+            ),
+            numeric(
+                "engine_cc",
+                (50, 2300),
+                unit_words=("cc", "cubic centimeters"),
+                synonyms=("engine", "displacement"),
+            ),
+        ],
+    )
+
+
+def _products() -> list[Product]:
+    def bike(
+        make: str,
+        model: str,
+        group: str,
+        price: tuple[float, float],
+        cc: tuple[float, float],
+        popularity: float = 1.0,
+    ) -> Product:
+        return Product(
+            identity={"make": make, "model": model},
+            group=group,
+            popularity=popularity,
+            numeric_overrides={"price": price, "engine_cc": cc},
+        )
+
+    return [
+        # --- sport ------------------------------------------------------
+        bike("honda", "cbr600", "sport", (2500, 11000), (599, 599), 1.8),
+        bike("yamaha", "r6", "sport", (3000, 12000), (599, 599), 1.6),
+        bike("suzuki", "gsxr750", "sport", (3000, 13000), (750, 750), 1.4),
+        bike("kawasaki", "ninja", "sport", (2000, 12000), (250, 1000), 1.7),
+        bike("ducati", "848", "sport", (7000, 16000), (848, 848), 0.7),
+        # --- cruiser ----------------------------------------------------
+        bike("harley davidson", "sportster", "cruiser", (3500, 12000), (883, 1200), 1.8),
+        bike("harley davidson", "softail", "cruiser", (6000, 22000), (1450, 1690), 1.3),
+        bike("honda", "shadow", "cruiser", (1800, 8000), (600, 1100), 1.4),
+        bike("yamaha", "vstar", "cruiser", (2000, 9000), (650, 1300), 1.2),
+        bike("suzuki", "boulevard", "cruiser", (2500, 10000), (800, 1800), 1.0),
+        # --- touring ----------------------------------------------------
+        bike("honda", "goldwing", "touring", (5000, 25000), (1500, 1832), 1.0),
+        bike("bmw", "r1200rt", "touring", (7000, 22000), (1170, 1170), 0.8),
+        bike("harley davidson", "electra glide", "touring", (8000, 26000), (1584, 1690), 0.9),
+        bike("yamaha", "venture", "touring", (3000, 12000), (1300, 1300), 0.6),
+        # --- dual sport -------------------------------------------------
+        bike("kawasaki", "klr650", "dual sport", (2000, 7000), (650, 650), 1.0),
+        bike("suzuki", "drz400", "dual sport", (2200, 7500), (400, 400), 0.9),
+        bike("bmw", "gs1200", "dual sport", (8000, 20000), (1170, 1170), 0.8),
+        bike("honda", "xr650", "dual sport", (1800, 6500), (650, 650), 0.7),
+        # --- scooter ----------------------------------------------------
+        bike("vespa", "gts", "scooter", (2000, 7000), (125, 300), 0.8),
+        bike("honda", "ruckus", "scooter", (800, 3500), (50, 50), 0.9),
+        bike("yamaha", "zuma", "scooter", (900, 3800), (50, 125), 0.7),
+    ]
+
+
+def build_spec() -> DomainSpec:
+    """Build the Motorcycles-for-Sale :class:`DomainSpec`."""
+    return DomainSpec(
+        name="motorcycles",
+        schema=_schema(),
+        products=_products(),
+        type_ii_values={
+            "color": [
+                "red", "blue", "black", "white", "silver", "green",
+                "orange", "yellow", "grey",
+            ],
+            "bike_type": [
+                "sport bike", "cruiser", "touring", "dual sport",
+                "scooter", "chopper",
+            ],
+            "condition": ["excellent", "good", "fair", "project"],
+        },
+        word_clusters=[
+            ["black", "grey", "silver"],
+            ["red", "orange", "yellow"],
+            ["blue", "green", "white"],
+            ["sport", "cruiser", "touring", "chopper"],
+            ["excellent", "good", "fair"],
+        ],
+        filler_phrases=[
+            "garage kept", "adult owned", "never dropped", "new tires",
+            "low miles", "runs great", "clean title", "saddle bags",
+            "windshield", "sissy bar", "aftermarket exhaust",
+            "recent service", "fresh oil", "new battery", "new chain",
+            "helmet included", "lots of chrome", "fuel injected",
+        ],
+    )

@@ -1,0 +1,33 @@
+"""Relational database substrate.
+
+The paper runs CQAds on MySQL with one table per ads domain, a primary
+index on Type I attributes, secondary indexes on Type II attributes and
+a substring index of length 3 on all attributes (Sections 4.1 and 4.5).
+This subpackage is a from-scratch, in-memory reimplementation of that
+substrate:
+
+* :mod:`repro.db.schema` — typed columns carrying the paper's
+  Type I/II/III attribute classification;
+* :mod:`repro.db.table` — record storage with validation and automatic
+  index maintenance;
+* :mod:`repro.db.indexes` — hash (primary/secondary), sorted-numeric
+  and length-3 substring indexes;
+* :mod:`repro.db.database` — the named-table catalog;
+* :mod:`repro.db.sql` — lexer, parser, AST and executor for the SQL
+  subset CQAds generates (nested ``IN`` subqueries, ``BETWEEN``,
+  ``LIKE``, ``ORDER BY``/``GROUP BY``, ``LIMIT``, ``MIN``/``MAX``).
+"""
+
+from repro.db.database import Database
+from repro.db.schema import AttributeType, Column, ColumnKind, TableSchema
+from repro.db.table import Record, Table
+
+__all__ = [
+    "AttributeType",
+    "Column",
+    "ColumnKind",
+    "TableSchema",
+    "Record",
+    "Table",
+    "Database",
+]

@@ -1,0 +1,63 @@
+"""The database catalog: named tables, one per ads domain."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.errors import UnknownTableError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of :class:`~repro.db.table.Table` objects.
+
+    The paper stores "a table in the DB for each domain"
+    (Section 4.1); this catalog is what the SQL executor resolves
+    table names against.  Names are case-insensitive, and spaces are
+    treated as underscores so the paper's ``Car Ads`` example resolves
+    to a ``car_ads`` table.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    @staticmethod
+    def _canonical(name: str) -> str:
+        return name.strip().lower().replace(" ", "_")
+
+    def create_table(self, schema: TableSchema, substring_gram: int = 3) -> Table:
+        """Create and register a table for *schema*; name must be new."""
+        name = self._canonical(schema.table_name)
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(schema, substring_gram=substring_gram)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        canonical = self._canonical(name)
+        if canonical not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[canonical]
+
+    def table(self, name: str) -> Table:
+        canonical = self._canonical(name)
+        try:
+            return self._tables[canonical]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return self._canonical(name) in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables.keys())
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

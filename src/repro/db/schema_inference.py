@@ -1,0 +1,188 @@
+"""Automated database schema generation (future work item (ii) of the
+paper's Section 6).
+
+Given raw ad dictionaries scraped from a website, infer the
+:class:`~repro.db.schema.TableSchema` CQAds needs — including the
+Type I/II/III classification of Section 4.1.1:
+
+* a column whose values are (almost) all numeric becomes a **Type III**
+  numeric column, with its valid range taken from the data;
+* categorical columns present in *every* ad are Type I candidates —
+  the paper defines Type I values as "required values to be included
+  in an ad"; among the candidates, the ones with the highest value
+  diversity (they identify the product rather than describe it) are
+  selected, up to ``max_type_i``;
+* every other categorical column is **Type II** (descriptive,
+  optional).
+
+Unit words and synonyms cannot be inferred from values alone; the
+caller can pass ``unit_hints`` (column -> unit words) and the inferrer
+also recognizes a few universal money/mileage column names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.schema import AttributeType, Column, ColumnKind, TableSchema
+from repro.errors import DataGenerationError
+
+__all__ = ["ColumnProfile", "profile_columns", "infer_schema"]
+
+#: Columns whose names imply a well-known unit vocabulary.
+_KNOWN_UNITS: dict[str, tuple[str, ...]] = {
+    "price": ("usd", "dollars", "dollar", "$"),
+    "salary": ("usd", "dollars", "dollar", "$", "a year"),
+    "cost": ("usd", "dollars", "dollar", "$"),
+    "mileage": ("miles", "mile", "mi"),
+    "miles": ("miles", "mile", "mi"),
+}
+
+#: Fraction of non-null values that must parse as numbers for a column
+#: to be classified numeric (tolerates a little scraping noise).
+_NUMERIC_THRESHOLD = 0.9
+
+
+@dataclass
+class ColumnProfile:
+    """Observed statistics for one raw column."""
+
+    name: str
+    total: int = 0
+    present: int = 0
+    numeric: int = 0
+    distinct: set = None  # type: ignore[assignment]
+    numeric_min: float | None = None
+    numeric_max: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.distinct is None:
+            self.distinct = set()
+
+    @property
+    def presence_ratio(self) -> float:
+        return self.present / self.total if self.total else 0.0
+
+    @property
+    def numeric_ratio(self) -> float:
+        return self.numeric / self.present if self.present else 0.0
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.distinct)
+
+    def observe(self, value: object) -> None:
+        self.total += 1
+        if value is None or (isinstance(value, str) and not value.strip()):
+            return
+        self.present += 1
+        number = _as_number(value)
+        if number is not None:
+            self.numeric += 1
+            if self.numeric_min is None or number < self.numeric_min:
+                self.numeric_min = number
+            if self.numeric_max is None or number > self.numeric_max:
+                self.numeric_max = number
+            self.distinct.add(number)
+        else:
+            self.distinct.add(str(value).strip().lower())
+
+
+def _as_number(value: object) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip().replace(",", "").lstrip("$")
+        try:
+            return float(text)
+        except ValueError:
+            return None
+    return None
+
+
+def profile_columns(records: list[dict[str, object]]) -> dict[str, ColumnProfile]:
+    """Profile every column appearing in *records*.
+
+    A key absent from a record counts as a missing value for that
+    column (the paper's optional Type II attributes).
+    """
+    if not records:
+        raise DataGenerationError("cannot infer a schema from zero records")
+    names: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in names:
+                names.append(key)
+    profiles = {name: ColumnProfile(name=name) for name in names}
+    for record in records:
+        for name in names:
+            profiles[name].observe(record.get(name))
+    return profiles
+
+
+def infer_schema(
+    records: list[dict[str, object]],
+    table_name: str,
+    max_type_i: int = 2,
+    unit_hints: dict[str, tuple[str, ...]] | None = None,
+) -> TableSchema:
+    """Infer a CQAds table schema from raw ad dictionaries.
+
+    Raises :class:`~repro.errors.DataGenerationError` when no column
+    qualifies as a Type I identity (every ad needs one).
+    """
+    profiles = profile_columns(records)
+    unit_hints = dict(unit_hints or {})
+    columns: list[Column] = []
+    numeric_names: list[str] = []
+    type_i_candidates: list[ColumnProfile] = []
+    for profile in profiles.values():
+        name = profile.name.strip().lower().replace(" ", "_")
+        if profile.present and profile.numeric_ratio >= _NUMERIC_THRESHOLD:
+            numeric_names.append(name)
+            continue
+        if profile.presence_ratio >= 1.0 and profile.cardinality >= 2:
+            type_i_candidates.append(profile)
+    if not type_i_candidates:
+        raise DataGenerationError(
+            f"no column of {table_name!r} is present in every ad; "
+            "cannot choose a Type I identity"
+        )
+    # Highest-diversity always-present columns identify the product.
+    type_i_candidates.sort(key=lambda p: (-p.cardinality, p.name))
+    chosen = type_i_candidates[:max_type_i]
+    # (candidates beyond max_type_i fall through to Type II below)
+    # Preserve the original column order for readability: Type I first.
+    original_order = list(profiles)
+    chosen_names = {p.name for p in chosen}
+
+    def clean(name: str) -> str:
+        return name.strip().lower().replace(" ", "_")
+
+    for profile in sorted(chosen, key=lambda p: original_order.index(p.name)):
+        columns.append(
+            Column(clean(profile.name), AttributeType.TYPE_I)
+        )
+    for profile in profiles.values():
+        name = clean(profile.name)
+        if profile.name in chosen_names:
+            continue
+        if name in numeric_names:
+            low = profiles[profile.name].numeric_min or 0.0
+            high = profiles[profile.name].numeric_max or low
+            units = unit_hints.get(name, _KNOWN_UNITS.get(name, ()))
+            columns.append(
+                Column(
+                    name,
+                    AttributeType.TYPE_III,
+                    ColumnKind.NUMERIC,
+                    unit_words=tuple(units),
+                    synonyms=(name.replace("_", " "),),
+                    valid_range=(low, high),
+                )
+            )
+        else:
+            columns.append(Column(name, AttributeType.TYPE_II))
+    return TableSchema(table_name=table_name, columns=columns)

@@ -1,0 +1,368 @@
+"""Set-algebra evaluation of SELECT statements over the ads database.
+
+The executor turns a WHERE tree into record-id sets: AND is
+intersection, OR is union, NOT is complement against the table, and
+leaf predicates are answered by the table's indexes —
+
+* equality on Type I/II columns via the hash indexes (the paper's
+  primary/secondary indexes),
+* numeric comparisons, BETWEEN and superlative extremes via the sorted
+  indexes,
+* ``LIKE '%needle%'`` via the length-3 substring index (Section 4.5).
+
+NULL handling is two-valued: a NULL value simply fails every predicate
+except ``IS NULL``, which is the behaviour CQAds relies on (an ad that
+omits a property never matches a constraint on it).
+
+The pseudo-column ``record_id`` is available on every table; CQAds uses
+it for the paper's ``Car_ID IN (subquery)`` idiom (Example 7).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.db.sql.ast import (
+    Aggregate,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+    SelectStatement,
+)
+from repro.db.table import Record, Table
+from repro.errors import SQLExecutionError
+
+__all__ = ["SQLResult", "SQLExecutor", "execute"]
+
+RECORD_ID = "record_id"
+
+
+@dataclass
+class SQLResult:
+    """Outcome of a SELECT.
+
+    ``records`` always holds the matching records in output order;
+    ``rows`` holds the projected rows (dicts) when the select list was
+    not ``*``; ``scalars`` holds aggregate values keyed by their SQL
+    rendering (e.g. ``"MIN(price)"``).
+    """
+
+    records: list[Record] = field(default_factory=list)
+    rows: list[dict[str, object]] = field(default_factory=list)
+    scalars: dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records) if not self.scalars else len(self.rows)
+
+    def record_ids(self) -> list[int]:
+        return [record.record_id for record in self.records]
+
+    def column_values(self, column: str) -> list[object]:
+        """Values of *column* across the result, in output order."""
+        column = column.lower()
+        if column == RECORD_ID:
+            return [record.record_id for record in self.records]
+        return [record.get(column) for record in self.records]
+
+
+class SQLExecutor:
+    """Evaluates parsed SELECT statements against a database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # ------------------------------------------------------------------
+    def execute(self, statement: SelectStatement) -> SQLResult:
+        """Run *statement* and return a :class:`SQLResult`."""
+        table = self.database.table(statement.table)
+        if statement.where is None:
+            ids = table.all_ids()
+        else:
+            ids = self._eval_expr(table, statement.where)
+        records = table.fetch(ids)
+        sort_keys = list(statement.order_by) + list(statement.group_by)
+        if sort_keys:
+            records = self._sort(table, records, sort_keys)
+        if statement.limit is not None:
+            records = records[: statement.limit]
+        return self._project(table, statement, records)
+
+    def execute_sql(self, sql: str) -> SQLResult:
+        """Parse and run a SQL string."""
+        from repro.db.sql.parser import parse_select
+
+        return self.execute(parse_select(sql))
+
+    # ------------------------------------------------------------------
+    # projection and ordering
+    # ------------------------------------------------------------------
+    def _sort(
+        self, table: Table, records: list[Record], keys: list
+    ) -> list[Record]:
+        def sort_key(record: Record):
+            parts = []
+            for key in keys:
+                value = self._record_value(record, key.column)
+                # None sorts after everything, regardless of direction.
+                missing = value is None
+                if isinstance(value, str):
+                    ordinal: object = value
+                else:
+                    ordinal = value if value is not None else 0
+                if key.descending and isinstance(ordinal, (int, float)):
+                    ordinal = -ordinal
+                parts.append((missing, ordinal))
+            parts.append(record.record_id)
+            return tuple(parts)
+
+        # String columns with DESC need a separate pass since strings
+        # cannot be negated; handle the common single-key case directly.
+        if len(keys) == 1:
+            key = keys[0]
+            column = key.column.name
+
+            def single(record: Record):
+                value = self._record_value(record, key.column)
+                return (value is None, value if value is not None else 0, record.record_id)
+
+            ordered = sorted(records, key=single)
+            if key.descending:
+                present = [r for r in ordered if r.get(column) is not None or column == RECORD_ID]
+                absent = [r for r in ordered if r.get(column) is None and column != RECORD_ID]
+                present.reverse()
+                return present + absent
+            return ordered
+        return sorted(records, key=sort_key)
+
+    def _record_value(self, record: Record, column: ColumnRef) -> object:
+        if column.name == RECORD_ID:
+            return record.record_id
+        return record.get(column.name)
+
+    def _project(
+        self, table: Table, statement: SelectStatement, records: list[Record]
+    ) -> SQLResult:
+        items = statement.select_items
+        if items == ("*",) or items == ["*"]:
+            return SQLResult(records=records)
+        aggregates = [item for item in items if isinstance(item, Aggregate)]
+        if aggregates:
+            if len(aggregates) != len(items):
+                raise SQLExecutionError(
+                    "cannot mix aggregates and plain columns in a select list"
+                )
+            scalars: dict[str, object] = {}
+            for aggregate in aggregates:
+                values = [
+                    self._record_value(record, aggregate.column)
+                    for record in records
+                ]
+                values = [value for value in values if value is not None]
+                if not values:
+                    scalars[aggregate.to_sql()] = None
+                elif aggregate.function == "MIN":
+                    scalars[aggregate.to_sql()] = min(values)  # type: ignore[type-var]
+                else:
+                    scalars[aggregate.to_sql()] = max(values)  # type: ignore[type-var]
+            return SQLResult(records=records, scalars=scalars)
+        rows = []
+        for record in records:
+            row: dict[str, object] = {}
+            for item in items:
+                assert isinstance(item, ColumnRef)
+                if item.name != RECORD_ID and not table.schema.has_column(item.name):
+                    raise SQLExecutionError(
+                        f"unknown column {item.name!r} in select list of "
+                        f"{table.name!r}"
+                    )
+                row[item.name] = self._record_value(record, item)
+            rows.append(row)
+        return SQLResult(records=records, rows=rows)
+
+    # ------------------------------------------------------------------
+    # WHERE evaluation
+    # ------------------------------------------------------------------
+    def _eval_expr(self, table: Table, expr: Expr) -> set[int]:
+        if isinstance(expr, BinaryExpr):
+            left = self._eval_expr(table, expr.left)
+            if expr.operator == "AND":
+                if not left:
+                    return set()
+                return left & self._eval_expr(table, expr.right)
+            return left | self._eval_expr(table, expr.right)
+        if isinstance(expr, NotExpr):
+            return table.all_ids() - self._eval_expr(table, expr.operand)
+        if isinstance(expr, Comparison):
+            return self._eval_comparison(table, expr)
+        if isinstance(expr, BetweenExpr):
+            return self._eval_between(table, expr)
+        if isinstance(expr, LikeExpr):
+            return self._eval_like(table, expr)
+        if isinstance(expr, InExpr):
+            return self._eval_in(table, expr)
+        raise SQLExecutionError(f"unsupported expression node {expr!r}")
+
+    def _check_column(self, table: Table, column: ColumnRef) -> str:
+        if column.name == RECORD_ID:
+            return RECORD_ID
+        return table.schema.column(column.name).name
+
+    def _eval_comparison(self, table: Table, expr: Comparison) -> set[int]:
+        name = self._check_column(table, expr.column)
+        value = expr.value.value
+        operator = "!=" if expr.operator == "<>" else expr.operator
+        if value is None:
+            null_ids = table.scan(lambda record: record.get(name) is None)
+            if operator == "=":
+                return null_ids
+            if operator == "!=":
+                return table.all_ids() - null_ids
+            raise SQLExecutionError("NULL only supports = / != comparisons")
+        if name == RECORD_ID:
+            try:
+                target = int(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return set()
+            return {
+                record_id
+                for record_id in table.all_ids()
+                if _compare(record_id, operator, target)
+            }
+        column = table.schema.column(name)
+        if column.is_numeric:
+            try:
+                number = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise SQLExecutionError(
+                    f"numeric column {name!r} compared to non-number {value!r}"
+                ) from None
+            if operator == "=":
+                return table.lookup_range(name, number, number)
+            if operator == "!=":
+                return table.all_ids() - table.lookup_range(name, number, number)
+            if operator == "<":
+                return table.lookup_range(name, None, number, include_high=False)
+            if operator == "<=":
+                return table.lookup_range(name, None, number)
+            if operator == ">":
+                return table.lookup_range(name, number, None, include_low=False)
+            return table.lookup_range(name, number, None)
+        text = str(value).lower()
+        if operator == "=":
+            return table.lookup_equal(name, text)
+        if operator == "!=":
+            matched = table.lookup_equal(name, text)
+            # NULLs fail every predicate, != included.
+            non_null = table.scan(lambda record: record.get(name) is not None)
+            return non_null - matched
+        # Lexicographic comparisons on categorical columns: full scan.
+        return table.scan(
+            lambda record: record.get(name) is not None
+            and _compare(str(record.get(name)), operator, text)
+        )
+
+    def _eval_between(self, table: Table, expr: BetweenExpr) -> set[int]:
+        name = self._check_column(table, expr.column)
+        if name == RECORD_ID:
+            low, high = int(expr.low.value), int(expr.high.value)  # type: ignore[arg-type]
+            return {rid for rid in table.all_ids() if low <= rid <= high}
+        column = table.schema.column(name)
+        if not column.is_numeric:
+            raise SQLExecutionError(
+                f"BETWEEN requires a numeric column, got {name!r}"
+            )
+        low_value = expr.low.value
+        high_value = expr.high.value
+        if low_value is None or high_value is None:
+            raise SQLExecutionError("BETWEEN bounds must not be NULL")
+        return table.lookup_range(name, float(low_value), float(high_value))  # type: ignore[arg-type]
+
+    def _eval_like(self, table: Table, expr: LikeExpr) -> set[int]:
+        name = self._check_column(table, expr.column)
+        if name == RECORD_ID:
+            raise SQLExecutionError("LIKE is not supported on record_id")
+        column = table.schema.column(name)
+        if column.is_numeric:
+            raise SQLExecutionError(
+                f"LIKE requires a categorical column, got {name!r}"
+            )
+        pattern = expr.pattern.lower()
+        stripped = pattern.strip("%")
+        if "%" not in stripped and pattern.startswith("%") and pattern.endswith("%"):
+            # The common '%needle%' shape: answered by the substring
+            # index directly.
+            return table.lookup_substring(name, stripped)
+        regex = re.compile(
+            "^" + ".*".join(re.escape(part) for part in pattern.split("%")) + "$"
+        )
+        return table.scan(
+            lambda record: record.get(name) is not None
+            and regex.match(str(record.get(name))) is not None
+        )
+
+    def _eval_in(self, table: Table, expr: InExpr) -> set[int]:
+        name = self._check_column(table, expr.column)
+        if expr.subquery is not None:
+            sub_result = self.execute(expr.subquery)
+            sub_items = expr.subquery.select_items
+            if sub_items == ("*",) or sub_items == ["*"]:
+                raise SQLExecutionError(
+                    "IN subquery must select a single column, not *"
+                )
+            if len(sub_items) != 1 or not isinstance(sub_items[0], ColumnRef):
+                raise SQLExecutionError(
+                    "IN subquery must select exactly one plain column"
+                )
+            values = set(sub_result.column_values(sub_items[0].name))
+        else:
+            values = {literal.value for literal in expr.values}
+        if name == RECORD_ID:
+            wanted: set[int] = set()
+            for value in values:
+                try:
+                    wanted.add(int(value))  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue
+            return table.all_ids() & wanted
+        column = table.schema.column(name)
+        result: set[int] = set()
+        for value in values:
+            if value is None:
+                continue
+            if column.is_numeric:
+                try:
+                    result |= table.lookup_range(name, float(value), float(value))  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue
+            else:
+                result |= table.lookup_equal(name, str(value).lower())
+        return result
+
+
+def _compare(left, operator: str, right) -> bool:
+    if operator == "=":
+        return left == right
+    if operator == "!=":
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    raise SQLExecutionError(f"unknown operator {operator!r}")
+
+
+def execute(database: Database, sql: str) -> SQLResult:
+    """Convenience one-shot: parse and execute *sql* against *database*."""
+    return SQLExecutor(database).execute_sql(sql)

@@ -1,0 +1,112 @@
+"""Tokenizer for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["SQLToken", "tokenize_sql", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    """
+    select from where and or not in between like group order by desc asc
+    limit min max null is distinct
+    """.split()
+)
+
+_PUNCTUATION = {"(", ")", ",", "*", "."}
+_OPERATOR_STARTS = {"=", "<", ">", "!"}
+
+
+@dataclass(frozen=True)
+class SQLToken:
+    """One lexical token.
+
+    ``kind`` is one of ``keyword``, ``identifier``, ``number``,
+    ``string``, ``operator``, ``punct``.  Keywords are lowercased;
+    identifiers keep their original text (the executor canonicalizes).
+    """
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize_sql(sql: str) -> list[SQLToken]:
+    """Tokenize *sql*; raise :class:`SQLSyntaxError` on bad characters."""
+    tokens: list[SQLToken] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            # single-quoted string with '' escaping
+            j = i + 1
+            chunks: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(sql[j])
+                j += 1
+            tokens.append(SQLToken("string", "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch in "`\"":
+            # quoted identifier
+            closing = sql.find(ch, i + 1)
+            if closing == -1:
+                raise SQLSyntaxError("unterminated quoted identifier", i)
+            tokens.append(SQLToken("identifier", sql[i + 1 : closing], i))
+            i = closing + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(SQLToken("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(SQLToken("keyword", lowered, i))
+            else:
+                tokens.append(SQLToken("identifier", word, i))
+            i = j
+            continue
+        if ch in _OPERATOR_STARTS:
+            two = sql[i : i + 2]
+            if two in ("<=", ">=", "!=", "<>"):
+                tokens.append(SQLToken("operator", two, i))
+                i += 2
+            elif ch == "!":
+                raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+            else:
+                tokens.append(SQLToken("operator", ch, i))
+                i += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(SQLToken("punct", ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    return tokens

@@ -1,0 +1,279 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Grammar (lowercase = nonterminal, UPPERCASE = token)::
+
+    select    := SELECT items FROM name [alias] [WHERE expr]
+                 [GROUP BY keys] [ORDER BY keys] [LIMIT NUMBER]
+    items     := '*' | item (',' item)*
+    item      := (MIN|MAX) '(' column ')' | column
+    expr      := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | primary
+    primary   := '(' expr ')' | predicate
+    predicate := column op literal
+               | column [NOT] BETWEEN literal AND literal
+               | column [NOT] IN '(' (select | literal_list) ')'
+               | column [NOT] LIKE STRING
+               | column IS [NOT] NULL
+    column    := IDENT ['.' IDENT]
+    keys      := column [ASC|DESC] (',' column [ASC|DESC])*
+
+Operator precedence matches standard SQL: NOT > AND > OR.
+"""
+
+from __future__ import annotations
+
+from repro.db.sql.ast import (
+    Aggregate,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+    OrderBy,
+    SelectStatement,
+)
+from repro.db.sql.lexer import SQLToken, tokenize_sql
+from repro.errors import SQLSyntaxError
+
+__all__ = ["parse_select", "Parser"]
+
+
+class Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: list[SQLToken]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # cursor helpers
+    # ------------------------------------------------------------------
+    def peek(self) -> SQLToken | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> SQLToken:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of SQL input")
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> SQLToken | None:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> SQLToken:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            if actual is None:
+                raise SQLSyntaxError(f"expected {wanted!r}, found end of input")
+            raise SQLSyntaxError(
+                f"expected {wanted!r}, found {actual.text!r}", actual.position
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_select(self) -> SelectStatement:
+        self.expect("keyword", "select")
+        select_items = self._parse_select_items()
+        self.expect("keyword", "from")
+        table = self.expect("identifier").text
+        alias = None
+        alias_token = self.peek()
+        if alias_token is not None and alias_token.kind == "identifier":
+            alias = self.advance().text
+        where = None
+        if self.accept("keyword", "where"):
+            where = self._parse_expr()
+        group_by: tuple[OrderBy, ...] = ()
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by = tuple(self._parse_order_keys())
+        order_by: tuple[OrderBy, ...] = ()
+        if self.accept("keyword", "order"):
+            self.expect("keyword", "by")
+            order_by = tuple(self._parse_order_keys())
+        limit = None
+        if self.accept("keyword", "limit"):
+            limit = int(self.expect("number").text)
+        return SelectStatement(
+            table=table,
+            select_items=tuple(select_items),
+            alias=alias,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _parse_select_items(self) -> list[object]:
+        if self.accept("punct", "*"):
+            return ["*"]
+        items: list[object] = []
+        while True:
+            self.accept("keyword", "distinct")  # tolerated, no-op for sets
+            aggregate = self.accept("keyword", "min") or self.accept(
+                "keyword", "max"
+            )
+            if aggregate is not None:
+                self.expect("punct", "(")
+                column = self._parse_column()
+                self.expect("punct", ")")
+                items.append(Aggregate(aggregate.text.upper(), column))
+            else:
+                items.append(self._parse_column())
+            if not self.accept("punct", ","):
+                break
+        return items
+
+    def _parse_column(self) -> ColumnRef:
+        first = self.expect("identifier").text
+        if self.accept("punct", "."):
+            second = self.expect("identifier").text
+            return ColumnRef(second.lower(), qualifier=first.lower())
+        return ColumnRef(first.lower())
+
+    def _parse_order_keys(self) -> list[OrderBy]:
+        keys: list[OrderBy] = []
+        while True:
+            column = self._parse_column()
+            descending = False
+            if self.accept("keyword", "desc"):
+                descending = True
+            else:
+                self.accept("keyword", "asc")
+            keys.append(OrderBy(column, descending))
+            if not self.accept("punct", ","):
+                break
+        return keys
+
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        left = self._parse_and_expr()
+        while self.accept("keyword", "or"):
+            right = self._parse_and_expr()
+            left = BinaryExpr("OR", left, right)
+        return left
+
+    def _parse_and_expr(self) -> Expr:
+        left = self._parse_not_expr()
+        while self.accept("keyword", "and"):
+            right = self._parse_not_expr()
+            left = BinaryExpr("AND", left, right)
+        return left
+
+    def _parse_not_expr(self) -> Expr:
+        if self.accept("keyword", "not"):
+            return NotExpr(self._parse_not_expr())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        if self.accept("punct", "("):
+            inner = self._parse_expr()
+            self.expect("punct", ")")
+            return inner
+        return self._parse_predicate()
+
+    def _parse_literal(self) -> Literal:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("expected a literal, found end of input")
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text)
+        if token.kind == "keyword" and token.text == "null":
+            self.advance()
+            return Literal(None)
+        raise SQLSyntaxError(
+            f"expected a literal, found {token.text!r}", token.position
+        )
+
+    def _parse_predicate(self) -> Expr:
+        column = self._parse_column()
+        negated = self.accept("keyword", "not") is not None
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("incomplete predicate at end of input")
+        expr: Expr
+        if token.kind == "operator":
+            if negated:
+                raise SQLSyntaxError(
+                    "NOT cannot directly precede a comparison operator",
+                    token.position,
+                )
+            operator = self.advance().text
+            value = self._parse_literal()
+            expr = Comparison(column, operator, value)
+            return expr
+        if token.kind == "keyword" and token.text == "between":
+            self.advance()
+            low = self._parse_literal()
+            self.expect("keyword", "and")
+            high = self._parse_literal()
+            expr = BetweenExpr(column, low, high)
+        elif token.kind == "keyword" and token.text == "in":
+            self.advance()
+            self.expect("punct", "(")
+            inner_token = self.peek()
+            if inner_token is not None and inner_token.kind == "keyword" and (
+                inner_token.text == "select"
+            ):
+                subquery = self.parse_select()
+                expr = InExpr(column, subquery=subquery)
+            else:
+                values = [self._parse_literal()]
+                while self.accept("punct", ","):
+                    values.append(self._parse_literal())
+                expr = InExpr(column, values=tuple(values))
+            self.expect("punct", ")")
+        elif token.kind == "keyword" and token.text == "like":
+            self.advance()
+            pattern = self.expect("string").text
+            expr = LikeExpr(column, pattern)
+        elif token.kind == "keyword" and token.text == "is":
+            self.advance()
+            is_not = self.accept("keyword", "not") is not None
+            self.expect("keyword", "null")
+            null_comparison = Comparison(column, "=", Literal(None))
+            expr = NotExpr(null_comparison) if is_not else null_comparison
+        else:
+            raise SQLSyntaxError(
+                f"unexpected token {token.text!r} in predicate", token.position
+            )
+        return NotExpr(expr) if negated else expr
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse *sql* into a :class:`SelectStatement`.
+
+    Raises :class:`~repro.errors.SQLSyntaxError` when the text does
+    not conform to the dialect, or leaves trailing tokens.
+    """
+    parser = Parser(tokenize_sql(sql))
+    statement = parser.parse_select()
+    trailing = parser.peek()
+    if trailing is not None:
+        raise SQLSyntaxError(
+            f"unexpected trailing token {trailing.text!r}", trailing.position
+        )
+    return statement

@@ -1,0 +1,221 @@
+"""Record storage for one ads domain, with automatic index maintenance.
+
+A :class:`Table` owns the records of one ads domain and keeps three
+index families consistent with them (Section 4.1.1 / 4.5 of the paper):
+
+* a :class:`~repro.db.indexes.HashIndex` per Type I column (primary)
+  and per Type II column (secondary);
+* a :class:`~repro.db.indexes.SortedIndex` per numeric Type III column;
+* a :class:`~repro.db.indexes.SubstringIndex` of length 3 per
+  categorical column.
+
+Records are plain dicts validated by the schema; each gets a stable
+integer id on insert.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.db.indexes import HashIndex, SortedIndex, SubstringIndex
+from repro.db.schema import AttributeType, Column, TableSchema
+from repro.errors import SchemaError
+
+__all__ = ["Record", "Table"]
+
+
+class Record(dict):
+    """One ad: a dict of column -> value plus a stable ``record_id``."""
+
+    __slots__ = ("record_id",)
+
+    def __init__(self, record_id: int, values: dict[str, object]) -> None:
+        super().__init__(values)
+        self.record_id = record_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Record(#{self.record_id}, {dict(self)!r})"
+
+
+class Table:
+    """Storage plus indexes for one ads domain."""
+
+    def __init__(self, schema: TableSchema, substring_gram: int = 3) -> None:
+        self.schema = schema
+        self.name = schema.table_name
+        self._records: dict[int, Record] = {}
+        self._next_id = 1
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+        self._substring_indexes: dict[str, SubstringIndex] = {}
+        for column in schema.columns:
+            if column.is_numeric:
+                self._sorted_indexes[column.name] = SortedIndex(column.name)
+            else:
+                if column.attribute_type in (
+                    AttributeType.TYPE_I,
+                    AttributeType.TYPE_II,
+                ):
+                    self._hash_indexes[column.name] = HashIndex(column.name)
+                self._substring_indexes[column.name] = SubstringIndex(
+                    column.name, substring_gram
+                )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: dict[str, object]) -> Record:
+        """Validate *values*, assign an id, index and store the record."""
+        normalized = self.schema.validate_record(values)
+        record = Record(self._next_id, normalized)
+        self._next_id += 1
+        self._records[record.record_id] = record
+        self._index_record(record, add=True)
+        return record
+
+    def insert_many(self, rows: Iterable[dict[str, object]]) -> list[Record]:
+        return [self.insert(row) for row in rows]
+
+    def delete(self, record_id: int) -> None:
+        """Remove the record with *record_id*; raise if absent."""
+        record = self._records.pop(record_id, None)
+        if record is None:
+            raise SchemaError(
+                f"table {self.name!r} has no record #{record_id} to delete"
+            )
+        self._index_record(record, add=False)
+
+    def _index_record(self, record: Record, add: bool) -> None:
+        for column_name, value in record.items():
+            hash_index = self._hash_indexes.get(column_name)
+            if hash_index is not None:
+                (hash_index.add if add else hash_index.remove)(
+                    value, record.record_id
+                )
+            sorted_index = self._sorted_indexes.get(column_name)
+            if sorted_index is not None:
+                (sorted_index.add if add else sorted_index.remove)(
+                    value, record.record_id
+                )
+            substring_index = self._substring_indexes.get(column_name)
+            if substring_index is not None:
+                (substring_index.add if add else substring_index.remove)(
+                    value, record.record_id
+                )
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records.values())
+
+    def get(self, record_id: int) -> Record | None:
+        return self._records.get(record_id)
+
+    def fetch(self, record_ids: Iterable[int]) -> list[Record]:
+        """Records for *record_ids*, sorted by id for determinism."""
+        return [
+            self._records[record_id]
+            for record_id in sorted(record_ids)
+            if record_id in self._records
+        ]
+
+    def all_ids(self) -> set[int]:
+        return set(self._records.keys())
+
+    # ------------------------------------------------------------------
+    # index-backed lookups (used by the SQL executor's planner)
+    # ------------------------------------------------------------------
+    def lookup_equal(self, column_name: str, value: object) -> set[int]:
+        """Ids with ``column == value`` via the best available index."""
+        column = self.schema.column(column_name)
+        if column.is_numeric:
+            index = self._sorted_indexes[column.name]
+            try:
+                return index.equal(float(value))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return set()
+        normalized = str(value).lower()
+        hash_index = self._hash_indexes.get(column.name)
+        if hash_index is not None:
+            return hash_index.lookup(normalized)
+        # Categorical column without a hash index (not Type I/II):
+        # fall back to the substring index with exact verification.
+        substring_index = self._substring_indexes.get(column.name)
+        if substring_index is not None:
+            return {
+                record_id
+                for record_id in substring_index.search(normalized)
+                if self._records[record_id].get(column.name) == normalized
+            }
+        return self.scan(lambda record: record.get(column.name) == normalized)
+
+    def lookup_range(
+        self,
+        column_name: str,
+        low: float | None,
+        high: float | None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> set[int]:
+        """Ids with the numeric column inside the given range."""
+        column = self.schema.column(column_name)
+        if not column.is_numeric:
+            raise SchemaError(
+                f"range lookup on non-numeric column {column_name!r}"
+            )
+        return self._sorted_indexes[column.name].range(
+            low, high, include_low, include_high
+        )
+
+    def lookup_substring(self, column_name: str, needle: str) -> set[int]:
+        """Ids whose categorical column contains *needle* (length-3 index)."""
+        index = self._substring_indexes.get(column_name.lower())
+        if index is None:
+            needle = needle.lower()
+            return self.scan(
+                lambda record: needle in str(record.get(column_name.lower(), ""))
+            )
+        return index.search(needle)
+
+    def column_extreme(self, column_name: str, maximum: bool) -> set[int]:
+        """Ids of records holding the min (or max) of a numeric column."""
+        index = self._sorted_indexes.get(column_name.lower())
+        if index is None:
+            raise SchemaError(
+                f"superlative on non-numeric column {column_name!r}"
+            )
+        return index.max_ids() if maximum else index.min_ids()
+
+    def column_bounds(self, column_name: str) -> tuple[float, float] | None:
+        """Observed (min, max) of a numeric column, or ``None`` if empty.
+
+        The incomplete-question analysis (Section 4.2.2) uses these
+        bounds as the "valid range" of each Type III attribute.
+        """
+        index = self._sorted_indexes.get(column_name.lower())
+        if index is None or len(index) == 0:
+            return None
+        minimum = index.min_value()
+        maximum = index.max_value()
+        assert minimum is not None and maximum is not None
+        return minimum, maximum
+
+    def distinct_values(self, column_name: str) -> list[object]:
+        """Distinct values of a column (via index when available)."""
+        column = self.schema.column(column_name)
+        hash_index = self._hash_indexes.get(column.name)
+        if hash_index is not None:
+            return sorted(hash_index.distinct_values(), key=str)
+        seen = {record.get(column.name) for record in self}
+        seen.discard(None)
+        return sorted(seen, key=str)
+
+    def scan(self, predicate: Callable[[Record], bool]) -> set[int]:
+        """Full scan: ids of records satisfying *predicate*."""
+        return {
+            record.record_id for record in self._records.values() if predicate(record)
+        }

@@ -1,0 +1,30 @@
+"""Evaluation harness: the paper's metrics and experiments.
+
+* :mod:`repro.evaluation.metrics` — accuracy (Eq. 6), precision /
+  recall / F-measure (Section 5.3), P@K (Eq. 7), MRR (Eq. 8);
+* :mod:`repro.evaluation.appraiser` — simulated human appraisers that
+  judge relatedness from the latent similarity model (Section 5.5's
+  886 Facebook responses);
+* :mod:`repro.evaluation.boolean_survey` — the simulated Boolean
+  interpretation survey of Section 5.4;
+* :mod:`repro.evaluation.experiments` — one function per table/figure,
+  each returning the rows/series the paper reports;
+* :mod:`repro.evaluation.reporting` — plain-text table formatting.
+"""
+
+from repro.evaluation.metrics import (
+    accuracy,
+    mean_reciprocal_rank,
+    precision_at_k,
+    precision_recall_f1,
+)
+from repro.evaluation.appraiser import AppraiserPanel, SimulatedAppraiser
+
+__all__ = [
+    "accuracy",
+    "precision_recall_f1",
+    "precision_at_k",
+    "mean_reciprocal_rank",
+    "SimulatedAppraiser",
+    "AppraiserPanel",
+]

@@ -1,0 +1,161 @@
+"""Simulated appraisers for the ranking experiments (Section 5.5).
+
+The paper collected 886 Facebook responses in which users judged which
+of the top-5 answers from each ranker were related to a question.  The
+simulation replaces each user with a :class:`SimulatedAppraiser` that
+judges relatedness from the *latent* similarity model — the ground
+truth the synthetic data was generated from — never from the learned
+TI/WS matrices, so CQAds earns no circular advantage.
+
+An appraiser computes, per question condition, how close the record
+comes in the latent model (exact satisfaction scores 1), averages the
+per-condition scores, and calls the record related when the average
+clears a threshold.  Per-appraiser noise flips a small fraction of
+judgments; the CS-jobs domain gets extra noise, reproducing the
+paper's observation that appraisers there judged "based on which
+result is more relevant to their own expertise" (Section 5.5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.latent import LatentSimilarity
+from repro.db.schema import AttributeType
+from repro.db.table import Record
+from repro.qa.conditions import Condition, ConditionOp, Interpretation
+from repro.ranking.rank_sim import condition_satisfied
+
+__all__ = ["SimulatedAppraiser", "AppraiserPanel", "latent_relatedness"]
+
+#: Mean per-condition latent similarity above which a record reads as
+#: "related" to the question.
+DEFAULT_THRESHOLD = 0.55
+
+#: Extra judgment noise for domains the paper flags as subjective.
+EXTRA_NOISE_DOMAINS = {"cs_jobs": 0.15}
+
+
+def latent_relatedness(
+    latent: LatentSimilarity,
+    interpretation: Interpretation,
+    record: Record,
+) -> float:
+    """Ground-truth relatedness of *record* to a question in [0, 1].
+
+    The aggregate is the *minimum* per-condition similarity: a record
+    is only as related as its worst violated criterion.  (A blue Ford
+    pickup is not a related answer to "blue Honda Accord under $15k"
+    just because it is blue — survey users judge the mismatch, not the
+    overlap.)
+    """
+    conditions = interpretation.conditions()
+    if not conditions:
+        return 1.0
+    type_i_columns = [c.name for c in latent.spec.schema.type_i_columns]
+    record_key = tuple(str(record.get(column, "") or "") for column in type_i_columns)
+    return min(
+        _condition_relatedness(latent, condition, record, record_key)
+        for condition in conditions
+    )
+
+
+def _condition_relatedness(
+    latent: LatentSimilarity,
+    condition: Condition,
+    record: Record,
+    record_key: tuple[str, ...],
+) -> float:
+    if condition_satisfied(condition, record):
+        return 1.0
+    if condition.negated:
+        return 0.0  # the record has exactly what was excluded
+    value = record.get(condition.column)
+    if value is None:
+        return 0.0
+    if condition.attribute_type is AttributeType.TYPE_I:
+        # Best latent similarity over products consistent with the
+        # question's identity constraint.
+        best = 0.0
+        column_index = [
+            c.name for c in latent.spec.schema.type_i_columns
+        ].index(condition.column)
+        for product in latent.spec.products:
+            if product.key()[column_index] != str(condition.value):
+                continue
+            best = max(best, latent.product_similarity(product.key(), record_key))
+        return best
+    if condition.attribute_type is AttributeType.TYPE_II:
+        return latent.value_similarity(str(condition.value), str(value))
+    target = _numeric_target(condition)
+    return latent.numeric_similarity(condition.column, target, float(value))
+
+
+def _numeric_target(condition: Condition) -> float:
+    if condition.op is ConditionOp.BETWEEN:
+        low, high = condition.value  # type: ignore[misc]
+        return (float(low) + float(high)) / 2.0
+    return float(condition.value)  # type: ignore[arg-type]
+
+
+@dataclass
+class SimulatedAppraiser:
+    """One survey participant."""
+
+    latent: LatentSimilarity
+    rng: random.Random
+    threshold: float = DEFAULT_THRESHOLD
+    noise: float = 0.05
+
+    def judge(self, interpretation: Interpretation, record: Record) -> bool:
+        """Is *record* related to the question? (noisy ground truth)"""
+        related = (
+            latent_relatedness(self.latent, interpretation, record)
+            >= self.threshold
+        )
+        if self.rng.random() < self.noise:
+            return not related
+        return related
+
+
+class AppraiserPanel:
+    """A pool of appraisers; judgments are majority votes.
+
+    ``size`` appraisers judge each (question, record) pair; the panel
+    verdict is the majority, which smooths individual noise the same
+    way the paper's averaging over responses does.
+    """
+
+    def __init__(
+        self,
+        latent: LatentSimilarity,
+        seed: int = 31,
+        size: int = 5,
+        threshold: float = DEFAULT_THRESHOLD,
+        base_noise: float = 0.05,
+    ) -> None:
+        noise = base_noise + EXTRA_NOISE_DOMAINS.get(latent.spec.name, 0.0)
+        self.appraisers = [
+            SimulatedAppraiser(
+                latent=latent,
+                rng=random.Random(seed + index),
+                threshold=threshold,
+                noise=noise,
+            )
+            for index in range(size)
+        ]
+
+    def judge(self, interpretation: Interpretation, record: Record) -> bool:
+        votes = sum(
+            1
+            for appraiser in self.appraisers
+            if appraiser.judge(interpretation, record)
+        )
+        return votes * 2 > len(self.appraisers)
+
+    def judge_ranking(
+        self, interpretation: Interpretation, records: list[Record]
+    ) -> list[bool]:
+        """Judgments for a ranked answer list (input to P@K / MRR)."""
+        return [self.judge(interpretation, record) for record in records]

@@ -1,0 +1,306 @@
+"""The simulated Boolean-interpretation survey (Section 5.4, Figure 4).
+
+The paper showed survey participants a Boolean question, CQAds'
+interpretation and two manually-created distractor interpretations;
+accuracy is the fraction of respondents choosing CQAds' reading.
+
+The simulation mirrors that design:
+
+* distractors are systematic perturbations of the ground-truth reading
+  (OR→AND for mutually-exclusive values — the literal "both values"
+  reading 22% of the paper's users preferred — and a dropped/shifted
+  negation);
+* each simulated respondent holds a *private* reading: usually the
+  ground truth, but for questions with mutually-exclusive values a
+  fixed fraction genuinely prefers the AND reading (the paper's Q3/Q8
+  dissenters), and for negation-scope questions a fraction extends the
+  negation across the OR (the Q10 dissenters);
+* a respondent votes for the offered interpretation whose *answer set*
+  is closest (Jaccard) to their private reading's answer set, with a
+  small random-choice noise.
+
+CQAds' accuracy on a question is the fraction of votes its
+interpretation receives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datagen.questions import GeneratedQuestion
+from repro.db.database import Database
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionNode,
+    Interpretation,
+)
+from repro.qa.domain import AdsDomain
+from repro.qa.sql_generation import evaluate_interpretation
+
+__all__ = ["SurveyOutcome", "BooleanSurvey", "make_distractors"]
+
+#: Fraction of respondents who genuinely hold the literal AND reading
+#: of mutually-exclusive values (the paper's 22% on Q3/Q8).
+ALTERNATIVE_READING_RATE = 0.22
+#: Fraction who extend a negation across an explicit OR (29% on Q10).
+WIDE_NEGATION_RATE = 0.29
+CHOICE_NOISE = 0.04
+
+
+def _swap_operator(node: ConditionNode, source: BooleanOperator) -> ConditionNode:
+    """Deep-copy *node* with *source* groups flipped to the other op."""
+    if isinstance(node, Condition):
+        return node
+    target = (
+        BooleanOperator.AND
+        if source is BooleanOperator.OR
+        else BooleanOperator.OR
+    )
+    operator = target if node.operator is source else node.operator
+    return ConditionGroup(
+        operator,
+        [_swap_operator(child, source) for child in node.children],
+    )
+
+
+def _drop_negations(node: ConditionNode) -> ConditionNode:
+    if isinstance(node, Condition):
+        if node.negated:
+            return Condition(
+                column=node.column,
+                attribute_type=node.attribute_type,
+                op=node.op,
+                value=node.value,
+                negated=False,
+            )
+        return node
+    return ConditionGroup(
+        node.operator, [_drop_negations(child) for child in node.children]
+    )
+
+
+def _widen_negations(node: ConditionNode) -> ConditionNode:
+    """Apply every negated condition found anywhere to every OR branch.
+
+    This is the Q10 dissenters' reading: "exclude 2 wheel drive"
+    carries across the "or" onto the second clause too.
+    """
+    if not isinstance(node, ConditionGroup) or node.operator is not (
+        BooleanOperator.OR
+    ):
+        return node
+    negations = [
+        condition
+        for condition in node.iter_conditions()
+        if condition.negated
+    ]
+    if not negations:
+        return node
+    widened_children: list[ConditionNode] = []
+    for child in node.children:
+        present = {
+            (c.column, str(c.value))
+            for c in (
+                child.iter_conditions()
+                if isinstance(child, ConditionGroup)
+                else [child]
+            )
+            if c.negated
+        }
+        missing = [
+            negation
+            for negation in negations
+            if (negation.column, str(negation.value)) not in present
+        ]
+        if missing:
+            existing = (
+                list(child.children)
+                if isinstance(child, ConditionGroup)
+                and child.operator is BooleanOperator.AND
+                else [child]
+            )
+            widened_children.append(
+                ConditionGroup(BooleanOperator.AND, existing + missing)
+            )
+        else:
+            widened_children.append(child)
+    return ConditionGroup(BooleanOperator.OR, widened_children)
+
+
+def make_distractors(
+    interpretation: Interpretation, kind: str | None = None
+) -> list[Interpretation]:
+    """Two manually-created-style distractor readings (Section 5.4).
+
+    For Q10-style questions (``kind="explicit_complex"``) the second
+    distractor is the wide-negation-scope reading, mirroring the
+    paper's manually-written alternatives.
+    """
+    distractors: list[Interpretation] = []
+    tree = interpretation.tree
+    if tree is not None:
+        distractors.append(
+            Interpretation(
+                tree=_swap_operator(tree, BooleanOperator.OR),
+                superlative=interpretation.superlative,
+            )
+        )
+        if kind == "explicit_complex":
+            second = _widen_negations(tree)
+        else:
+            second = _drop_negations(_swap_operator(tree, BooleanOperator.AND))
+        distractors.append(
+            Interpretation(tree=second, superlative=interpretation.superlative)
+        )
+    return distractors
+
+
+@dataclass
+class SurveyOutcome:
+    """Per-question survey result."""
+
+    question: GeneratedQuestion
+    votes_for_cqads: int
+    total_votes: int
+    cqads_answer_ids: frozenset[int] = frozenset()
+    truth_answer_ids: frozenset[int] = frozenset()
+
+    @property
+    def accuracy(self) -> float:
+        if self.total_votes == 0:
+            return 0.0
+        return self.votes_for_cqads / self.total_votes
+
+
+@dataclass
+class BooleanSurvey:
+    """Runs the simulated survey for one domain."""
+
+    database: Database
+    domain: AdsDomain
+    rng: random.Random = field(default_factory=lambda: random.Random(41))
+    respondents: int = 90
+    alternative_rate: float = ALTERNATIVE_READING_RATE
+    noise: float = CHOICE_NOISE
+
+    # ------------------------------------------------------------------
+    def _answers(self, interpretation: Interpretation) -> frozenset[int]:
+        records = evaluate_interpretation(
+            self.database, self.domain, interpretation, limit=None
+        )
+        return frozenset(record.record_id for record in records)
+
+    @staticmethod
+    def _jaccard(a: frozenset[int], b: frozenset[int]) -> float:
+        if not a and not b:
+            return 1.0
+        union = a | b
+        return len(a & b) / len(union) if union else 0.0
+
+    def _has_alternative_reading(self, question: GeneratedQuestion) -> bool:
+        """Some Boolean questions admit a second literal reading.
+
+        * ``mutex`` — the paper's Q3/Q8 effect: 22% of users read
+          "Black Silver cars" as black-with-silver;
+        * ``explicit_complex`` — the paper's Q10 effect: 29% extend the
+          first clause's negation across the OR.
+
+        Plain negations and simple explicit ORs read unambiguously,
+        matching the high agreement on the paper's other questions.
+        """
+        return question.kind in ("mutex", "explicit_complex")
+
+    def _alternative_truth(
+        self, question: GeneratedQuestion
+    ) -> Interpretation | None:
+        tree = question.interpretation.tree
+        if tree is None:
+            return None
+        if question.kind == "mutex":
+            # literal reading: the item has BOTH values
+            return Interpretation(
+                tree=_swap_operator(tree, BooleanOperator.OR),
+                superlative=question.interpretation.superlative,
+            )
+        if question.kind == "explicit_complex":
+            # wide-scope reading: every negation applies to every OR
+            # branch (the paper's Q10 dissenters)
+            return Interpretation(
+                tree=_widen_negations(tree),
+                superlative=question.interpretation.superlative,
+            )
+        if question.kind in ("negation", "explicit_or"):
+            return Interpretation(
+                tree=_drop_negations(tree),
+                superlative=question.interpretation.superlative,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def run_question(
+        self,
+        question: GeneratedQuestion,
+        cqads_interpretation: Interpretation | None,
+    ) -> SurveyOutcome:
+        """Survey one question; *cqads_interpretation* may be None when
+        the system declared a contradiction (counted as zero votes)."""
+        truth_ids = self._answers(question.interpretation)
+        if cqads_interpretation is None:
+            return SurveyOutcome(
+                question=question,
+                votes_for_cqads=0,
+                total_votes=self.respondents,
+                truth_answer_ids=truth_ids,
+            )
+        options = [cqads_interpretation] + make_distractors(
+            question.interpretation, kind=question.kind
+        )
+        option_ids = [self._answers(option) for option in options]
+        alternative = self._alternative_truth(question)
+        alternative_ids = (
+            self._answers(alternative) if alternative is not None else None
+        )
+        votes = 0
+        for _ in range(self.respondents):
+            if self.rng.random() < self.noise:
+                choice = self.rng.randrange(len(options))
+            else:
+                rate = (
+                    WIDE_NEGATION_RATE
+                    if question.kind == "explicit_complex"
+                    else self.alternative_rate
+                )
+                dissenting = (
+                    alternative_ids is not None
+                    and self._has_alternative_reading(question)
+                    and self.rng.random() < rate
+                )
+                private_truth = alternative_ids if dissenting else truth_ids
+                scores = [
+                    self._jaccard(private_truth, ids) for ids in option_ids
+                ]
+                best = max(scores)
+                if dissenting:
+                    # A dissenter deliberately chose a different reading;
+                    # when several options fit it equally they endorse
+                    # the one that *is* their reading (the distractor),
+                    # not CQAds' phrasing of an equivalent answer set.
+                    choice = max(
+                        index
+                        for index, score in enumerate(scores)
+                        if score == best
+                    )
+                else:
+                    choice = scores.index(best)
+            if choice == 0:
+                votes += 1
+        return SurveyOutcome(
+            question=question,
+            votes_for_cqads=votes,
+            total_votes=self.respondents,
+            cqads_answer_ids=option_ids[0],
+            truth_answer_ids=truth_ids,
+        )

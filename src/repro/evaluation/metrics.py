@@ -1,0 +1,93 @@
+"""Evaluation metrics (Sections 5.2, 5.3 and 5.5.1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "accuracy",
+    "PRF",
+    "precision_recall_f1",
+    "precision_at_k",
+    "mean_reciprocal_rank",
+]
+
+
+def accuracy(correct: int, total: int) -> float:
+    """Eq. 6: correctly classified instances over total instances."""
+    if total <= 0:
+        return 0.0
+    return correct / total
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision, recall and their harmonic mean (F-measure)."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f_measure(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def precision_recall_f1(
+    retrieved: set[int],
+    relevant: set[int],
+    cap: int | None = None,
+) -> PRF:
+    """Section 5.3's exact-match metrics over answer-id sets.
+
+    ``cap`` models the paper's 30-answer window: a correct match is "a
+    retrieved answer (up till the 30th)", so recall is measured against
+    at most ``cap`` relevant answers (a question with 200 correct ads
+    is fully answered by any 30 of them).
+
+    A question with no relevant answers and no retrieved answers counts
+    as perfect (the system correctly returned nothing).
+    """
+    if not relevant:
+        perfect = 1.0 if not retrieved else 0.0
+        return PRF(precision=perfect, recall=1.0 if not retrieved else 0.0)
+    correct = len(retrieved & relevant)
+    precision = correct / len(retrieved) if retrieved else 0.0
+    denominator = len(relevant) if cap is None else min(len(relevant), cap)
+    recall = correct / denominator if denominator else 0.0
+    return PRF(precision=precision, recall=recall)
+
+
+def precision_at_k(judgments: list[list[bool]], k: int) -> float:
+    """Eq. 7: mean fraction of related answers among the top-K.
+
+    *judgments* holds, per question, the relatedness of each ranked
+    answer (index 0 = rank 1).  Questions with fewer than K answers are
+    evaluated over what they have, divided by K — an absent answer
+    cannot be related.
+    """
+    if not judgments:
+        return 0.0
+    total = 0.0
+    for per_question in judgments:
+        related = sum(1 for related_flag in per_question[:k] if related_flag)
+        total += related / k
+    return total / len(judgments)
+
+
+def mean_reciprocal_rank(judgments: list[list[bool]]) -> float:
+    """Eq. 8: average reciprocal rank of the first related answer.
+
+    Questions whose top answers contain nothing related contribute 0
+    (the paper's ``r_i = infinity`` convention).
+    """
+    if not judgments:
+        return 0.0
+    total = 0.0
+    for per_question in judgments:
+        for position, related_flag in enumerate(per_question, start=1):
+            if related_flag:
+                total += 1.0 / position
+                break
+    return total / len(judgments)

@@ -1,0 +1,36 @@
+"""Plain-text tables for the benchmark harness output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_percent", "format_seconds"]
+
+
+def format_percent(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def format_seconds(value: float) -> str:
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""The CQAds core: question interpretation and answering.
+
+This subpackage implements Section 4 of the paper end to end:
+
+* :mod:`repro.qa.conditions` — the condition model (Types I/II/III,
+  superlatives and boundaries, complete vs. partial);
+* :mod:`repro.qa.identifiers` — Table 1, the identifier rules the
+  tagging trie is pre-programmed with;
+* :mod:`repro.qa.domain` — an ads domain: schema + vocabulary + trie +
+  similarity resources;
+* :mod:`repro.qa.tagger` — keyword tagging through the domain trie,
+  including context-switching analysis;
+* :mod:`repro.qa.spelling` — trie-based misspelling and missing-space
+  correction;
+* :mod:`repro.qa.incomplete` — the "best guess" for bare numeric
+  values;
+* :mod:`repro.qa.boolean_rules` — implicit/explicit Boolean
+  interpretation (Rules 1-4);
+* :mod:`repro.qa.sql_generation` — interpretation → SQL AST;
+* :mod:`repro.qa.pipeline` — the :class:`CQAds` facade tying it all
+  together with the N-1 partial matcher and the similarity ranking.
+"""
+
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionOp,
+    Interpretation,
+    Superlative,
+)
+from repro.qa.domain import AdsDomain
+from repro.qa.pipeline import Answer, CQAds, QuestionResult
+
+__all__ = [
+    "BooleanOperator",
+    "Condition",
+    "ConditionGroup",
+    "ConditionOp",
+    "Interpretation",
+    "Superlative",
+    "AdsDomain",
+    "CQAds",
+    "Answer",
+    "QuestionResult",
+]

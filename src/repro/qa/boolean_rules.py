@@ -1,0 +1,536 @@
+"""Implicit and explicit Boolean question interpretation (Section 4.4).
+
+Implicit Boolean questions contain no AND/OR but carry negations or
+mutually-exclusive attribute values; CQAds interprets them with the
+paper's combination rules, reproduced here:
+
+* **Rule 1** (Type III):
+  (a) negated quantifiers are replaced by their complement;
+  (b) several "less than" (resp. "more than") bounds keep only the
+  tighter one;
+  (c) a lower and an upper bound combine into BETWEEN — and when they
+  do not overlap the search "retrieved no results"
+  (:class:`~repro.errors.ContradictionError`).
+* **Rule 2** (Type II runs): negated values are ANDed; non-negated
+  mutually-exclusive values (same attribute, different values) are
+  ORed, everything else ANDed; the resulting subexpression is ANDed
+  with ("right-associated" to) the closest Type I anchor.
+* **Rule 3**: the same treatment for Type III conditions.
+* **Rule 4**: multiple subexpressions that each contain a Type I value
+  are ORed together.
+
+Explicit Boolean questions (Section 4.4.2) are *not* given their own
+rule set: CQAds strips the ANDs/ORs and evaluates the question as an
+implicit one, except for the two special cases — a sequence separated
+only by ORs is evaluated as a pure disjunction, and one separated only
+by ANDs as a plain conjunction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.schema import AttributeType
+from repro.errors import ContradictionError
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionNode,
+    ConditionOp,
+    Interpretation,
+    Superlative,
+)
+from repro.qa.domain import AdsDomain
+from repro.qa.incomplete import expand_incomplete
+from repro.qa.tagger import IncompleteNumeric, Marker, TaggedQuestion
+
+__all__ = ["build_interpretation", "merge_type_iii"]
+
+
+class _Divider:
+    """Sentinel marking an explicit OR in the unit stream.
+
+    OR markers do not get their own evaluation rules (Section 4.4.2),
+    but they still delimit *segments*: a property run never crosses an
+    OR to attach to an anchor on the other side (the paper's Q10 —
+    "exclude 2 wheel drive" belongs to the Mustang clause, not to the
+    Corvette after the "or").
+    """
+
+    def describe(self) -> str:  # pragma: no cover - debug aid
+        return "|OR|"
+
+
+def build_interpretation(
+    tagged: TaggedQuestion, domain: AdsDomain
+) -> Interpretation:
+    """Turn a tagged question into its Boolean interpretation.
+
+    Raises :class:`~repro.errors.ContradictionError` when Rule 1c
+    finds non-overlapping bounds.
+    """
+    superlative = _pick_superlative(tagged)
+    units, separators = _collect_units(tagged, domain)
+    plain_units = [unit for unit in units if not isinstance(unit, _Divider)]
+    if not plain_units:
+        return Interpretation(tree=None, superlative=superlative)
+    if (
+        len(plain_units) > 1
+        and len(separators) >= len(plain_units) - 1
+        and all(sep == "OR" for sep in separators)
+    ):
+        # Pure explicit disjunction — an OR between *every* pair of
+        # values ("A or B or C") — is evaluated as is (Section 4.4.2).
+        tree = _pure_disjunction(plain_units)
+        return Interpretation(tree=tree, superlative=superlative)
+    # Everything else (implicit, pure-AND, mixed): drop the AND markers,
+    # keep OR dividers as segment boundaries, run the implicit rules.
+    units = _merge_type_iii_units(units)
+    tree = _combine_units(units)
+    return Interpretation(tree=tree, superlative=superlative)
+
+
+# ----------------------------------------------------------------------
+# unit collection
+# ----------------------------------------------------------------------
+def _pick_superlative(tagged: TaggedQuestion) -> Superlative | None:
+    superlatives = tagged.superlatives()
+    return superlatives[0] if superlatives else None
+
+
+def _collect_units(
+    tagged: TaggedQuestion, domain: AdsDomain
+) -> tuple[list[ConditionNode], list[str]]:
+    """Expand incompletes and split conditions from Boolean markers."""
+    units: list = []
+    separators: list[str] = []
+    for item in tagged.items:
+        if isinstance(item, Marker):
+            if units:  # leading operators carry no information
+                separators.append(item.operator)
+                if item.operator == "OR":
+                    units.append(_Divider())
+            continue
+        if isinstance(item, Superlative):
+            continue
+        if isinstance(item, IncompleteNumeric):
+            expanded = expand_incomplete(domain, item)
+            if expanded is not None:
+                units.append(expanded)
+            continue
+        units.append(item)
+    return units, separators
+
+
+def _pure_disjunction(units: list[ConditionNode]) -> ConditionNode:
+    group = ConditionGroup(BooleanOperator.OR, list(units))
+    return group.simplified()
+
+
+# ----------------------------------------------------------------------
+# Rule 1: Type III merging
+# ----------------------------------------------------------------------
+@dataclass
+class _Bounds:
+    """Accumulated numeric constraints for one column."""
+
+    lower: float | None = None
+    lower_inclusive: bool = True
+    upper: float | None = None
+    upper_inclusive: bool = True
+    equals: list[float] = field(default_factory=list)
+    negated_equals: list[float] = field(default_factory=list)
+
+    def add(self, condition: Condition) -> None:
+        op = condition.op
+        if op is ConditionOp.BETWEEN:
+            low, high = condition.value  # type: ignore[misc]
+            self._tighten_lower(float(low), True)
+            self._tighten_upper(float(high), True)
+            return
+        value = float(condition.value)  # type: ignore[arg-type]
+        if op is ConditionOp.EQ:
+            self.equals.append(value)
+        elif op is ConditionOp.NE:
+            self.negated_equals.append(value)
+        elif op in (ConditionOp.LT, ConditionOp.LE):
+            # Rule 1b: keep the lower (tighter) of several upper bounds.
+            self._tighten_upper(value, op is ConditionOp.LE)
+        elif op in (ConditionOp.GT, ConditionOp.GE):
+            self._tighten_lower(value, op is ConditionOp.GE)
+
+    def _tighten_upper(self, value: float, inclusive: bool) -> None:
+        if self.upper is None or value < self.upper:
+            self.upper, self.upper_inclusive = value, inclusive
+        elif value == self.upper:
+            self.upper_inclusive = self.upper_inclusive and inclusive
+
+    def _tighten_lower(self, value: float, inclusive: bool) -> None:
+        if self.lower is None or value > self.lower:
+            self.lower, self.lower_inclusive = value, inclusive
+        elif value == self.lower:
+            self.lower_inclusive = self.lower_inclusive and inclusive
+
+
+def merge_type_iii(
+    column: str, conditions: list[Condition]
+) -> list[Condition]:
+    """Apply Rules 1a-1c to the Type III conditions of one column.
+
+    Returns the merged condition list (usually a single condition,
+    plus any negated equalities, which stay separate ANDed leaves).
+    Raises :class:`ContradictionError` on non-overlapping bounds.
+    """
+    bounds = _Bounds()
+    attribute_type = AttributeType.TYPE_III
+    for condition in conditions:
+        # Rule 1a: a negated quantifier becomes its complement.
+        if condition.negated:
+            condition = condition.resolve_negation()
+            if condition.negated:  # still negated: was a negated EQ
+                condition = Condition(
+                    column=condition.column,
+                    attribute_type=condition.attribute_type,
+                    op=ConditionOp.NE,
+                    value=condition.value,
+                )
+        if condition.op is ConditionOp.NE:
+            bounds.negated_equals.append(float(condition.value))  # type: ignore[arg-type]
+        else:
+            bounds.add(condition)
+    merged: list[Condition] = []
+    distinct_equals = sorted(set(bounds.equals))
+    if len(distinct_equals) > 1:
+        # Distinct exact values cannot co-exist; the paper combines
+        # compatible Type III values, so alternatives become a range
+        # covering them (closest faithful reading of Rule 1c's
+        # "combining any intermediate results with a remaining value").
+        bounds._tighten_lower(distinct_equals[0], True)
+        bounds._tighten_upper(distinct_equals[-1], True)
+        distinct_equals = []
+    if distinct_equals:
+        value = distinct_equals[0]
+        if (bounds.lower is not None and value < bounds.lower) or (
+            bounds.upper is not None and value > bounds.upper
+        ):
+            raise ContradictionError(
+                f"search retrieved no results: {column} = {value:g} "
+                "conflicts with the other bounds"
+            )
+        merged.append(
+            Condition(column, attribute_type, ConditionOp.EQ, value)
+        )
+    elif bounds.lower is not None and bounds.upper is not None:
+        # Rule 1c: combine into BETWEEN, unless the bounds do not
+        # overlap, in which case the search retrieves no results.
+        if bounds.lower > bounds.upper or (
+            bounds.lower == bounds.upper
+            and not (bounds.lower_inclusive and bounds.upper_inclusive)
+        ):
+            raise ContradictionError(
+                f"search retrieved no results: {column} has "
+                f"non-overlapping bounds [{bounds.lower:g}, {bounds.upper:g}]"
+            )
+        if bounds.lower_inclusive and bounds.upper_inclusive:
+            merged.append(
+                Condition(
+                    column,
+                    attribute_type,
+                    ConditionOp.BETWEEN,
+                    (bounds.lower, bounds.upper),
+                )
+            )
+        else:
+            # Mixed inclusivity cannot be expressed as BETWEEN without
+            # widening the range; keep the two bounds as separate
+            # ANDed conditions instead.
+            low_op = ConditionOp.GE if bounds.lower_inclusive else ConditionOp.GT
+            high_op = ConditionOp.LE if bounds.upper_inclusive else ConditionOp.LT
+            merged.append(Condition(column, attribute_type, low_op, bounds.lower))
+            merged.append(Condition(column, attribute_type, high_op, bounds.upper))
+    elif bounds.lower is not None:
+        op = ConditionOp.GE if bounds.lower_inclusive else ConditionOp.GT
+        merged.append(Condition(column, attribute_type, op, bounds.lower))
+    elif bounds.upper is not None:
+        op = ConditionOp.LE if bounds.upper_inclusive else ConditionOp.LT
+        merged.append(Condition(column, attribute_type, op, bounds.upper))
+    for value in sorted(set(bounds.negated_equals)):
+        merged.append(
+            Condition(column, attribute_type, ConditionOp.NE, value)
+        )
+    return merged
+
+
+def _merge_type_iii_units(
+    units: list[ConditionNode],
+) -> list[ConditionNode]:
+    """Run Rule 1 across the unit list.
+
+    Plain Type III conditions of the same column are merged; the merged
+    condition takes the position of the first constituent.  OR-groups
+    (incomplete-number expansions) are left alone — their branches are
+    alternatives, not cumulative constraints.
+    """
+    by_column: dict[str, list[Condition]] = {}
+    for unit in units:
+        if (
+            isinstance(unit, Condition)
+            and unit.attribute_type is AttributeType.TYPE_III
+        ):
+            by_column.setdefault(unit.column, []).append(unit)
+    merged_output: list = []
+    emitted: set[str] = set()
+    for unit in units:
+        if (
+            isinstance(unit, Condition)
+            and unit.attribute_type is AttributeType.TYPE_III
+        ):
+            column = unit.column
+            if column in emitted:
+                continue
+            emitted.add(column)
+            merged_output.extend(merge_type_iii(column, by_column[column]))
+        else:
+            merged_output.append(unit)
+    return merged_output
+
+
+# ----------------------------------------------------------------------
+# Rules 2-4: anchor grouping
+# ----------------------------------------------------------------------
+@dataclass
+class _Anchor:
+    """A run of Type I conditions forming one search target."""
+
+    position: int
+    last_position: int = 0
+    conditions: list[Condition] = field(default_factory=list)
+    properties: list[ConditionNode] = field(default_factory=list)
+
+    def columns(self) -> set[str]:
+        return {condition.column for condition in self.conditions}
+
+    def expression(self) -> ConditionNode:
+        """AND across columns; OR among same-column alternatives.
+
+        All property units assigned to this anchor are combined with
+        one Rule 2a pass, so mutually-exclusive values OR together even
+        when an explicit "or" split them into separate runs ("blue or
+        red camry").
+        """
+        by_column: dict[str, list[Condition]] = {}
+        for condition in self.conditions:
+            by_column.setdefault(condition.column, []).append(condition)
+        parts: list[ConditionNode] = []
+        for column in by_column:
+            alternatives = by_column[column]
+            positives = [c for c in alternatives if not c.negated]
+            negatives = [c for c in alternatives if c.negated]
+            if len(positives) > 1:
+                parts.append(
+                    ConditionGroup(BooleanOperator.OR, list(positives))
+                )
+            else:
+                parts.extend(positives)
+            parts.extend(negatives)
+        if self.properties:
+            combined = _combine_property_run(self.properties)
+            if (
+                isinstance(combined, ConditionGroup)
+                and combined.operator is BooleanOperator.AND
+            ):
+                parts.extend(combined.children)
+            else:
+                parts.append(combined)
+        if len(parts) == 1:
+            return parts[0]
+        return ConditionGroup(BooleanOperator.AND, parts)
+
+
+def _combine_units(units: list) -> ConditionNode:
+    """Rules 2-4: group property runs around Type I anchors.
+
+    ``units`` may contain :class:`_Divider` sentinels (explicit ORs);
+    they break property runs and penalize anchor assignment across the
+    divide, but stay transparent to a same-column Type I anchor
+    ("focus, corolla, or civic" is one OR anchor).
+    """
+    divider_positions = [
+        index for index, unit in enumerate(units) if isinstance(unit, _Divider)
+    ]
+    anchors = _find_anchors(units)
+    property_runs = _property_runs(units)
+    if not anchors:
+        parts: list[ConditionNode] = [
+            _combine_property_run(run) for run in property_runs
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        return ConditionGroup(BooleanOperator.AND, parts).simplified()
+    for run_positions, run_units in property_runs_with_positions(
+        units, property_runs
+    ):
+        anchor = _closest_anchor(anchors, run_positions, divider_positions)
+        anchor.properties.extend(run_units)
+    groups = [anchor.expression() for anchor in anchors]
+    if len(groups) == 1:
+        return groups[0]
+    # Rule 4: several subexpressions each holding a Type I value are
+    # ORed together.
+    return ConditionGroup(BooleanOperator.OR, groups)
+
+
+def _is_type_i(unit) -> bool:
+    return (
+        isinstance(unit, Condition)
+        and unit.attribute_type is AttributeType.TYPE_I
+    )
+
+
+def _find_anchors(units: list) -> list[_Anchor]:
+    """Maximal Type I runs, split when an identity column repeats in a
+    multi-column anchor (two make+model pairs are two anchors, while
+    "focus, corolla, civic" — one column — is a single OR anchor).
+
+    Dividers between same-column Type I values are transparent, so
+    "focus or corolla" still forms one OR anchor; any other unit ends
+    the current run.
+    """
+    anchors: list[_Anchor] = []
+    current: _Anchor | None = None
+    for index, unit in enumerate(units):
+        if isinstance(unit, _Divider):
+            if current is not None and len(current.columns()) > 1:
+                # a divider after a complete identity starts a new group
+                current = None
+            continue
+        if not _is_type_i(unit):
+            current = None
+            continue
+        condition = unit
+        assert isinstance(condition, Condition)
+        if current is not None:
+            repeated = condition.column in current.columns()
+            multi_column = len(current.columns()) > 1
+            if repeated and multi_column:
+                current = None  # start a fresh anchor ("honda accord" #2)
+        if current is None:
+            current = _Anchor(position=index, last_position=index)
+            anchors.append(current)
+        current.conditions.append(condition)
+        current.last_position = index
+    return anchors
+
+
+def _property_runs(units: list) -> list[list[ConditionNode]]:
+    """Runs of consecutive property units; Type I units and dividers
+    both break a run."""
+    runs: list[list[ConditionNode]] = []
+    current: list[ConditionNode] | None = None
+    for unit in units:
+        if _is_type_i(unit) or isinstance(unit, _Divider):
+            current = None
+            continue
+        if current is None:
+            current = []
+            runs.append(current)
+        current.append(unit)
+    return runs
+
+
+def property_runs_with_positions(
+    units: list, runs: list[list[ConditionNode]]
+) -> list[tuple[tuple[int, int], list[ConditionNode]]]:
+    """Pair each property run with its (start, end) unit positions."""
+    result = []
+    cursor = 0
+    for run in runs:
+        # find the run's first unit starting from cursor
+        while units[cursor] is not run[0]:
+            cursor += 1
+        start = cursor
+        end = cursor + len(run) - 1
+        cursor = end + 1
+        result.append(((start, end), run))
+    return result
+
+
+# Crossing an explicit OR to reach an anchor is heavily penalized: the
+# divider marks a clause boundary (the paper's Q10 reading).
+_DIVIDER_PENALTY = 100
+
+
+def _closest_anchor(
+    anchors: list[_Anchor],
+    run_positions: tuple[int, int],
+    divider_positions: list[int],
+) -> _Anchor:
+    """Nearest anchor to a property run; ties go right (Rule 2b's
+    right-association); anchors across an OR divider rank last."""
+    start, end = run_positions
+
+    def crossings(a: int, b: int) -> int:
+        low, high = (a, b) if a < b else (b, a)
+        return sum(1 for pos in divider_positions if low < pos < high)
+
+    best: _Anchor | None = None
+    best_key = None
+    for anchor in anchors:
+        if anchor.position > end:
+            distance = anchor.position - end
+            direction = 0  # right: wins ties
+            crossed = crossings(end, anchor.position)
+        else:
+            distance = max(start - anchor.last_position, 1)
+            direction = 1
+            crossed = crossings(anchor.last_position, start)
+        key = (crossed * _DIVIDER_PENALTY + distance, direction)
+        if best_key is None or key < best_key:
+            best, best_key = anchor, key
+    assert best is not None
+    return best
+
+
+def _combine_property_run(run: list[ConditionNode]) -> ConditionNode:
+    """Rule 2a / Rule 3: combine one run of property conditions.
+
+    Negated values are ANDed; non-negated mutually-exclusive values
+    (same column) are ORed; everything else is ANDed.
+    """
+    if len(run) == 1:
+        return run[0]
+    negated: list[ConditionNode] = []
+    positives_by_column: dict[str, list[Condition]] = {}
+    others: list[ConditionNode] = []
+    for unit in run:
+        if isinstance(unit, Condition):
+            if unit.negated:
+                negated.append(unit)
+            else:
+                positives_by_column.setdefault(unit.column, []).append(unit)
+        else:
+            others.append(unit)  # nested groups (incomplete expansions)
+    parts: list[ConditionNode] = []
+    for column in positives_by_column:
+        alternatives = positives_by_column[column]
+        distinct = {str(c.value) for c in alternatives}
+        mutually_exclusive = (
+            len(alternatives) > 1
+            and len(distinct) > 1
+            # Mutual exclusion "applies only to Types I and II attribute
+            # values, since compatible Type III attribute values are
+            # combined" (Section 4.4) — Rule 1 already merged those.
+            and alternatives[0].attribute_type is not AttributeType.TYPE_III
+        )
+        if mutually_exclusive:
+            parts.append(ConditionGroup(BooleanOperator.OR, list(alternatives)))
+        elif len(alternatives) > 1:
+            parts.extend(alternatives)
+        else:
+            parts.append(alternatives[0])
+    parts.extend(negated)
+    parts.extend(others)
+    if len(parts) == 1:
+        return parts[0]
+    return ConditionGroup(BooleanOperator.AND, parts)

@@ -1,0 +1,233 @@
+"""Table 1 of the paper: the identifier rules pre-programmed into tries.
+
+The identifiers table is "created manually ... and is used by all the
+tries of different ads domains" (Section 4.1.4).  It maps keyword
+classes to their interpretation:
+
+* comparison words — ``below/fewer/less/lower/smaller`` read as ``<``,
+  ``above/greater/higher/more/over`` as ``>``, ``equal(s)`` as ``=``,
+  ``between/range/within`` as a two-bound range;
+* *complete boundaries* (Section 4.1.2) — words that carry their own
+  attribute: ``cheaper`` is ``price <``, ``newer`` is ``year >``;
+* *complete superlatives* — ``cheapest`` is min-price, ``newest``
+  max-year (Table 1 renders these as ``group by price`` /
+  ``group by year DESC``);
+* *partial superlatives* — ``lowest/highest/max/min/…`` need
+  context-switching to find their attribute;
+* negation keywords (Section 4.4.1 footnote 1), matched on stems so
+  ``excluding`` hits ``exclude``.
+
+Attribute-bearing entries refer to *roles* (``price``, ``year``)
+rather than concrete columns; :class:`~repro.qa.domain.AdsDomain`
+resolves a role to the domain's actual column (``salary`` plays the
+price role in CS Jobs), keeping the identifiers domain-independent as
+the paper requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.qa.conditions import ConditionOp
+from repro.text.stemmer import stem
+
+__all__ = [
+    "KeywordClass",
+    "IdentifierEntry",
+    "IDENTIFIER_ENTRIES",
+    "classify_keyword",
+    "NEGATION_WORDS",
+    "is_negation_word",
+    "PRICE_ROLE",
+    "YEAR_ROLE",
+]
+
+# Roles resolved per-domain by AdsDomain.resolve_role().
+PRICE_ROLE = "price"
+YEAR_ROLE = "year"
+
+
+class KeywordClass(enum.Enum):
+    """What kind of identifier a keyword carries."""
+
+    COMPARISON = "comparison"            # partial boundary: needs attr+value
+    COMPLETE_BOUNDARY = "complete_boundary"  # carries attr role + op
+    BETWEEN = "between"
+    SUPERLATIVE_COMPLETE = "superlative_complete"  # carries attr role + extreme
+    SUPERLATIVE_PARTIAL = "superlative_partial"    # carries extreme only
+    NEGATION = "negation"
+    BOOLEAN_AND = "boolean_and"
+    BOOLEAN_OR = "boolean_or"
+
+
+@dataclass(frozen=True)
+class IdentifierEntry:
+    """One Table 1 row: a keyword plus its interpretation payload.
+
+    ``op`` is set for COMPARISON and COMPLETE_BOUNDARY entries;
+    ``role`` for COMPLETE_* entries; ``maximum`` for superlatives.
+    """
+
+    keyword: str
+    keyword_class: KeywordClass
+    op: ConditionOp | None = None
+    role: str | None = None
+    maximum: bool | None = None
+
+
+def _entries() -> list[IdentifierEntry]:
+    entries: list[IdentifierEntry] = []
+
+    def add(words: str, **kwargs) -> None:
+        for word in words.split(","):
+            entries.append(IdentifierEntry(keyword=word.strip(), **kwargs))
+
+    # --- partial boundaries (Table 1 comparison rows) -------------------
+    add(
+        "below, fewer, less, lower, smaller, under, shorter, lighter, "
+        "narrower, at most, no more than, <, <=",
+        keyword_class=KeywordClass.COMPARISON,
+        op=ConditionOp.LT,
+    )
+    add(
+        "above, greater, higher, more, over, longer, larger, bigger, "
+        "taller, heavier, wider, at least, no less than, >, >=",
+        keyword_class=KeywordClass.COMPARISON,
+        op=ConditionOp.GT,
+    )
+    add(
+        "equal, equals, exactly, =",
+        keyword_class=KeywordClass.COMPARISON,
+        op=ConditionOp.EQ,
+    )
+    add(
+        "between, range, within",
+        keyword_class=KeywordClass.BETWEEN,
+    )
+    # --- complete boundaries (attribute implied) -------------------------
+    add(
+        "cheaper, less expensive",
+        keyword_class=KeywordClass.COMPLETE_BOUNDARY,
+        op=ConditionOp.LT,
+        role=PRICE_ROLE,
+    )
+    add(
+        "pricier, more expensive",
+        keyword_class=KeywordClass.COMPLETE_BOUNDARY,
+        op=ConditionOp.GT,
+        role=PRICE_ROLE,
+    )
+    add(
+        "newer",
+        keyword_class=KeywordClass.COMPLETE_BOUNDARY,
+        op=ConditionOp.GT,
+        role=YEAR_ROLE,
+    )
+    add(
+        "older",
+        keyword_class=KeywordClass.COMPLETE_BOUNDARY,
+        op=ConditionOp.LT,
+        role=YEAR_ROLE,
+    )
+    # --- complete superlatives (Table 1 group-by rows) --------------------
+    add(
+        "cheapest, inexpensive, least expensive",
+        keyword_class=KeywordClass.SUPERLATIVE_COMPLETE,
+        role=PRICE_ROLE,
+        maximum=False,
+    )
+    add(
+        "most expensive, priciest",
+        keyword_class=KeywordClass.SUPERLATIVE_COMPLETE,
+        role=PRICE_ROLE,
+        maximum=True,
+    )
+    add(
+        "newest, latest",
+        keyword_class=KeywordClass.SUPERLATIVE_COMPLETE,
+        role=YEAR_ROLE,
+        maximum=True,
+    )
+    add(
+        "oldest, earliest",
+        keyword_class=KeywordClass.SUPERLATIVE_COMPLETE,
+        role=YEAR_ROLE,
+        maximum=False,
+    )
+    # --- partial superlatives (need an attribute from context) -------------
+    add(
+        "fewest, least, lowest, min, minimum, smallest",
+        keyword_class=KeywordClass.SUPERLATIVE_PARTIAL,
+        maximum=False,
+    )
+    add(
+        "greatest, highest, max, maximum, most, biggest, largest",
+        keyword_class=KeywordClass.SUPERLATIVE_PARTIAL,
+        maximum=True,
+    )
+    # --- negation keywords (Section 4.4.1, footnote 1) -----------------------
+    add(
+        "not, no, without, except, excluding, exclude, remove, nothing, "
+        "leave out",
+        keyword_class=KeywordClass.NEGATION,
+    )
+    # --- explicit Boolean operators --------------------------------------------
+    add("and, plus", keyword_class=KeywordClass.BOOLEAN_AND)
+    add("or", keyword_class=KeywordClass.BOOLEAN_OR)
+    return entries
+
+
+IDENTIFIER_ENTRIES: tuple[IdentifierEntry, ...] = tuple(_entries())
+
+_BY_KEYWORD: dict[str, IdentifierEntry] = {
+    entry.keyword: entry for entry in IDENTIFIER_ENTRIES
+}
+
+NEGATION_WORDS: frozenset[str] = frozenset(
+    entry.keyword
+    for entry in IDENTIFIER_ENTRIES
+    if entry.keyword_class is KeywordClass.NEGATION
+)
+
+_NEGATION_STEMS: frozenset[str] = frozenset(
+    stem(word) for word in NEGATION_WORDS if " " not in word
+)
+
+
+_BY_STEM: dict[str, IdentifierEntry] = {}
+for _entry in IDENTIFIER_ENTRIES:
+    if " " not in _entry.keyword:
+        _BY_STEM.setdefault(stem(_entry.keyword), _entry)
+
+
+def classify_keyword(keyword: str) -> IdentifierEntry | None:
+    """Look up *keyword* (lowercased phrase) in the identifiers table.
+
+    Single words additionally match on their stem, which is how the
+    paper's "(or their stemmed versions)" clause for negations and
+    comparison words is realized.
+    """
+    entry = _BY_KEYWORD.get(keyword)
+    if entry is not None:
+        return entry
+    if " " not in keyword:
+        return _BY_STEM.get(stem(keyword))
+    return None
+
+
+def is_negation_word(word: str) -> bool:
+    """True for negation keywords, matched on the stem."""
+    return word in NEGATION_WORDS or stem(word) in _NEGATION_STEMS
+
+
+def multiword_identifier_phrases() -> list[str]:
+    """All multi-word identifier keywords ("less expensive", "leave out").
+
+    The tagger greedily matches these before single words.
+    """
+    return sorted(
+        (entry.keyword for entry in IDENTIFIER_ENTRIES if " " in entry.keyword),
+        key=len,
+        reverse=True,
+    )

@@ -1,0 +1,84 @@
+"""The "best guess" for incomplete questions (Section 4.2.2).
+
+When a number in a question is not tied to any attribute, CQAds
+"considers V as a potential value of each numerical attribute in the
+ads domain" and "excludes any record that does not include V in the
+valid range of any of its Type III attributes" — i.e. the number
+expands to a union (OR) of one condition per candidate column, where a
+column is a candidate only when the value falls inside its observed
+valid range.  The paper's Example 3: "Honda accord 2000" reads 2000 as
+Year, Price or Mileage; "less than 4000" reads 4000 as Price or
+Mileage only, because 4000 is not a valid year.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import AttributeType
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionNode,
+    ConditionOp,
+)
+from repro.qa.domain import AdsDomain
+from repro.qa.tagger import IncompleteNumeric
+
+__all__ = ["candidate_columns", "expand_incomplete"]
+
+
+def candidate_columns(domain: AdsDomain, item: IncompleteNumeric) -> list[str]:
+    """Numeric columns whose valid range admits the item's value(s).
+
+    A currency marker ("$4000") restricts candidates to price-like
+    columns; a range item requires both bounds to be plausible.
+    """
+    values = [item.value]
+    if item.high_value is not None:
+        values.append(item.high_value)
+    if item.currency:
+        price_column = domain.resolve_role("price")
+        columns = [price_column] if price_column is not None else []
+    else:
+        columns = [column.name for column in domain.schema.numeric_columns]
+    return [
+        name
+        for name in columns
+        if all(domain.numeric_value_in_bounds(name, value) for value in values)
+    ]
+
+
+def expand_incomplete(
+    domain: AdsDomain, item: IncompleteNumeric
+) -> ConditionNode | None:
+    """Expand *item* into its best-guess condition (sub)tree.
+
+    Returns a single :class:`Condition` when only one column is
+    plausible, an OR :class:`ConditionGroup` when several are (the
+    paper's "SQL subquery that unions both possible selection
+    conditions"), or ``None`` when no column admits the value — the
+    number is then non-essential and dropped.
+    """
+    columns = candidate_columns(domain, item)
+    if not columns:
+        return None
+    conditions = []
+    for name in columns:
+        if item.high_value is not None:
+            value: object = (item.value, item.high_value)
+            op = ConditionOp.BETWEEN
+        else:
+            value = item.value
+            op = item.op
+        conditions.append(
+            Condition(
+                column=name,
+                attribute_type=AttributeType.TYPE_III,
+                op=op,
+                value=value,  # type: ignore[arg-type]
+                negated=item.negated,
+            )
+        )
+    if len(conditions) == 1:
+        return conditions[0]
+    return ConditionGroup(BooleanOperator.OR, list(conditions))

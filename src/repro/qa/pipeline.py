@@ -1,0 +1,410 @@
+"""The CQAds facade: end-to-end question answering (Section 4).
+
+:class:`CQAds` ties the subsystems together.  Answering a question
+runs:
+
+1. **domain classification** (Section 3) — Naive Bayes with JBBSM,
+   skipped when the caller names the domain;
+2. **tagging** — spelling correction, shorthand expansion, keyword
+   tagging with context switching (Sections 4.1-4.2);
+3. **Boolean interpretation** — the implicit/explicit rules of
+   Section 4.4 (a contradiction terminates with "search retrieved no
+   results");
+4. **SQL generation and execution** with the Section 4.3 evaluation
+   order (Type I → II → III boundaries → superlatives);
+5. **N-1 partial matching** (Section 4.3.1) when fewer than
+   ``max_answers`` exact matches exist: each criterion is dropped in
+   turn, the union of the relaxed queries forms the candidate pool,
+   and Eq. 5's Rank_Sim orders it.
+
+``max_answers`` defaults to 30, the paper's choice backed by the
+iProspect statistic that 88% of users never look past 30 results (and
+the survey average of ~26 desired answers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.classify.naive_bayes import (
+    BetaBinomialNaiveBayes,
+    NaiveBayesClassifier,
+)
+from repro.db.database import Database
+from repro.db.schema import AttributeType
+from repro.db.table import Record
+from repro.errors import ClassificationError, ContradictionError
+from repro.qa.boolean_rules import build_interpretation
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    Interpretation,
+    flatten_and,
+)
+from repro.qa.domain import AdsDomain
+from repro.qa.sql_generation import evaluate_interpretation, generate_sql
+from repro.qa.spelling import Correction
+from repro.qa.tagger import QuestionTagger
+from repro.ranking.rank_sim import (
+    RankingResources,
+    RankSimRanker,
+    ScoredRecord,
+    ScoringUnit,
+)
+
+__all__ = ["Answer", "QuestionResult", "CQAds", "MAX_ANSWERS"]
+
+#: Section 4.3.1 / 5.1: up to 30 (in)exact answers per question.
+MAX_ANSWERS = 30
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One answer: a record plus how it matched.
+
+    ``exact`` answers satisfied every criterion; partial answers carry
+    their Rank_Sim ``score`` and the ``similarity_kind`` used (the
+    right-most column of the paper's Table 2).
+    """
+
+    record: Record
+    exact: bool
+    score: float
+    similarity_kind: str
+
+
+@dataclass
+class QuestionResult:
+    """Everything CQAds produced for one question."""
+
+    question: str
+    domain: str
+    interpretation: Interpretation | None
+    sql: str
+    answers: list[Answer] = field(default_factory=list)
+    corrections: list[Correction] = field(default_factory=list)
+    message: str | None = None  # "search retrieved no results" etc.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def exact_answers(self) -> list[Answer]:
+        return [answer for answer in self.answers if answer.exact]
+
+    @property
+    def partial_answers(self) -> list[Answer]:
+        return [answer for answer in self.answers if not answer.exact]
+
+    def records(self) -> list[Record]:
+        return [answer.record for answer in self.answers]
+
+
+@dataclass
+class _DomainContext:
+    """A registered domain with its tagger and ranking resources."""
+
+    domain: AdsDomain
+    tagger: QuestionTagger
+    resources: RankingResources | None = None
+
+    def ranker(self) -> RankSimRanker | None:
+        if self.resources is None:
+            return None
+        return RankSimRanker(self.resources)
+
+
+class CQAds:
+    """The question-answering system.
+
+    Parameters
+    ----------
+    database:
+        The ads database (one table per registered domain).
+    max_answers:
+        Cap on returned answers (exact + partial), default 30.
+    classifier:
+        Domain classifier; defaults to the paper's JBBSM Naive Bayes.
+    correct_spelling / relax_partial:
+        Feature switches used by the ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        max_answers: int = MAX_ANSWERS,
+        classifier: NaiveBayesClassifier | None = None,
+        correct_spelling: bool = True,
+        relax_partial: bool = True,
+        ordered_evaluation: bool = True,
+        partial_pool_per_query: int | None = None,
+    ) -> None:
+        self.database = database
+        self.max_answers = max_answers
+        self.classifier = classifier or BetaBinomialNaiveBayes()
+        self.correct_spelling = correct_spelling
+        self.relax_partial = relax_partial
+        self.ordered_evaluation = ordered_evaluation
+        # Each N-1 query contributes at most this many candidates —
+        # the paper's per-query retrieval cap ("up to 30 (in)exact
+        # matched records"), widened 3x so the ranker has slack.
+        self.partial_pool_per_query = (
+            partial_pool_per_query
+            if partial_pool_per_query is not None
+            else 3 * max_answers
+        )
+        self._contexts: dict[str, _DomainContext] = {}
+        self._classifier_trained = False
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_domain(
+        self,
+        domain: AdsDomain,
+        training_texts: list[str] | None = None,
+        resources: RankingResources | None = None,
+    ) -> None:
+        """Register a domain (Section 4.6's "adding a new ads domain").
+
+        ``training_texts`` (typically the domain's ad texts) feed the
+        classifier; ``resources`` enable partial-match ranking.
+        """
+        tagger = QuestionTagger(domain, correct_spelling=self.correct_spelling)
+        self._contexts[domain.name] = _DomainContext(
+            domain=domain, tagger=tagger, resources=resources
+        )
+        for text in training_texts or []:
+            self.classifier.add_document(domain.name, text)
+        self._classifier_trained = False
+
+    def domains(self) -> list[str]:
+        return sorted(self._contexts.keys())
+
+    def domain(self, name: str) -> AdsDomain:
+        return self._contexts[name].domain
+
+    def train_classifier(self) -> None:
+        self.classifier.train()
+        self._classifier_trained = True
+
+    def classify_question(self, question: str) -> str:
+        """Section 3: route the question to its ads domain."""
+        if len(self._contexts) == 1:
+            return next(iter(self._contexts))
+        if not self._classifier_trained:
+            self.train_classifier()
+        return self.classifier.classify(question)
+
+    # ------------------------------------------------------------------
+    # answering
+    # ------------------------------------------------------------------
+    def answer(self, question: str, domain: str | None = None) -> QuestionResult:
+        """Answer *question*, classifying its domain unless given."""
+        started = time.perf_counter()
+        if domain is None:
+            domain = self.classify_question(question)
+        try:
+            context = self._contexts[domain]
+        except KeyError:
+            raise ClassificationError(
+                f"domain {domain!r} is not registered; known domains: "
+                f"{self.domains()}"
+            ) from None
+        tagged = context.tagger.tag(question)
+        try:
+            interpretation = build_interpretation(tagged, context.domain)
+        except ContradictionError as error:
+            return QuestionResult(
+                question=question,
+                domain=domain,
+                interpretation=None,
+                sql="",
+                corrections=tagged.corrections,
+                message=str(error),
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        sql_text = generate_sql(
+            context.domain.schema.table_name,
+            interpretation,
+            limit=self.max_answers,
+            ordered=self.ordered_evaluation,
+        ).to_sql()
+        exact_records = evaluate_interpretation(
+            self.database,
+            context.domain,
+            interpretation,
+            limit=self.max_answers,
+            ordered=self.ordered_evaluation,
+        )
+        answers = [
+            Answer(record=record, exact=True, score=float("inf"), similarity_kind="exact")
+            for record in exact_records
+        ]
+        if (
+            self.relax_partial
+            and len(answers) < self.max_answers
+            and interpretation.tree is not None
+        ):
+            partials = self._partial_answers(
+                context, interpretation, exclude={r.record_id for r in exact_records}
+            )
+            answers.extend(partials[: self.max_answers - len(answers)])
+        message = None
+        if not answers:
+            message = "search retrieved no results"
+        return QuestionResult(
+            question=question,
+            domain=domain,
+            interpretation=interpretation,
+            sql=sql_text,
+            answers=answers,
+            corrections=tagged.corrections,
+            message=message,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # N-1 partial matching (Section 4.3.1)
+    # ------------------------------------------------------------------
+    def relaxation_units(self, interpretation: Interpretation) -> list[ScoringUnit]:
+        """Decompose a conjunctive interpretation into relaxable units.
+
+        Type I conditions bundle into one unit (the product identity —
+        dropping "the car" means dropping make *and* model); every
+        other condition is its own unit; an OR-group from an incomplete
+        number is one "any" unit.  Boolean (OR-rooted) interpretations
+        return an empty list: the paper only relaxes conjunctions.
+        """
+        tree = interpretation.tree
+        if tree is None:
+            return []
+        if isinstance(tree, Condition):
+            children: list = [tree]
+        elif tree.operator is BooleanOperator.AND:
+            children = flatten_and(tree)
+        else:
+            return []
+        units: list[ScoringUnit] = []
+        type_i: list[Condition] = []
+        for child in children:
+            if isinstance(child, Condition):
+                if child.negated:
+                    continue  # negations are constraints, never relaxed
+                if child.attribute_type is AttributeType.TYPE_I:
+                    type_i.append(child)
+                else:
+                    units.append(ScoringUnit(conditions=(child,)))
+            elif isinstance(child, ConditionGroup) and (
+                child.operator is BooleanOperator.OR
+            ):
+                leaves = tuple(child.iter_conditions())
+                if leaves and all(
+                    leaf.attribute_type is AttributeType.TYPE_III for leaf in leaves
+                ):
+                    units.append(ScoringUnit(conditions=leaves, mode="any"))
+                else:
+                    return []  # Boolean alternatives: no relaxation
+            else:
+                return []
+        if type_i:
+            units.insert(0, ScoringUnit(conditions=tuple(type_i)))
+        return units
+
+    def partial_candidates(
+        self,
+        domain: str,
+        interpretation: Interpretation,
+        exclude: set[int] | None = None,
+    ) -> list[Record]:
+        """The raw N-1 candidate pool for a question (Section 4.3.1).
+
+        Each relaxation unit is dropped in turn; the union of the
+        relaxed queries' results, minus *exclude* (typically the exact
+        matches), is returned unranked.  Single-condition questions
+        fall back to the whole table (the paper's similarity-matching
+        case).  Used by the Figure 5 benchmark to feed every ranker
+        the same candidates.
+        """
+        context = self._contexts[domain]
+        exclude = exclude or set()
+        units = self.relaxation_units(interpretation)
+        if len(units) < 1:
+            return []
+        candidates: dict[int, Record] = {}
+        if len(units) == 1:
+            table = self.database.table(context.domain.schema.table_name)
+            for record in table:
+                if record.record_id not in exclude:
+                    candidates[record.record_id] = record
+        else:
+            cap = self.partial_pool_per_query
+            for dropped_index in range(len(units)):
+                remaining = [
+                    unit
+                    for index, unit in enumerate(units)
+                    if index != dropped_index
+                ]
+                relaxed = self._units_to_interpretation(
+                    remaining, interpretation
+                )
+                budget = cap + len(exclude) if cap is not None else None
+                for record in evaluate_interpretation(
+                    self.database,
+                    context.domain,
+                    relaxed,
+                    limit=budget,
+                    ordered=self.ordered_evaluation,
+                ):
+                    if record.record_id not in exclude:
+                        candidates.setdefault(record.record_id, record)
+        return list(candidates.values())
+
+    def _partial_answers(
+        self,
+        context: _DomainContext,
+        interpretation: Interpretation,
+        exclude: set[int],
+    ) -> list[Answer]:
+        ranker = context.ranker()
+        units = self.relaxation_units(interpretation)
+        if len(units) < 1:
+            return []
+        pool = self.partial_candidates(
+            context.domain.name, interpretation, exclude
+        )
+        if ranker is None:
+            # No similarity resources: preserve N-1 retrieval order by id.
+            pool.sort(key=lambda record: record.record_id)
+            return [
+                Answer(record=record, exact=False, score=0.0, similarity_kind="unranked")
+                for record in pool
+            ]
+        scored = ranker.rank_units(pool, units)
+        return [
+            Answer(
+                record=item.record,
+                exact=False,
+                score=item.score,
+                similarity_kind=item.similarity_kind,
+            )
+            for item in scored
+        ]
+
+    @staticmethod
+    def _units_to_interpretation(
+        units: list[ScoringUnit], original: Interpretation
+    ) -> Interpretation:
+        nodes = []
+        for unit in units:
+            if unit.mode == "any" and len(unit.conditions) > 1:
+                nodes.append(
+                    ConditionGroup(BooleanOperator.OR, list(unit.conditions))
+                )
+            else:
+                nodes.extend(unit.conditions)
+        if len(nodes) == 1:
+            tree = nodes[0]
+        else:
+            tree = ConditionGroup(BooleanOperator.AND, list(nodes))
+        return Interpretation(tree=tree, superlative=original.superlative)

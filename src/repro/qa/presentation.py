@@ -1,0 +1,110 @@
+"""Answer presentation (Section 4.5 of the paper).
+
+"The answers are displayed on an HTML interface in a tabular manner" —
+this module renders a :class:`~repro.qa.pipeline.QuestionResult` as
+either a plain-text table (for terminals and logs) or a standalone HTML
+page mirroring the paper's Table 2 layout: ranking, identity columns,
+attribute values, Rank_Sim score and the similarity measure used.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.db.schema import TableSchema
+from repro.qa.pipeline import QuestionResult
+
+__all__ = ["answers_as_rows", "render_text", "render_html"]
+
+
+def answers_as_rows(
+    result: QuestionResult, schema: TableSchema, limit: int | None = None
+) -> tuple[list[str], list[list[str]]]:
+    """Flatten a result into (headers, rows) for any renderer.
+
+    Columns: ranking position, each schema column, the match kind
+    ("exact" or the similarity measure used) and the Rank_Sim score
+    (blank for exact matches, as in the paper's Table 2).
+    """
+    headers = ["#"] + [column.name for column in schema.columns] + [
+        "match", "Rank_Sim",
+    ]
+    rows: list[list[str]] = []
+    answers = result.answers if limit is None else result.answers[:limit]
+    for position, answer in enumerate(answers, start=1):
+        row = [str(position)]
+        for column in schema.columns:
+            value = answer.record.get(column.name)
+            row.append("" if value is None else f"{value}")
+        if answer.exact:
+            row.extend(["exact", ""])
+        else:
+            row.extend([answer.similarity_kind, f"{answer.score:.2f}"])
+        rows.append(row)
+    return headers, rows
+
+
+def render_text(
+    result: QuestionResult, schema: TableSchema, limit: int | None = None
+) -> str:
+    """Plain-text rendering with the question and interpretation."""
+    from repro.evaluation.reporting import format_table
+
+    headers, rows = answers_as_rows(result, schema, limit)
+    reading = (
+        result.interpretation.describe()
+        if result.interpretation is not None
+        else (result.message or "")
+    )
+    title = f"Q: {result.question}\ninterpreted as: {reading}"
+    if not rows:
+        return f"{title}\n{result.message or 'search retrieved no results'}"
+    return format_table(headers, rows, title=title)
+
+
+def render_html(
+    result: QuestionResult, schema: TableSchema, limit: int | None = None
+) -> str:
+    """A standalone HTML page with the tabular answer display."""
+    headers, rows = answers_as_rows(result, schema, limit)
+    reading = (
+        result.interpretation.describe()
+        if result.interpretation is not None
+        else (result.message or "")
+    )
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        "<title>CQAds answers</title>",
+        "<style>",
+        "body{font-family:sans-serif;margin:2em}",
+        "table{border-collapse:collapse}",
+        "th,td{border:1px solid #999;padding:4px 10px;text-align:left}",
+        "tr.exact{background:#e8f5e9}",
+        "tr.partial{background:#fff8e1}",
+        "</style></head><body>",
+        f"<h2>Q: {html.escape(result.question)}</h2>",
+        f"<p>interpreted as: <code>{html.escape(reading)}</code></p>",
+    ]
+    if result.corrections:
+        fixed = ", ".join(
+            f"{html.escape(c.original)} &rarr; {html.escape(c.corrected)}"
+            for c in result.corrections
+        )
+        parts.append(f"<p>corrections: {fixed}</p>")
+    if not rows:
+        parts.append(
+            f"<p><em>{html.escape(result.message or 'no results')}</em></p>"
+        )
+    else:
+        parts.append("<table><thead><tr>")
+        parts.extend(f"<th>{html.escape(h)}</th>" for h in headers)
+        parts.append("</tr></thead><tbody>")
+        for row, answer in zip(rows, result.answers):
+            css = "exact" if answer.exact else "partial"
+            parts.append(f"<tr class='{css}'>")
+            parts.extend(f"<td>{html.escape(cell)}</td>" for cell in row)
+            parts.append("</tr>")
+        parts.append("</tbody></table>")
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -1,0 +1,27 @@
+"""Similarity measures and ranking of partially-matched answers.
+
+Implements Section 4.3.2 of the paper:
+
+* :mod:`repro.ranking.ti_matrix` — TI-matrix from query-log analysis
+  (Eq. 3: Mod, Time, Ad_Time, Rank, Click features);
+* :mod:`repro.ranking.ws_matrix` — word-correlation matrix from a
+  document corpus (co-occurrence frequency x inverse distance);
+* :mod:`repro.ranking.num_sim` — numeric proximity (Eq. 4);
+* :mod:`repro.ranking.rank_sim` — the Rank_Sim ranking formula (Eq. 5)
+  combining all three;
+* :mod:`repro.ranking.baselines` — the four comparison rankers of
+  Section 5.5.2 (Random, cosine/VSM, AIMQ, FAQFinder).
+"""
+
+from repro.ranking.num_sim import num_sim
+from repro.ranking.rank_sim import RankingResources, RankSimRanker
+from repro.ranking.ti_matrix import TIMatrix
+from repro.ranking.ws_matrix import WSMatrix
+
+__all__ = [
+    "num_sim",
+    "TIMatrix",
+    "WSMatrix",
+    "RankingResources",
+    "RankSimRanker",
+]

@@ -1,0 +1,29 @@
+"""The comparison rankers of Section 5.5.2.
+
+All four baselines, plus CQAds' own Rank_Sim, implement the
+:class:`Ranker` protocol: given a question's exact conditions and a
+candidate record pool, produce an ordered list.  The Figure 5 and
+Figure 6 benchmarks run them over identical candidates so the
+comparison isolates the ranking strategy.
+
+* :class:`RandomRanker` — the random-order baseline of [13];
+* :class:`CosineRanker` — binary-weight vector-space cosine [12];
+* :class:`AIMQRanker` — AIMQ [15] with supertuples and the Jaccard
+  coefficient (Eqs. 9-10 of the paper);
+* :class:`FAQFinderRanker` — FAQFinder [3], TF-IDF over records
+  treated as documents (no numeric comparison, as the paper notes).
+"""
+
+from repro.ranking.baselines.base import Ranker
+from repro.ranking.baselines.random_rank import RandomRanker
+from repro.ranking.baselines.cosine import CosineRanker
+from repro.ranking.baselines.aimq import AIMQRanker
+from repro.ranking.baselines.faqfinder import FAQFinderRanker
+
+__all__ = [
+    "Ranker",
+    "RandomRanker",
+    "CosineRanker",
+    "AIMQRanker",
+    "FAQFinderRanker",
+]

@@ -1,0 +1,32 @@
+"""The ranker protocol shared by CQAds and the baselines."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.db.table import Record
+from repro.qa.conditions import Condition
+
+__all__ = ["Ranker"]
+
+
+class Ranker(Protocol):
+    """Orders candidate records for a question.
+
+    ``conditions`` are the question's exact selection criteria;
+    ``question_text`` is the raw question (only FAQFinder uses it —
+    the other approaches work from the structured conditions, as in
+    the paper's implementations).
+    """
+
+    name: str
+
+    def rank(
+        self,
+        records: list[Record],
+        conditions: list[Condition],
+        question_text: str = "",
+        top_k: int | None = None,
+    ) -> list[Record]:
+        """Return *records* re-ordered, truncated to *top_k* if given."""
+        ...

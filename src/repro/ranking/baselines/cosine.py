@@ -1,0 +1,54 @@
+"""Binary-weight cosine similarity ranking (Section 5.5.2).
+
+The paper's VSM comparator: "the cosine similarity between Q and A is
+computed using binary weights such that for each selection constraint
+C specified in Q, '1' represents the satisfaction of C by A, and '0'
+otherwise."  With the question vector all-ones, the cosine reduces to
+``satisfied / sqrt(N * satisfied) = sqrt(satisfied / N)`` — a monotone
+function of the satisfied-constraint count, so partial matches are
+ordered purely by how many constraints they meet, with no notion of
+*how close* a failed constraint is.  That coarseness is what Figure 5
+punishes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.db.table import Record
+from repro.qa.conditions import Condition
+from repro.ranking.rank_sim import condition_satisfied
+
+__all__ = ["CosineRanker"]
+
+
+class CosineRanker:
+    """Vector-space model with binary constraint-satisfaction weights."""
+
+    name = "cosine"
+
+    def score(self, record: Record, conditions: list[Condition]) -> float:
+        if not conditions:
+            return 0.0
+        satisfied = sum(
+            1 for condition in conditions if condition_satisfied(condition, record)
+        )
+        if satisfied == 0:
+            return 0.0
+        # dot(q, a) / (|q| * |a|) with q = 1^N, a binary
+        return satisfied / (math.sqrt(len(conditions)) * math.sqrt(satisfied))
+
+    def rank(
+        self,
+        records: list[Record],
+        conditions: list[Condition],
+        question_text: str = "",
+        top_k: int | None = None,
+    ) -> list[Record]:
+        scored = sorted(
+            records,
+            key=lambda record: (-self.score(record, conditions), record.record_id),
+        )
+        if top_k is not None:
+            scored = scored[:top_k]
+        return scored

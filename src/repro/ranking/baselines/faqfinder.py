@@ -1,0 +1,101 @@
+"""FAQFinder-style TF-IDF ranking (Burke et al. 1997; Section 5.5.2).
+
+Per the paper's re-implementation: "(i) compute the weights for the
+TF-IDF similarity measure based on all the ads records in our DB,
+(ii) treat each ads data record in the DB as a document, and
+(iii) treat each question submitted by the user as a FAQ".  Each
+record renders to a term document; the question is a term vector; the
+score is the TF-IDF cosine.
+
+FAQFinder "uses a simple method that does not compare numerical
+attributes" — numbers only match lexically, which is why the paper
+finds it the weakest non-random ranker on ads data.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.db.table import Record, Table
+from repro.qa.conditions import Condition
+from repro.text.stemmer import stem
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenizer import tokenize
+
+__all__ = ["FAQFinderRanker"]
+
+
+def _terms(text: str) -> Counter:
+    return Counter(
+        stem(token) for token in tokenize(text) if token not in STOPWORDS
+    )
+
+
+def _record_text(record: Record) -> str:
+    return " ".join(str(value) for value in record.values() if value is not None)
+
+
+class FAQFinderRanker:
+    """TF-IDF cosine between the question and record documents."""
+
+    name = "faqfinder"
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._document_count = max(len(table), 1)
+        self._document_frequency: Counter = Counter()
+        self._record_vectors: dict[int, dict[str, float]] = {}
+        for record in table:
+            terms = _terms(_record_text(record))
+            self._document_frequency.update(terms.keys())
+        for record in table:
+            self._record_vectors[record.record_id] = self._vector(
+                _terms(_record_text(record))
+            )
+
+    def _idf(self, term: str) -> float:
+        df = self._document_frequency.get(term, 0)
+        return math.log((self._document_count + 1) / (df + 1)) + 1.0
+
+    def _vector(self, terms: Counter) -> dict[str, float]:
+        vector = {
+            term: frequency * self._idf(term) for term, frequency in terms.items()
+        }
+        norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+        if norm > 0:
+            vector = {term: weight / norm for term, weight in vector.items()}
+        return vector
+
+    # ------------------------------------------------------------------
+    def score(self, record: Record, question_text: str) -> float:
+        query_vector = self._vector(_terms(question_text))
+        record_vector = self._record_vectors.get(record.record_id)
+        if record_vector is None:  # record added after indexing
+            record_vector = self._vector(_terms(_record_text(record)))
+        if len(query_vector) > len(record_vector):
+            query_vector, record_vector = record_vector, query_vector
+        return sum(
+            weight * record_vector.get(term, 0.0)
+            for term, weight in query_vector.items()
+        )
+
+    def rank(
+        self,
+        records: list[Record],
+        conditions: list[Condition],
+        question_text: str = "",
+        top_k: int | None = None,
+    ) -> list[Record]:
+        if not question_text:
+            # Fall back to the conditions' surface values as the query.
+            question_text = " ".join(
+                str(condition.value) for condition in conditions
+            )
+        ordered = sorted(
+            records,
+            key=lambda record: (-self.score(record, question_text), record.record_id),
+        )
+        if top_k is not None:
+            ordered = ordered[:top_k]
+        return ordered

@@ -1,0 +1,38 @@
+"""Random ranking: the floor baseline of Section 5.5.2.
+
+"Random ranking ... provides a baseline to determine how well a
+ranking approach can meet the user's expectations."  It shuffles the
+candidates with a seeded RNG — no similarity computation at all, which
+is also why it is the fastest approach in the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.table import Record
+from repro.qa.conditions import Condition
+
+__all__ = ["RandomRanker"]
+
+
+class RandomRanker:
+    """Presents partially-matched answers in random order."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def rank(
+        self,
+        records: list[Record],
+        conditions: list[Condition],
+        question_text: str = "",
+        top_k: int | None = None,
+    ) -> list[Record]:
+        shuffled = list(records)
+        self._rng.shuffle(shuffled)
+        if top_k is not None:
+            shuffled = shuffled[:top_k]
+        return shuffled

@@ -1,0 +1,57 @@
+"""Numeric attribute-value proximity (Eq. 4 of the paper).
+
+``Num_Sim(T, V) = 1 - |T - V| / Attribute_Value_Range`` where the
+range is the ebay-style top-10/bottom-10 statistic per attribute
+(computed by :meth:`repro.datagen.ads.DomainDataset.compute_value_ranges`
+or :meth:`repro.qa.domain.AdsDomain.from_table`).  The paper's
+Example 4: with a $10,000 price range, an $11,000 car scores 0.90
+against a $10,000 query and a $7,500 car scores 0.75.
+
+The result is clamped to [0, 1]: values further apart than the range
+itself are simply unrelated, not negatively related.
+"""
+
+from __future__ import annotations
+
+from repro.qa.conditions import Condition, ConditionOp
+
+__all__ = ["num_sim", "condition_num_sim"]
+
+
+def num_sim(target: float, value: float, value_range: float) -> float:
+    """Eq. 4, clamped to [0, 1]."""
+    if value_range <= 0:
+        return 1.0 if target == value else 0.0
+    return max(0.0, 1.0 - abs(target - value) / value_range)
+
+
+def condition_num_sim(
+    condition: Condition, value: float, value_range: float
+) -> float:
+    """Num_Sim between a record's numeric value and a Type III condition.
+
+    For an equality the target is the stated value; for a bound or
+    range the distance is measured to the *nearest satisfying point*,
+    so a record just outside a "less than $15,000" constraint scores
+    close to 1 while one far outside scores near 0.  Values that
+    satisfy the condition score exactly 1.
+    """
+    op = condition.op
+    if op is ConditionOp.BETWEEN:
+        low, high = condition.value  # type: ignore[misc]
+        if low <= value <= high:
+            return 1.0
+        nearest = low if value < low else high
+        return num_sim(float(nearest), value, value_range)
+    target = float(condition.value)  # type: ignore[arg-type]
+    if op is ConditionOp.EQ:
+        return num_sim(target, value, value_range)
+    if op in (ConditionOp.LT, ConditionOp.LE):
+        satisfied = value < target if op is ConditionOp.LT else value <= target
+    elif op in (ConditionOp.GT, ConditionOp.GE):
+        satisfied = value > target if op is ConditionOp.GT else value >= target
+    else:  # NE
+        satisfied = value != target
+    if satisfied:
+        return 1.0
+    return num_sim(target, value, value_range)

@@ -1,0 +1,341 @@
+"""Rank_Sim: ordering partially-matched answers (Eq. 5 of the paper).
+
+For a question with conditions C1..CN and a partially-matched record
+r, every satisfied condition contributes 1 (the "(N-1)" term of Eq. 5
+— with the N-1 relaxation exactly one condition fails) and every
+failed condition contributes its type-specific similarity:
+
+* Type I   — TI_Sim from the query-log matrix, normalized by the
+  matrix maximum;
+* Type II  — Feat_Sim from the WS-matrix, normalized likewise;
+* Type III — Num_Sim (Eq. 4) against the attribute's value range.
+
+Records are then presented in descending Rank_Sim order, which is the
+ordering of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.schema import AttributeType
+from repro.db.table import Record
+from repro.qa.conditions import Condition, ConditionOp
+from repro.ranking.num_sim import condition_num_sim
+from repro.ranking.ti_matrix import TIMatrix
+from repro.ranking.ws_matrix import WSMatrix
+
+__all__ = [
+    "condition_satisfied",
+    "RankingResources",
+    "RankSimRanker",
+    "ScoredRecord",
+    "ScoringUnit",
+]
+
+Key = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ScoringUnit:
+    """One relaxable criterion of a question (Section 4.3.1).
+
+    ``mode`` is ``"all"`` for ordinary criteria (a Type I anchor's
+    make+model both count, per Table 2) and ``"any"`` for the
+    alternative readings of an incomplete number (Section 4.2.2),
+    where the best branch carries the unit.
+    """
+
+    conditions: tuple[Condition, ...]
+    mode: str = "all"  # "all" | "any"
+
+    def satisfied_by(self, record: Record) -> bool:
+        if self.mode == "any":
+            return any(
+                condition_satisfied(condition, record)
+                for condition in self.conditions
+            )
+        return all(
+            condition_satisfied(condition, record) for condition in self.conditions
+        )
+
+
+def condition_satisfied(condition: Condition, record: Record) -> bool:
+    """Does *record* satisfy *condition* exactly?
+
+    Missing (NULL) values fail positive conditions and satisfy negated
+    ones, matching the SQL executor's complement semantics.
+    """
+    value = record.get(condition.column)
+    if value is None:
+        return condition.negated
+    if condition.op is ConditionOp.BETWEEN:
+        low, high = condition.value  # type: ignore[misc]
+        satisfied = float(low) <= float(value) <= float(high)
+    elif isinstance(condition.value, (int, float)):
+        number = float(value)
+        target = float(condition.value)
+        satisfied = {
+            ConditionOp.EQ: number == target,
+            ConditionOp.NE: number != target,
+            ConditionOp.LT: number < target,
+            ConditionOp.LE: number <= target,
+            ConditionOp.GT: number > target,
+            ConditionOp.GE: number >= target,
+        }[condition.op]
+    else:
+        text = str(value).lower()
+        target_text = str(condition.value).lower()
+        if condition.op is ConditionOp.NE:
+            satisfied = text != target_text
+        else:
+            satisfied = text == target_text
+    return satisfied != condition.negated
+
+
+@dataclass
+class RankingResources:
+    """The similarity resources of one domain.
+
+    ``value_ranges`` maps each numeric column to its
+    ``Attribute_Value_Range`` (Eq. 4); ``type_i_columns`` is the
+    ordered identity-column list; ``product_keys`` enumerates the known
+    product identities so partial Type I matches ("any Honda") can be
+    resolved against the TI-matrix.
+    """
+
+    ti_matrix: TIMatrix
+    ws_matrix: WSMatrix
+    value_ranges: dict[str, float]
+    type_i_columns: list[str]
+    product_keys: list[Key] = field(default_factory=list)
+
+    def record_key(self, record: Record) -> Key:
+        return tuple(
+            str(record.get(column, "") or "") for column in self.type_i_columns
+        )
+
+    def query_keys(self, type_i_values: dict[str, str]) -> list[Key]:
+        """Product keys consistent with the question's Type I values.
+
+        A question naming only a make matches every model of that make;
+        the TI similarity of a record is the best over the candidates.
+        """
+        constraints = [
+            (self.type_i_columns.index(column), value)
+            for column, value in type_i_values.items()
+            if column in self.type_i_columns
+        ]
+        return [
+            key
+            for key in self.product_keys
+            if all(key[index] == value for index, value in constraints)
+        ]
+
+
+@dataclass(frozen=True)
+class ScoredRecord:
+    """A record with its Rank_Sim score and the failing conditions."""
+
+    record: Record
+    score: float
+    failed: tuple[Condition, ...]
+    similarity_kind: str  # "exact" | "TI_Sim" | "Feat_Sim" | "Num_Sim" | "mixed"
+
+
+class RankSimRanker:
+    """Scores and orders partially-matched records per Eq. 5."""
+
+    def __init__(self, resources: RankingResources) -> None:
+        self.resources = resources
+
+    # ------------------------------------------------------------------
+    def score(
+        self, record: Record, conditions: list[Condition]
+    ) -> ScoredRecord:
+        """Rank_Sim(record, Q) for a question's exact conditions."""
+        type_i_values = {
+            condition.column: str(condition.value)
+            for condition in conditions
+            if condition.attribute_type is AttributeType.TYPE_I
+            and not condition.negated
+        }
+        query_keys = self.resources.query_keys(type_i_values)
+        score = 0.0
+        failed: list[Condition] = []
+        kinds: set[str] = set()
+        for condition in conditions:
+            if condition_satisfied(condition, record):
+                score += 1.0
+                continue
+            failed.append(condition)
+            similarity, kind = self._failed_similarity(
+                condition, record, query_keys, {}
+            )
+            score += similarity
+            kinds.add(kind)
+        if not failed:
+            kind = "exact"
+        elif len(kinds) == 1:
+            kind = kinds.pop()
+        else:
+            kind = "mixed"
+        return ScoredRecord(
+            record=record, score=score, failed=tuple(failed), similarity_kind=kind
+        )
+
+    def rank(
+        self,
+        records: list[Record],
+        conditions: list[Condition],
+        top_k: int | None = None,
+    ) -> list[ScoredRecord]:
+        """Order *records* by descending Rank_Sim (ties by record id)."""
+        scored = [self.score(record, conditions) for record in records]
+        scored.sort(key=lambda item: (-item.score, item.record.record_id))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return scored
+
+    # ------------------------------------------------------------------
+    def score_units(
+        self, record: Record, units: list[ScoringUnit]
+    ) -> ScoredRecord:
+        """Eq. 5 over relaxation units instead of raw conditions.
+
+        An "all" unit scores its leaves individually (satisfied leaves
+        contribute 1, failed ones their similarity — Table 2's
+        treatment of make+model).  An "any" unit contributes the best
+        of its branches: 1 when some branch is satisfied, otherwise the
+        maximum branch similarity.
+        """
+        query_keys = self._query_keys_for_units(units)
+        return self._score_units_with_keys(record, units, query_keys, {})
+
+    def _query_keys_for_units(self, units: list[ScoringUnit]) -> list[Key]:
+        all_conditions = [
+            condition for unit in units for condition in unit.conditions
+        ]
+        type_i_values = {
+            condition.column: str(condition.value)
+            for condition in all_conditions
+            if condition.attribute_type is AttributeType.TYPE_I
+            and not condition.negated
+        }
+        return self.resources.query_keys(type_i_values)
+
+    def _score_units_with_keys(
+        self,
+        record: Record,
+        units: list[ScoringUnit],
+        query_keys: list[Key],
+        ti_cache: dict[Key, float],
+    ) -> ScoredRecord:
+        score = 0.0
+        failed: list[Condition] = []
+        kinds: set[str] = set()
+        for unit in units:
+            if unit.mode == "any":
+                if unit.satisfied_by(record):
+                    score += 1.0
+                    continue
+                best = 0.0
+                best_kind = "Num_Sim"
+                for condition in unit.conditions:
+                    similarity, kind = self._failed_similarity(
+                        condition, record, query_keys, ti_cache
+                    )
+                    if similarity >= best:
+                        best, best_kind = similarity, kind
+                score += best
+                failed.extend(unit.conditions)
+                kinds.add(best_kind)
+                continue
+            for condition in unit.conditions:
+                if condition_satisfied(condition, record):
+                    score += 1.0
+                    continue
+                failed.append(condition)
+                similarity, kind = self._failed_similarity(
+                    condition, record, query_keys, ti_cache
+                )
+                score += similarity
+                kinds.add(kind)
+        if not failed:
+            kind = "exact"
+        elif len(kinds) == 1:
+            kind = kinds.pop()
+        else:
+            kind = "mixed"
+        return ScoredRecord(
+            record=record, score=score, failed=tuple(failed), similarity_kind=kind
+        )
+
+    def rank_units(
+        self,
+        records: list[Record],
+        units: list[ScoringUnit],
+        top_k: int | None = None,
+    ) -> list[ScoredRecord]:
+        """Order *records* by unit-based Rank_Sim."""
+        query_keys = self._query_keys_for_units(units)
+        # Pool records share a handful of distinct product identities;
+        # memoize the TI-matrix lookup per identity.
+        ti_cache: dict[Key, float] = {}
+        scored = [
+            self._score_units_with_keys(record, units, query_keys, ti_cache)
+            for record in records
+        ]
+        scored.sort(key=lambda item: (-item.score, item.record.record_id))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return scored
+
+    # ------------------------------------------------------------------
+    def _failed_similarity(
+        self,
+        condition: Condition,
+        record: Record,
+        query_keys: list[Key],
+        ti_cache: dict[Key, float],
+    ) -> tuple[float, str]:
+        if condition.negated:
+            # A violated negation has no "close" reading: the record
+            # has exactly what the user excluded.
+            return 0.0, "negation"
+        if condition.attribute_type is AttributeType.TYPE_I:
+            return self._type_i_similarity(record, query_keys, ti_cache), "TI_Sim"
+        if condition.attribute_type is AttributeType.TYPE_II:
+            return self._type_ii_similarity(condition, record), "Feat_Sim"
+        return self._type_iii_similarity(condition, record), "Num_Sim"
+
+    def _type_i_similarity(
+        self, record: Record, query_keys: list[Key], ti_cache: dict[Key, float]
+    ) -> float:
+        if not query_keys:
+            return 0.0
+        record_key = self.resources.record_key(record)
+        cached = ti_cache.get(record_key)
+        if cached is not None:
+            return cached
+        similarity = max(
+            self.resources.ti_matrix.normalized(query_key, record_key)
+            for query_key in query_keys
+        )
+        ti_cache[record_key] = similarity
+        return similarity
+
+    def _type_ii_similarity(self, condition: Condition, record: Record) -> float:
+        value = record.get(condition.column)
+        if value is None:
+            return 0.0
+        return self.resources.ws_matrix.value_similarity(
+            str(condition.value), str(value)
+        )
+
+    def _type_iii_similarity(self, condition: Condition, record: Record) -> float:
+        value = record.get(condition.column)
+        if value is None:
+            return 0.0
+        value_range = self.resources.value_ranges.get(condition.column, 0.0)
+        return condition_num_sim(condition, float(value), value_range)

@@ -1,0 +1,163 @@
+"""The TI-matrix: Type I value similarity from query-log analysis.
+
+Section 4.3.2 / Eq. 3 of the paper.  For any two distinct Type I
+identities A and B, five features are extracted from the log:
+
+1. ``Mod(A, B)``     — how often A was modified to B (or vice versa)
+   within a session, i.e. consecutive queries;
+2. ``Time(A, B)``    — average time between submissions of A and B in
+   the same session (*lower* is more similar, so the normalized
+   feature is inverted);
+3. ``Ad_Time(A, B)`` — average dwell time on an ad containing B when A
+   was searched (or vice versa);
+4. ``Rank(A, B)``    — average engine rank of B-ads in A's results
+   ("the higher B is ranked, the more likely B is similar to A";
+   rank 1 is best, so this feature is inverted too);
+5. ``Click(A, B)``   — how often a B-ad was clicked from A's results.
+
+Each feature is normalized by its maximum over the whole log so every
+factor lies in [0, 1]; ``TI_Sim`` is their sum (range [0, 5]).  Eq. 5
+then divides by the matrix's maximum entry, exposed here as
+:meth:`TIMatrix.normalized`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.datagen.querylog import Session
+
+__all__ = ["TIMatrix"]
+
+Key = tuple[str, ...]
+Pair = tuple[Key, Key]
+
+
+def _ordered(a: Key, b: Key) -> Pair:
+    """Canonical (sorted) pair — all features are symmetrized
+    ("or vice versa" in the paper's feature definitions)."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class _Accumulator:
+    """Raw feature tallies for one pair before normalization."""
+
+    modifications: int = 0
+    time_sum: float = 0.0
+    time_count: int = 0
+    dwell_sum: float = 0.0
+    dwell_count: int = 0
+    rank_sum: float = 0.0
+    rank_count: int = 0
+    clicks: int = 0
+
+
+@dataclass
+class TIMatrix:
+    """Learned Type I similarity, keyed by product identity tuples."""
+
+    similarities: dict[Pair, float] = field(default_factory=dict)
+    max_value: float = 1.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_query_log(cls, sessions: list[Session]) -> "TIMatrix":
+        """Build the matrix from observable log fields only (Eq. 3)."""
+        accumulators: dict[Pair, _Accumulator] = defaultdict(_Accumulator)
+        max_rank = 1
+        for session in sessions:
+            queries = session.queries
+            # Features 1-2: in-session reformulation and timing.
+            for i, query in enumerate(queries):
+                if i + 1 < len(queries):
+                    follower = queries[i + 1]
+                    if follower.product_key != query.product_key:
+                        pair = _ordered(query.product_key, follower.product_key)
+                        accumulators[pair].modifications += 1
+                for later in queries[i + 1 :]:
+                    if later.product_key == query.product_key:
+                        continue
+                    pair = _ordered(query.product_key, later.product_key)
+                    accumulators[pair].time_sum += later.timestamp - query.timestamp
+                    accumulators[pair].time_count += 1
+            # Features 3-5: result dwell, rank and clicks.
+            for query in queries:
+                for result in query.results:
+                    if result.product_key == query.product_key:
+                        continue
+                    pair = _ordered(query.product_key, result.product_key)
+                    accumulator = accumulators[pair]
+                    accumulator.rank_sum += result.rank
+                    accumulator.rank_count += 1
+                    max_rank = max(max_rank, result.rank)
+                    if result.clicked:
+                        accumulator.clicks += 1
+                        accumulator.dwell_sum += result.dwell_seconds
+                        accumulator.dwell_count += 1
+        return cls._normalize(accumulators, max_rank)
+
+    @classmethod
+    def _normalize(
+        cls, accumulators: dict[Pair, _Accumulator], max_rank: int
+    ) -> "TIMatrix":
+        if not accumulators:
+            return cls()
+        max_mod = max(acc.modifications for acc in accumulators.values()) or 1
+        max_clicks = max(acc.clicks for acc in accumulators.values()) or 1
+        mean_times = {
+            pair: acc.time_sum / acc.time_count
+            for pair, acc in accumulators.items()
+            if acc.time_count
+        }
+        max_time = max(mean_times.values(), default=1.0) or 1.0
+        mean_dwells = {
+            pair: acc.dwell_sum / acc.dwell_count
+            for pair, acc in accumulators.items()
+            if acc.dwell_count
+        }
+        max_dwell = max(mean_dwells.values(), default=1.0) or 1.0
+        similarities: dict[Pair, float] = {}
+        for pair, acc in accumulators.items():
+            mod_feature = acc.modifications / max_mod
+            # Time: shorter gaps mean tighter reformulation, so invert.
+            if pair in mean_times:
+                time_feature = 1.0 - mean_times[pair] / max_time
+            else:
+                time_feature = 0.0
+            dwell_feature = (
+                mean_dwells[pair] / max_dwell if pair in mean_dwells else 0.0
+            )
+            # Rank: position 1 is the strongest signal, so invert.
+            if acc.rank_count:
+                mean_rank = acc.rank_sum / acc.rank_count
+                rank_feature = (max_rank - mean_rank) / max(max_rank - 1, 1)
+            else:
+                rank_feature = 0.0
+            click_feature = acc.clicks / max_clicks
+            similarities[pair] = (
+                mod_feature
+                + time_feature
+                + dwell_feature
+                + rank_feature
+                + click_feature
+            )
+        max_value = max(similarities.values(), default=1.0) or 1.0
+        return cls(similarities=similarities, max_value=max_value)
+
+    # ------------------------------------------------------------------
+    def similarity(self, a: Key, b: Key) -> float:
+        """Raw TI_Sim(A, B) in [0, 5]; identity pairs score the max."""
+        if a == b:
+            return self.max_value
+        return self.similarities.get(_ordered(a, b), 0.0)
+
+    def normalized(self, a: Key, b: Key) -> float:
+        """TI_Sim divided by the matrix maximum (Eq. 5's normalization)."""
+        if self.max_value <= 0:
+            return 0.0
+        return self.similarity(a, b) / self.max_value
+
+    def __len__(self) -> int:
+        return len(self.similarities)

@@ -1,0 +1,232 @@
+"""A character trie with payloads, prefix walks and fuzzy completion.
+
+This is the data structure of Section 4.1.3/4.1.4 of the paper.  Each
+node stores a single character (its *value*); the concatenation of the
+characters from the root is the node's *label*.  A node whose label is
+a complete entry carries a payload — in CQAds the payload is the trie
+identifier from Table 1 plus the attribute the keyword belongs to.
+
+Beyond plain insert/lookup the trie supports the operations the
+question pipeline needs:
+
+* **prefix walking** (:meth:`Trie.walk`): feed characters one at a time
+  and observe when entries complete — this is how multi-word keywords
+  ("4 wheel drive") and forgotten spaces ("hondaaccord") are detected;
+* **fuzzy completion** (:meth:`Trie.closest_entries`): from the node
+  where a misspelled word diverged, enumerate the reachable entries so
+  the spelling corrector can score them with ``similar_text``
+  (Section 4.2.1);
+* **iteration** over all stored entries, used when building the
+  similarity matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TrieNode", "Trie"]
+
+
+@dataclass
+class TrieNode:
+    """One node of a :class:`Trie`.
+
+    Attributes
+    ----------
+    value:
+        The character this node represents ('' for the root).
+    label:
+        Concatenation of values on the path from the root to here.
+    children:
+        Mapping character -> child node.
+    payload:
+        The entry's payload when ``terminal`` is true, else ``None``.
+    terminal:
+        True when ``label`` is a complete stored entry.
+    """
+
+    value: str = ""
+    label: str = ""
+    children: dict[str, "TrieNode"] = field(default_factory=dict)
+    payload: Any = None
+    terminal: bool = False
+
+    def child(self, ch: str) -> "TrieNode | None":
+        """Return the child for character *ch*, or ``None``."""
+        return self.children.get(ch)
+
+    def is_leaf(self) -> bool:
+        """True when no entry extends this node's label."""
+        return not self.children
+
+
+class Trie:
+    """Character trie mapping string entries to payloads.
+
+    Entries are stored verbatim (callers normalize case before
+    inserting).  ``len(trie)`` is the number of entries; membership,
+    ``get``, and ``items`` work as for a mapping.
+    """
+
+    def __init__(self) -> None:
+        self.root = TrieNode()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, entry: str, payload: Any = None) -> None:
+        """Insert *entry* with *payload*, overwriting any existing payload."""
+        if not entry:
+            raise ValueError("cannot insert an empty entry into a Trie")
+        node = self.root
+        for ch in entry:
+            nxt = node.children.get(ch)
+            if nxt is None:
+                nxt = TrieNode(value=ch, label=node.label + ch)
+                node.children[ch] = nxt
+            node = nxt
+        if not node.terminal:
+            self._size += 1
+        node.terminal = True
+        node.payload = payload
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def find_node(self, prefix: str) -> TrieNode | None:
+        """Return the node whose label equals *prefix*, or ``None``."""
+        node = self.root
+        for ch in prefix:
+            node = node.children.get(ch)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    def __contains__(self, entry: str) -> bool:
+        node = self.find_node(entry)
+        return node is not None and node.terminal
+
+    def get(self, entry: str, default: Any = None) -> Any:
+        """Return the payload stored for *entry*, or *default*."""
+        node = self.find_node(entry)
+        if node is not None and node.terminal:
+            return node.payload
+        return default
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # walking and enumeration
+    # ------------------------------------------------------------------
+    def walk(self, text: str, start: int = 0) -> "TrieWalk":
+        """Return a :class:`TrieWalk` cursor over *text* from *start*.
+
+        The walk consumes characters of *text* one at a time, tracking
+        the deepest node reached and every terminal node passed; the
+        tagger uses it for longest-match keyword recognition.
+        """
+        return TrieWalk(self, text, start)
+
+    def iter_entries(self, node: TrieNode | None = None) -> Iterator[tuple[str, Any]]:
+        """Yield ``(entry, payload)`` for all entries below *node*.
+
+        With the default ``node=None`` the whole trie is enumerated, in
+        depth-first (therefore lexicographic-by-insertion) order.
+        """
+        stack = [node or self.root]
+        while stack:
+            current = stack.pop()
+            if current.terminal:
+                yield current.label, current.payload
+            # reversed so that iteration order is stable and roughly
+            # lexicographic for sorted child insertion
+            stack.extend(reversed(list(current.children.values())))
+
+    def entries(self) -> list[str]:
+        """Return all stored entries as a list."""
+        return [entry for entry, _ in self.iter_entries()]
+
+    def closest_entries(
+        self, prefix_node: TrieNode, limit: int = 50
+    ) -> list[tuple[str, Any]]:
+        """Entries reachable from *prefix_node*, nearest-first.
+
+        Used by the spelling corrector: when parsing a word fails at
+        some node, the plausible corrections are the entries that share
+        the consumed prefix.  Entries are returned shallowest-first
+        (breadth-first), truncated to *limit*.
+        """
+        results: list[tuple[str, Any]] = []
+        queue: list[TrieNode] = [prefix_node]
+        while queue and len(results) < limit:
+            current = queue.pop(0)
+            if current.terminal:
+                results.append((current.label, current.payload))
+            queue.extend(current.children.values())
+        return results
+
+    def longest_prefix_entry(self, text: str) -> tuple[str, Any] | None:
+        """Return the longest stored entry that is a prefix of *text*.
+
+        This is the primitive behind missing-space recovery: for the
+        input ``hondaaccord`` it returns ``("honda", payload)``.
+        """
+        node = self.root
+        best: tuple[str, Any] | None = None
+        for ch in text:
+            node = node.children.get(ch)  # type: ignore[assignment]
+            if node is None:
+                break
+            if node.terminal:
+                best = (node.label, node.payload)
+        return best
+
+
+class TrieWalk:
+    """A cursor that consumes characters of a text through a trie.
+
+    Tracks the deepest node reached, the offset of the last terminal
+    node seen (for longest-match), and whether the walk is still inside
+    the trie.
+    """
+
+    def __init__(self, trie: Trie, text: str, start: int) -> None:
+        self.trie = trie
+        self.text = text
+        self.position = start
+        self.node: TrieNode = trie.root
+        self.last_match: tuple[int, TrieNode] | None = None
+        self.alive = True
+
+    def step(self) -> bool:
+        """Consume one character; return ``False`` when the walk dies.
+
+        A walk dies when the next character has no child edge, or when
+        the text is exhausted.
+        """
+        if not self.alive or self.position >= len(self.text):
+            self.alive = False
+            return False
+        ch = self.text[self.position]
+        nxt = self.node.child(ch)
+        if nxt is None:
+            self.alive = False
+            return False
+        self.node = nxt
+        self.position += 1
+        if nxt.terminal:
+            self.last_match = (self.position, nxt)
+        return True
+
+    def run(self) -> tuple[int, TrieNode] | None:
+        """Consume characters until the walk dies; return the last match.
+
+        The return value is ``(end_offset, node)`` for the longest
+        terminal entry consumed, or ``None`` when no entry matched.
+        """
+        while self.step():
+            pass
+        return self.last_match

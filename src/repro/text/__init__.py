@@ -1,0 +1,40 @@
+"""Text-processing substrate used throughout CQAds.
+
+This subpackage contains the low-level string machinery the paper's
+question pipeline relies on:
+
+* :mod:`repro.text.tokenizer` — question/document tokenization that keeps
+  alphanumeric compounds (``2dr``, ``20k``, ``$5000``) intact.
+* :mod:`repro.text.stopwords` — the stopword list used when removing
+  non-essential keywords (Section 4.1.4 of the paper).
+* :mod:`repro.text.stemmer` — a from-scratch Porter stemmer; the
+  WS-matrix stores stemmed words (Section 4.3.2).
+* :mod:`repro.text.similar_text` — PHP's ``similar_text`` percentage,
+  the function the paper uses to pick spelling corrections
+  (Section 4.2.1).
+* :mod:`repro.text.shorthand` — the ordered-subsequence shorthand
+  detector (Section 4.2.3).
+"""
+
+from repro.text.similar_text import similar_text, similar_text_percent
+from repro.text.shorthand import is_shorthand, shorthand_match, expand_shorthand
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.tokenizer import Token, tokenize, tokenize_with_spans, normalize
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "tokenize_with_spans",
+    "normalize",
+    "STOPWORDS",
+    "is_stopword",
+    "remove_stopwords",
+    "PorterStemmer",
+    "stem",
+    "similar_text",
+    "similar_text_percent",
+    "is_shorthand",
+    "shorthand_match",
+    "expand_shorthand",
+]

@@ -1,0 +1,71 @@
+"""PHP-style ``similar_text`` string similarity.
+
+Section 4.2.1 of the paper resolves misspellings by comparing the
+unrecognized word "with the alternative keywords recognized by the
+trie ... using the 'similar text' function which calculates their
+similarity based on the number of common characters and their
+corresponding positions in the strings", returning a percentage.
+
+This module reimplements PHP's ``similar_text``: recursively find the
+longest common substring, then apply the same procedure to the prefixes
+before it and the suffixes after it, summing the matched lengths.  The
+percentage is ``2 * matched / (len(a) + len(b)) * 100``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["similar_text", "similar_text_percent"]
+
+
+def _longest_common_substring(a: str, b: str) -> tuple[int, int, int]:
+    """Return ``(pos_a, pos_b, length)`` of the longest common substring.
+
+    Ties are broken by the earliest position in *a* then *b*, matching
+    PHP's left-to-right scan.
+    """
+    best_a = best_b = best_len = 0
+    len_a, len_b = len(a), len(b)
+    # Classic O(len_a * len_b) scan with an explicit extension loop; the
+    # strings here are single keywords, so quadratic cost is fine.
+    for i in range(len_a):
+        for j in range(len_b):
+            k = 0
+            while i + k < len_a and j + k < len_b and a[i + k] == b[j + k]:
+                k += 1
+            if k > best_len:
+                best_a, best_b, best_len = i, j, k
+    return best_a, best_b, best_len
+
+
+def similar_text(a: str, b: str) -> int:
+    """Return the number of matching characters between *a* and *b*.
+
+    Mirrors PHP ``similar_text($a, $b)``: the length of the longest
+    common substring plus, recursively, the similar text of the parts
+    before and after it.
+    """
+    if not a or not b:
+        return 0
+    pos_a, pos_b, length = _longest_common_substring(a, b)
+    if length == 0:
+        return 0
+    total = length
+    total += similar_text(a[:pos_a], b[:pos_b])
+    total += similar_text(a[pos_a + length :], b[pos_b + length :])
+    return total
+
+
+def similar_text_percent(a: str, b: str) -> float:
+    """Return the similarity of *a* and *b* as a percentage in [0, 100].
+
+    ``100.0`` means the strings are identical; ``0.0`` means they share
+    no characters in compatible positions.  Two empty strings are
+    defined as identical (100.0), matching the intuition that a user
+    typing nothing "matches" the empty keyword.
+    """
+    if not a and not b:
+        return 100.0
+    if not a or not b:
+        return 0.0
+    matched = similar_text(a, b)
+    return matched * 2.0 / (len(a) + len(b)) * 100.0

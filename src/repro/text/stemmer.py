@@ -1,0 +1,228 @@
+"""A from-scratch Porter stemmer.
+
+The WS-matrix (Section 4.3.2 of the paper) stores similarity values for
+"non-stop, stemmed words, i.e., words reduced to their grammatical
+root", and the negation keywords of Section 4.4.1 are matched against
+"their stemmed versions".  This module implements Porter's original
+1980 algorithm (steps 1a through 5b) without external dependencies.
+
+The implementation follows the published rule tables directly; each
+step is a separate method so the tests can exercise them individually.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = ["PorterStemmer", "stem"]
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Porter's suffix-stripping stemmer.
+
+    Usage::
+
+        >>> PorterStemmer().stem("relational")
+        'relat'
+        >>> stem("excluding")
+        'exclud'
+    """
+
+    # ------------------------------------------------------------------
+    # measure and shape predicates
+    # ------------------------------------------------------------------
+    def _is_consonant(self, word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            # 'y' is a consonant at the start, and after a vowel;
+            # after a consonant it behaves as a vowel (e.g. "sky").
+            return i == 0 or not self._is_consonant(word, i - 1)
+        return True
+
+    def _measure(self, word: str) -> int:
+        """Return m, the number of VC sequences in *word*.
+
+        Porter writes a word as [C](VC)^m[V]; m drives most rules.
+        """
+        m = 0
+        i = 0
+        n = len(word)
+        # skip initial consonant run
+        while i < n and self._is_consonant(word, i):
+            i += 1
+        while i < n:
+            # vowel run
+            while i < n and not self._is_consonant(word, i):
+                i += 1
+            if i >= n:
+                break
+            m += 1
+            # consonant run
+            while i < n and self._is_consonant(word, i):
+                i += 1
+        return m
+
+    def _contains_vowel(self, word: str) -> bool:
+        return any(not self._is_consonant(word, i) for i in range(len(word)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        """True for consonant-vowel-consonant endings, last not w/x/y."""
+        if len(word) < 3:
+            return False
+        return (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # ------------------------------------------------------------------
+    # steps
+    # ------------------------------------------------------------------
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            if self._measure(word[:-3]) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"),
+        ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+        ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+        ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+        ("iviti", "ive"), ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_RULES:
+            if word.endswith(suffix):
+                stem_part = word[: -len(suffix)]
+                if self._measure(stem_part) > 0:
+                    return stem_part + replacement
+                return word
+        return word
+
+    _STEP3_RULES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"),
+        ("iciti", "ic"), ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_RULES:
+            if word.endswith(suffix):
+                stem_part = word[: -len(suffix)]
+                if self._measure(stem_part) > 0:
+                    return stem_part + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+        "ement", "ment", "ent", "ou", "ism", "ate", "iti", "ous",
+        "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        # 'ion' requires a preceding s or t.
+        if word.endswith("ion") and len(word) > 3 and word[-4] in "st":
+            if self._measure(word[:-3]) > 1:
+                return word[:-3]
+            return word
+        for suffix in sorted(self._STEP4_SUFFIXES, key=len, reverse=True):
+            if word.endswith(suffix):
+                stem_part = word[: -len(suffix)]
+                if self._measure(stem_part) > 1:
+                    return stem_part
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem_part = word[:-1]
+            m = self._measure(stem_part)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem_part)):
+                return stem_part
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and self._measure(word) > 1
+        ):
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of *word* (expects lowercase input)."""
+        if len(word) <= 2 or not word.isalpha():
+            # Numbers, shorthand like '2dr', and very short words are
+            # left untouched; stemming them would destroy information
+            # the tagger needs.
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+@lru_cache(maxsize=65536)
+def stem(word: str) -> str:
+    """Stem *word* with a shared :class:`PorterStemmer` instance.
+
+    Cached: the same attribute values and identifier keywords are
+    stemmed millions of times across ranking and classification.
+    """
+    return _DEFAULT.stem(word.lower())

@@ -1,0 +1,45 @@
+"""Stopword list used to drop non-essential keywords from questions.
+
+Section 4.1.4 of the paper removes "stopwords, which carry little
+meaning" before tagging.  The list below is the classic English
+stopword inventory trimmed for the ads setting: comparison and negation
+words that *do* carry meaning in an ads question (``less``, ``more``,
+``under``, ``not``, ``without``, ``between`` …) are deliberately **not**
+stopwords here, because Sections 4.1.2 and 4.4 assign them identifier
+semantics.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "is_stopword", "remove_stopwords"]
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about am an and any are as at be been being both but by can could
+    did do does doing down during each few for from further had has have
+    having he her here hers herself him himself his how i if in into is
+    it its itself just me my myself of off on once only or other our
+    ours ourselves out over own same she should so some such than that
+    the their theirs them themselves then there these they this those
+    through to too until up very was we were what when where which while
+    who whom why will would you your yours yourself yourselves
+
+    please show me find want looking look seeking seek need needs get
+    give us want wanted like interested do you anyone searching search
+    hi hello hey thanks thank with something anything prefer preferably
+    ideally maybe possibly perhaps probably
+    """.split()
+)
+# Note: "want", "find", "show" etc. are conversational filler in ads
+# questions ("I want a 4 wheel drive ...") and are stripped exactly as
+# the paper's Example 2 does.
+
+
+def is_stopword(word: str) -> bool:
+    """Return ``True`` when *word* (already lowercased) is a stopword."""
+    return word in STOPWORDS
+
+
+def remove_stopwords(tokens: list[str]) -> list[str]:
+    """Return *tokens* without stopwords, preserving order."""
+    return [token for token in tokens if token not in STOPWORDS]

@@ -1,0 +1,228 @@
+"""Tests for the synthetic-data substrate: vocab, ads, noise, latent."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.ads import AdsGenerator, build_dataset
+from repro.datagen.latent import LatentSimilarity
+from repro.datagen.noise import (
+    drop_space,
+    misspell,
+    number_to_shorthand,
+    to_shorthand,
+)
+from repro.datagen.vocab import DOMAIN_NAMES, build_all_specs, build_domain_spec
+from repro.db.database import Database
+from repro.errors import DataGenerationError
+from repro.text.shorthand import is_shorthand
+
+
+class TestVocabRegistry:
+    def test_eight_domains(self):
+        assert len(DOMAIN_NAMES) == 8
+        assert set(DOMAIN_NAMES) == {
+            "cars", "motorcycles", "clothing", "cs_jobs", "furniture",
+            "food_coupons", "instruments", "jewellery",
+        }
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(DataGenerationError):
+            build_domain_spec("boats")
+
+    def test_all_specs_validate(self):
+        # DomainSpec.__post_init__ validates; construction must succeed
+        specs = build_all_specs()
+        assert len(specs) == 8
+        for spec in specs.values():
+            assert spec.products, spec.name
+            assert spec.schema.type_i_columns, spec.name
+            assert spec.numeric_columns, spec.name
+
+    def test_products_match_identity_columns(self):
+        for spec in build_all_specs().values():
+            type_i = [c.name for c in spec.schema.type_i_columns]
+            for product in spec.products:
+                assert list(product.identity) == type_i
+
+    def test_cars_contains_paper_products(self):
+        spec = build_domain_spec("cars")
+        labels = {product.label() for product in spec.products}
+        for needed in ("honda accord", "toyota camry", "chevy malibu",
+                       "ford focus", "honda civic", "toyota corolla"):
+            assert needed in labels
+
+    def test_cars_motorcycles_share_makes(self):
+        # the classifier-confusion mechanism of Section 5.2
+        cars = build_domain_spec("cars")
+        motorcycles = build_domain_spec("motorcycles")
+        shared = set(cars.all_type_i_values("make")) & set(
+            motorcycles.all_type_i_values("make")
+        )
+        assert {"honda", "suzuki", "bmw"} <= shared
+
+    def test_numeric_range_with_override(self):
+        spec = build_domain_spec("cars")
+        accord = next(p for p in spec.products if p.label() == "honda accord")
+        low, high = spec.numeric_range("price", accord)
+        assert (low, high) == accord.numeric_overrides["price"]
+        # global fallback for columns without overrides
+        assert spec.numeric_range("year", accord) == (1985, 2011)
+
+    def test_groups(self):
+        spec = build_domain_spec("cars")
+        assert "midsize sedan" in spec.groups()
+        assert len(spec.products_in_group("midsize sedan")) >= 3
+
+    def test_vocabulary_contains_products_and_values(self):
+        spec = build_domain_spec("cars")
+        vocab = spec.vocabulary()
+        assert {"honda", "accord", "blue", "automatic"} <= vocab
+
+
+class TestAdsGenerator:
+    def test_dataset_shape(self, cars_dataset):
+        assert len(cars_dataset.records) == 200
+        assert len(cars_dataset.ads) == 200
+        assert len(cars_dataset.table) == 200
+
+    def test_records_respect_product_price_bands(self, cars_dataset):
+        for record, ad in zip(cars_dataset.records, cars_dataset.ads):
+            low, high = cars_dataset.spec.numeric_range("price", ad.product)
+            assert low <= record["price"] <= high
+
+    def test_year_in_range(self, cars_dataset):
+        for record in cars_dataset.records:
+            assert 1985 <= record["year"] <= 2011
+
+    def test_type_ii_sometimes_missing(self, cars_dataset):
+        colors = [record.get("color") for record in cars_dataset.records]
+        assert any(color is None for color in colors)
+        assert any(color is not None for color in colors)
+
+    def test_ad_text_mentions_identity(self, cars_dataset):
+        for ad in cars_dataset.ads[:20]:
+            for value in ad.product.identity.values():
+                assert value in ad.text
+
+    def test_value_ranges_computed(self, cars_dataset):
+        assert set(cars_dataset.value_ranges) == {"year", "price", "mileage"}
+        assert all(span > 0 for span in cars_dataset.value_ranges.values())
+
+    def test_deterministic_given_seed(self):
+        first = build_dataset("cars", Database(), ads_per_domain=30, seed=5)
+        second = build_dataset("cars", Database(), ads_per_domain=30, seed=5)
+        assert [dict(r) for r in first.records] == [
+            dict(r) for r in second.records
+        ]
+
+    def test_different_seeds_differ(self):
+        first = build_dataset("cars", Database(), ads_per_domain=30, seed=5)
+        second = build_dataset("cars", Database(), ads_per_domain=30, seed=6)
+        assert [dict(r) for r in first.records] != [
+            dict(r) for r in second.records
+        ]
+
+    def test_product_of_record(self, cars_dataset):
+        record = cars_dataset.records[0]
+        product = cars_dataset.product_of_record(record.record_id)
+        assert record["make"] == product.identity["make"]
+        with pytest.raises(KeyError):
+            cars_dataset.product_of_record(10**9)
+
+    def test_popularity_weighting(self):
+        spec = build_domain_spec("cars")
+        rng = random.Random(1)
+        generator = AdsGenerator(spec, rng)
+        counts = {}
+        for _ in range(2000):
+            product = generator.sample_product()
+            counts[product.label()] = counts.get(product.label(), 0) + 1
+        # popularity-2.0 products should clearly beat popularity-0.5 ones
+        assert counts.get("honda civic", 0) > counts.get("suzuki aerio", 0)
+
+
+class TestNoise:
+    def test_misspell_single_edit(self, rng):
+        for word in ("accord", "automatic", "corolla", "transmission"):
+            bad = misspell(word, rng)
+            assert bad != word or len(word) <= 3
+            assert bad[0] == word[0]  # first char preserved
+            assert abs(len(bad) - len(word)) <= 1
+
+    def test_misspell_short_words_untouched(self, rng):
+        assert misspell("bmw", rng) == "bmw"
+        assert misspell("a4", rng) == "a4"
+
+    def test_drop_space(self, rng):
+        assert drop_space("honda accord", rng) == "hondaaccord"
+        assert drop_space("nospace", rng) == "nospace"
+
+    def test_to_shorthand_is_valid_shorthand(self, rng):
+        for value in ("4 door", "automatic", "manual", "leather"):
+            short = to_shorthand(value, rng)
+            assert is_shorthand(short, value), (short, value)
+
+    def test_number_to_shorthand_parseable(self, rng):
+        for value in (20000, 5000, 1500, 250):
+            rendered = number_to_shorthand(float(value), rng)
+            cleaned = rendered.replace(",", "")
+            if cleaned.endswith("k"):
+                assert float(cleaned[:-1]) * 1000 == value
+            else:
+                assert float(cleaned) == value
+
+
+class TestLatentSimilarity:
+    @pytest.fixture()
+    def latent(self):
+        return LatentSimilarity(build_domain_spec("cars"))
+
+    def test_same_product_is_one(self, latent):
+        key = ("honda", "accord")
+        assert latent.product_similarity(key, key) == 1.0
+
+    def test_same_group_is_high(self, latent):
+        # the paper's motivating pair: Accord ~ Camry (midsize sedans)
+        sim = latent.product_similarity(("honda", "accord"), ("toyota", "camry"))
+        assert sim == pytest.approx(0.8)
+
+    def test_cross_group_is_low(self, latent):
+        sim = latent.product_similarity(
+            ("honda", "accord"), ("chevy", "corvette")
+        )
+        assert sim < 0.5
+
+    def test_symmetry(self, latent):
+        a, b = ("honda", "accord"), ("ford", "focus")
+        assert latent.product_similarity(a, b) == latent.product_similarity(b, a)
+
+    def test_unknown_product(self, latent):
+        assert latent.product_similarity(("x", "y"), ("honda", "accord")) == 0.0
+
+    def test_similar_products_sorted(self, latent):
+        similar = latent.similar_products(("honda", "accord"), threshold=0.5)
+        labels = [product.label() for product in similar]
+        assert "toyota camry" in labels
+        assert "honda accord" not in labels
+
+    def test_word_similarity_clusters(self, latent):
+        assert latent.word_similarity("black", "grey") == pytest.approx(0.7)
+        assert latent.word_similarity("black", "black") == 1.0
+        # same attribute (both colors) but different clusters
+        assert latent.word_similarity("black", "red") == pytest.approx(0.25)
+        # different attributes entirely
+        assert latent.word_similarity("black", "automatic") < 0.1
+
+    def test_value_similarity_multiword(self, latent):
+        sim = latent.value_similarity("4 wheel drive", "all wheel drive")
+        assert sim > 0.5
+
+    def test_numeric_similarity_shape(self, latent):
+        close = latent.numeric_similarity("price", 10000, 11000)
+        far = latent.numeric_similarity("price", 10000, 70000)
+        assert close > far
+        assert latent.numeric_similarity("price", 5000, 5000) == 1.0
+        assert far == 0.0  # sharpness clamps distant values to zero

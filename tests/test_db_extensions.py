@@ -1,0 +1,172 @@
+"""Tests for the Section 6 future-work features: schema inference and
+near-duplicate removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.dedup import deduplicate, find_duplicate_groups
+from repro.db.schema import AttributeType
+from repro.db.schema_inference import infer_schema, profile_columns
+from repro.errors import DataGenerationError
+from tests.conftest import SMALL_CAR_ROWS, small_car_schema
+
+RAW_ADS = [
+    {"make": "honda", "model": "accord", "color": "blue",
+     "price": "9,000", "year": 2004, "mileage": 90000},
+    {"make": "honda", "model": "civic", "color": "red",
+     "price": "$5,500", "year": 2001, "mileage": 140000},
+    {"make": "toyota", "model": "camry", "price": 8500,
+     "year": 2005, "mileage": 95000},
+    {"make": "ford", "model": "focus", "color": "silver",
+     "price": 6800, "year": 2006, "mileage": 80000},
+    {"make": "bmw", "model": "3 series", "color": "black",
+     "price": 22000, "year": 2008, "mileage": 45000},
+]
+
+
+class TestProfiles:
+    def test_presence_and_cardinality(self):
+        profiles = profile_columns(RAW_ADS)
+        assert profiles["make"].presence_ratio == 1.0
+        assert profiles["color"].presence_ratio < 1.0
+        assert profiles["model"].cardinality == 5
+        assert profiles["make"].cardinality == 4
+
+    def test_numeric_detection_with_noise(self):
+        profiles = profile_columns(RAW_ADS)
+        # "9,000" and "$5,500" still parse as numbers
+        assert profiles["price"].numeric_ratio == 1.0
+        assert profiles["price"].numeric_min == 5500
+        assert profiles["price"].numeric_max == 22000
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DataGenerationError):
+            profile_columns([])
+
+
+class TestInferSchema:
+    def test_type_classification(self):
+        schema = infer_schema(RAW_ADS, table_name="car_ads")
+        by_name = {column.name: column for column in schema.columns}
+        assert by_name["make"].attribute_type is AttributeType.TYPE_I
+        assert by_name["model"].attribute_type is AttributeType.TYPE_I
+        assert by_name["color"].attribute_type is AttributeType.TYPE_II
+        for numeric in ("price", "year", "mileage"):
+            assert by_name[numeric].attribute_type is AttributeType.TYPE_III
+            assert by_name[numeric].is_numeric
+
+    def test_numeric_ranges_from_data(self):
+        schema = infer_schema(RAW_ADS, table_name="car_ads")
+        assert schema.column("year").valid_range == (2001, 2008)
+
+    def test_unit_hints_and_known_units(self):
+        schema = infer_schema(
+            RAW_ADS, table_name="car_ads",
+            unit_hints={"mileage": ("miles", "mi")},
+        )
+        assert "$" in schema.column("price").unit_words
+        assert "miles" in schema.column("mileage").unit_words
+
+    def test_inferred_schema_loads_records(self):
+        schema = infer_schema(RAW_ADS, table_name="car_ads")
+        database = Database()
+        table = database.create_table(schema)
+        for raw in RAW_ADS:
+            cleaned = {
+                key: (str(value).replace(",", "").lstrip("$")
+                      if key == "price" else value)
+                for key, value in raw.items()
+            }
+            table.insert(cleaned)
+        assert len(table) == len(RAW_ADS)
+
+    def test_max_type_i_demotes_extras(self):
+        schema = infer_schema(RAW_ADS, table_name="car_ads", max_type_i=1)
+        type_i = [c.name for c in schema.type_i_columns]
+        assert type_i == ["model"]  # highest cardinality wins
+        assert schema.column("make").attribute_type is AttributeType.TYPE_II
+
+    def test_no_identity_column_raises(self):
+        rows = [{"price": 1}, {"price": 2}]
+        with pytest.raises(DataGenerationError, match="Type I"):
+            infer_schema(rows, table_name="t")
+
+
+class TestDeduplication:
+    def make_table(self):
+        database = Database()
+        table = database.create_table(small_car_schema())
+        table.insert_many(SMALL_CAR_ROWS)
+        return table
+
+    def test_no_duplicates_in_clean_table(self):
+        table = self.make_table()
+        assert find_duplicate_groups(table) == []
+
+    def test_exact_repost_found(self):
+        table = self.make_table()
+        table.insert(dict(SMALL_CAR_ROWS[0]))  # repost of record 1
+        groups = find_duplicate_groups(table)
+        assert len(groups) == 1
+        assert groups[0].keeper == 1
+        assert groups[0].removable == (9,)
+
+    def test_near_repost_within_tolerance(self):
+        table = self.make_table()
+        repost = dict(SMALL_CAR_ROWS[0])
+        repost["price"] = repost["price"] + 100  # tiny price tweak
+        table.insert(repost)
+        groups = find_duplicate_groups(table, numeric_tolerance=0.02)
+        assert len(groups) == 1
+
+    def test_large_price_difference_not_duplicate(self):
+        table = self.make_table()
+        repost = dict(SMALL_CAR_ROWS[0])
+        repost["price"] = repost["price"] + 8000
+        table.insert(repost)
+        assert find_duplicate_groups(table) == []
+
+    def test_different_color_not_duplicate(self):
+        table = self.make_table()
+        repost = dict(SMALL_CAR_ROWS[0])
+        repost["color"] = "green"
+        table.insert(repost)
+        assert find_duplicate_groups(table) == []
+
+    def test_missing_property_is_wildcard(self):
+        table = self.make_table()
+        repost = dict(SMALL_CAR_ROWS[0])
+        del repost["color"]
+        table.insert(repost)
+        assert len(find_duplicate_groups(table)) == 1
+
+    def test_different_product_never_duplicate(self):
+        table = self.make_table()
+        # identical properties but another model: blocked apart
+        other = dict(SMALL_CAR_ROWS[0])
+        other["model"] = "civic"
+        table.insert(other)
+        groups = find_duplicate_groups(table)
+        assert all(len(group.record_ids) == 2 for group in groups) or groups == []
+
+    def test_deduplicate_removes_and_keeps_earliest(self):
+        table = self.make_table()
+        table.insert(dict(SMALL_CAR_ROWS[0]))
+        table.insert(dict(SMALL_CAR_ROWS[0]))
+        removed = deduplicate(table)
+        assert removed == 2
+        assert table.get(1) is not None
+        assert len(table) == len(SMALL_CAR_ROWS)
+
+    def test_transitive_grouping(self):
+        table = self.make_table()
+        base = dict(SMALL_CAR_ROWS[0])
+        for delta in (50, 100):
+            repost = dict(base)
+            repost["price"] = base["price"] + delta
+            table.insert(repost)
+        groups = find_duplicate_groups(table)
+        assert len(groups) == 1
+        assert len(groups[0].record_ids) == 3

@@ -1,0 +1,142 @@
+"""Tests for hash, sorted and substring indexes."""
+
+from __future__ import annotations
+
+from repro.db.indexes import HashIndex, SortedIndex, SubstringIndex
+
+
+class TestHashIndex:
+    def test_lookup_after_add(self):
+        index = HashIndex("color")
+        index.add("blue", 1)
+        index.add("blue", 2)
+        index.add("red", 3)
+        assert index.lookup("blue") == {1, 2}
+        assert index.lookup("red") == {3}
+        assert index.lookup("green") == set()
+
+    def test_remove(self):
+        index = HashIndex("color")
+        index.add("blue", 1)
+        index.add("blue", 2)
+        index.remove("blue", 1)
+        assert index.lookup("blue") == {2}
+        index.remove("blue", 2)
+        assert index.lookup("blue") == set()
+
+    def test_remove_missing_is_noop(self):
+        index = HashIndex("color")
+        index.remove("blue", 1)  # no error
+        assert index.lookup("blue") == set()
+
+    def test_none_values_not_indexed(self):
+        index = HashIndex("color")
+        index.add(None, 1)
+        assert len(index) == 0
+
+    def test_distinct_values(self):
+        index = HashIndex("color")
+        for record_id, value in enumerate(["blue", "red", "blue"]):
+            index.add(value, record_id)
+        assert sorted(index.distinct_values()) == ["blue", "red"]
+
+    def test_lookup_returns_copy(self):
+        index = HashIndex("color")
+        index.add("blue", 1)
+        result = index.lookup("blue")
+        result.add(99)
+        assert index.lookup("blue") == {1}
+
+
+class TestSortedIndex:
+    def make(self):
+        index = SortedIndex("price")
+        for record_id, value in enumerate([5000, 9000, 3000, 9000, 22000], 1):
+            index.add(value, record_id)
+        return index
+
+    def test_range_inclusive(self):
+        assert self.make().range(3000, 9000) == {1, 2, 3, 4}
+
+    def test_range_exclusive_bounds(self):
+        index = self.make()
+        assert index.range(3000, 9000, include_low=False) == {1, 2, 4}
+        assert index.range(3000, 9000, include_high=False) == {1, 3}
+
+    def test_open_ended_ranges(self):
+        index = self.make()
+        assert index.range(None, 5000) == {1, 3}
+        assert index.range(9000, None) == {2, 4, 5}
+        assert index.range(None, None) == {1, 2, 3, 4, 5}
+
+    def test_equal(self):
+        assert self.make().equal(9000) == {2, 4}
+        assert self.make().equal(1) == set()
+
+    def test_min_max(self):
+        index = self.make()
+        assert index.min_value() == 3000
+        assert index.max_value() == 22000
+        assert index.min_ids() == {3}
+        assert index.max_ids() == {5}
+
+    def test_empty_index(self):
+        index = SortedIndex("price")
+        assert index.min_value() is None
+        assert index.max_value() is None
+        assert index.min_ids() == set()
+        assert index.range(0, 100) == set()
+
+    def test_remove(self):
+        index = self.make()
+        index.remove(9000, 2)
+        assert index.equal(9000) == {4}
+        assert len(index) == 4
+
+    def test_none_ignored(self):
+        index = SortedIndex("price")
+        index.add(None, 1)
+        assert len(index) == 0
+
+
+class TestSubstringIndex:
+    def make(self):
+        index = SubstringIndex("model", gram_length=3)
+        for record_id, value in enumerate(
+            ["accord", "corolla", "camry", "cobalt"], 1
+        ):
+            index.add(value, record_id)
+        return index
+
+    def test_search_exact_substring(self):
+        assert self.make().search("cor") == {1, 2}  # acCORd, CORolla
+        assert self.make().search("accord") == {1}
+
+    def test_search_short_needle_falls_back(self):
+        # needles shorter than the gram length still work (full scan):
+        # acCOrd, COrolla, CObalt all contain "co"
+        assert self.make().search("co") == {1, 2, 4}
+
+    def test_search_missing(self):
+        assert self.make().search("zzz") == set()
+
+    def test_candidates_is_superset(self):
+        index = self.make()
+        for needle in ("cor", "oll", "acc"):
+            assert index.search(needle) <= index.candidates(needle)
+
+    def test_short_strings_indexed_whole(self):
+        index = SubstringIndex("model", gram_length=3)
+        index.add("m3", 1)
+        assert index.search("m3") == {1}
+
+    def test_remove(self):
+        index = self.make()
+        index.remove("accord", 1)
+        assert index.search("accord") == set()
+        assert index.search("cor") == {2}
+
+    def test_case_insensitive(self):
+        index = SubstringIndex("model")
+        index.add("Accord", 1)
+        assert index.search("ACCORD") == {1}

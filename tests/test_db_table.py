@@ -1,0 +1,136 @@
+"""Tests for the table layer with automatic index maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import SchemaError, UnknownTableError
+from tests.conftest import SMALL_CAR_ROWS, small_car_schema
+
+
+class TestInsert:
+    def test_insert_assigns_sequential_ids(self, car_table):
+        assert [record.record_id for record in car_table] == list(
+            range(1, len(SMALL_CAR_ROWS) + 1)
+        )
+
+    def test_len(self, car_table):
+        assert len(car_table) == len(SMALL_CAR_ROWS)
+
+    def test_invalid_record_rejected(self, car_table):
+        with pytest.raises(SchemaError):
+            car_table.insert({"make": "honda"})  # model missing
+
+    def test_get_and_fetch(self, car_table):
+        record = car_table.get(1)
+        assert record["make"] == "honda"
+        assert car_table.get(999) is None
+        fetched = car_table.fetch([3, 1, 999])
+        assert [r.record_id for r in fetched] == [1, 3]
+
+
+class TestDelete:
+    def test_delete_removes_from_indexes(self, car_table):
+        before = car_table.lookup_equal("make", "honda")
+        assert 1 in before
+        car_table.delete(1)
+        assert 1 not in car_table.lookup_equal("make", "honda")
+        assert car_table.get(1) is None
+
+    def test_delete_missing_raises(self, car_table):
+        with pytest.raises(SchemaError):
+            car_table.delete(999)
+
+    def test_delete_then_range(self, car_table):
+        car_table.delete(8)  # the 22000 bmw
+        assert car_table.lookup_range("price", 20000, None) == set()
+
+
+class TestIndexedLookups:
+    def test_lookup_equal_type_i(self, car_table):
+        assert car_table.lookup_equal("make", "honda") == {1, 2, 3}
+
+    def test_lookup_equal_case_insensitive(self, car_table):
+        assert car_table.lookup_equal("make", "HONDA") == {1, 2, 3}
+
+    def test_lookup_equal_numeric(self, car_table):
+        assert car_table.lookup_equal("price", 9000) == {1}
+
+    def test_lookup_range(self, car_table):
+        ids = car_table.lookup_range("price", 5000, 9000)
+        prices = [car_table.get(record_id)["price"] for record_id in ids]
+        assert all(5000 <= price <= 9000 for price in prices)
+        assert len(ids) == 5
+
+    def test_lookup_range_on_categorical_raises(self, car_table):
+        with pytest.raises(SchemaError):
+            car_table.lookup_range("make", 0, 1)
+
+    def test_lookup_substring(self, car_table):
+        ids = car_table.lookup_substring("model", "cor")
+        models = {car_table.get(record_id)["model"] for record_id in ids}
+        assert models == {"accord", "corolla"}
+
+    def test_column_extreme(self, car_table):
+        cheapest = car_table.column_extreme("price", maximum=False)
+        assert cheapest == {5}  # the 3000 corolla
+        priciest = car_table.column_extreme("price", maximum=True)
+        assert priciest == {8}
+
+    def test_column_extreme_categorical_raises(self, car_table):
+        with pytest.raises(SchemaError):
+            car_table.column_extreme("make", maximum=True)
+
+    def test_column_bounds(self, car_table):
+        assert car_table.column_bounds("price") == (3000, 22000)
+        assert car_table.column_bounds("year") == (1999, 2008)
+
+    def test_distinct_values(self, car_table):
+        assert car_table.distinct_values("make") == [
+            "bmw", "chevy", "ford", "honda", "toyota",
+        ]
+
+    def test_scan(self, car_table):
+        ids = car_table.scan(lambda record: record["color"] == "blue")
+        assert ids == {1, 3, 4, 6}
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        database = Database()
+        database.create_table(small_car_schema())
+        assert database.has_table("car_ads")
+        assert database.table("car_ads").name == "car_ads"
+
+    def test_table_name_canonicalization(self):
+        database = Database()
+        database.create_table(small_car_schema())
+        # the paper's "Car Ads" resolves to car_ads
+        assert database.table("Car Ads").name == "car_ads"
+
+    def test_duplicate_table_rejected(self):
+        database = Database()
+        database.create_table(small_car_schema())
+        with pytest.raises(ValueError):
+            database.create_table(small_car_schema())
+
+    def test_unknown_table(self):
+        database = Database()
+        with pytest.raises(UnknownTableError):
+            database.table("nothing")
+
+    def test_drop_table(self):
+        database = Database()
+        database.create_table(small_car_schema())
+        database.drop_table("car_ads")
+        assert not database.has_table("car_ads")
+        with pytest.raises(UnknownTableError):
+            database.drop_table("car_ads")
+
+    def test_table_names_and_iter(self):
+        database = Database()
+        database.create_table(small_car_schema())
+        assert database.table_names() == ["car_ads"]
+        assert len(list(database)) == 1
+        assert len(database) == 1

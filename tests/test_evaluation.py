@@ -1,0 +1,256 @@
+"""Tests for metrics, appraisers and the boolean survey."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.latent import LatentSimilarity
+from repro.datagen.vocab import build_domain_spec
+from repro.evaluation.appraiser import (
+    AppraiserPanel,
+    SimulatedAppraiser,
+    latent_relatedness,
+)
+from repro.evaluation.boolean_survey import BooleanSurvey, make_distractors
+from repro.evaluation.metrics import (
+    accuracy,
+    mean_reciprocal_rank,
+    precision_at_k,
+    precision_recall_f1,
+)
+from repro.db.schema import AttributeType
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionOp,
+    Interpretation,
+)
+
+TI = AttributeType.TYPE_I
+TII = AttributeType.TYPE_II
+TIII = AttributeType.TYPE_III
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(9, 10) == 0.9
+        assert accuracy(0, 10) == 0.0
+        assert accuracy(0, 0) == 0.0
+
+
+class TestPRF:
+    def test_perfect(self):
+        prf = precision_recall_f1({1, 2, 3}, {1, 2, 3})
+        assert prf.precision == prf.recall == prf.f_measure == 1.0
+
+    def test_partial(self):
+        prf = precision_recall_f1({1, 2, 3, 4}, {1, 2})
+        assert prf.precision == 0.5
+        assert prf.recall == 1.0
+        assert prf.f_measure == pytest.approx(2 / 3)
+
+    def test_cap_bounds_recall(self):
+        # 100 relevant, 30 retrieved (all correct), cap 30 -> recall 1.0
+        retrieved = set(range(30))
+        relevant = set(range(100))
+        prf = precision_recall_f1(retrieved, relevant, cap=30)
+        assert prf.recall == 1.0
+
+    def test_empty_relevant_empty_retrieved_is_perfect(self):
+        prf = precision_recall_f1(set(), set())
+        assert prf.precision == 1.0
+        assert prf.recall == 1.0
+
+    def test_empty_relevant_nonempty_retrieved_is_zero(self):
+        prf = precision_recall_f1({1}, set())
+        assert prf.precision == 0.0
+
+    def test_nothing_retrieved(self):
+        prf = precision_recall_f1(set(), {1, 2})
+        assert prf.precision == 0.0
+        assert prf.recall == 0.0
+        assert prf.f_measure == 0.0
+
+
+class TestPAtK:
+    def test_eq7(self):
+        judgments = [[True, True, False, False, True],
+                     [False, True, True, True, True]]
+        assert precision_at_k(judgments, 1) == pytest.approx(0.5)
+        assert precision_at_k(judgments, 5) == pytest.approx((3 / 5 + 4 / 5) / 2)
+
+    def test_short_lists_divide_by_k(self):
+        assert precision_at_k([[True]], 5) == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert precision_at_k([], 5) == 0.0
+
+
+class TestMRR:
+    def test_eq8(self):
+        judgments = [[False, True], [True], [False, False]]
+        # 1/2 + 1/1 + 0 over 3
+        assert mean_reciprocal_rank(judgments) == pytest.approx((0.5 + 1.0) / 3)
+
+    def test_empty(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+
+@pytest.fixture(scope="module")
+def latent():
+    return LatentSimilarity(build_domain_spec("cars"))
+
+
+def car_interpretation():
+    return Interpretation(
+        tree=ConditionGroup(
+            BooleanOperator.AND,
+            [
+                Condition("make", TI, ConditionOp.EQ, "honda"),
+                Condition("model", TI, ConditionOp.EQ, "accord"),
+                Condition("color", TII, ConditionOp.EQ, "blue"),
+            ],
+        )
+    )
+
+
+class TestLatentRelatedness:
+    def test_exact_record_is_one(self, latent, cars_system):
+        table = cars_system.domains["cars"].dataset.table
+        exact = [
+            r
+            for r in table
+            if r["model"] == "accord" and r.get("color") == "blue"
+        ]
+        if not exact:
+            pytest.skip("no blue accord in this draw")
+        assert latent_relatedness(latent, car_interpretation(), exact[0]) == 1.0
+
+    def test_min_aggregation(self, latent, cars_system):
+        """A record failing one condition badly is unrelated overall,
+        regardless of how many conditions it satisfies."""
+        table = cars_system.domains["cars"].dataset.table
+        wrong_segment = [
+            r
+            for r in table
+            if r["model"] == "corvette" and r.get("color") == "blue"
+        ]
+        if not wrong_segment:
+            pytest.skip("no blue corvette in this draw")
+        score = latent_relatedness(latent, car_interpretation(), wrong_segment[0])
+        assert score < 0.5
+
+    def test_same_segment_related(self, latent, cars_system):
+        table = cars_system.domains["cars"].dataset.table
+        camry = [
+            r for r in table if r["model"] == "camry" and r.get("color") == "blue"
+        ]
+        if not camry:
+            pytest.skip("no blue camry in this draw")
+        score = latent_relatedness(latent, car_interpretation(), camry[0])
+        assert score >= 0.7
+
+
+class TestAppraisers:
+    def test_noiseless_appraiser_deterministic(self, latent, cars_system):
+        table = cars_system.domains["cars"].dataset.table
+        appraiser = SimulatedAppraiser(
+            latent, rng=random.Random(1), noise=0.0
+        )
+        record = next(iter(table))
+        votes = {appraiser.judge(car_interpretation(), record) for _ in range(5)}
+        assert len(votes) == 1
+
+    def test_panel_majority_smooths_noise(self, latent, cars_system):
+        table = cars_system.domains["cars"].dataset.table
+        panel = AppraiserPanel(latent, size=5, base_noise=0.05)
+        exact = [
+            r for r in table if r["model"] == "accord" and r.get("color") == "blue"
+        ]
+        if not exact:
+            pytest.skip("no blue accord")
+        assert panel.judge(car_interpretation(), exact[0])
+
+    def test_judge_ranking_shape(self, latent, cars_system):
+        table = cars_system.domains["cars"].dataset.table
+        panel = AppraiserPanel(latent)
+        records = list(table)[:5]
+        judgments = panel.judge_ranking(car_interpretation(), records)
+        assert len(judgments) == 5
+        assert all(isinstance(j, bool) for j in judgments)
+
+    def test_cs_jobs_gets_extra_noise(self):
+        jobs_latent = LatentSimilarity(build_domain_spec("cs_jobs"))
+        panel = AppraiserPanel(jobs_latent, base_noise=0.05)
+        assert panel.appraisers[0].noise == pytest.approx(0.20)
+
+
+class TestBooleanSurvey:
+    def test_distractors_differ_from_original(self):
+        interpretation = car_interpretation()
+        distractors = make_distractors(interpretation)
+        assert len(distractors) == 2
+        for distractor in distractors:
+            assert distractor.describe() != ""
+
+    def test_or_to_and_swap(self):
+        tree = ConditionGroup(
+            BooleanOperator.OR,
+            [
+                Condition("color", TII, ConditionOp.EQ, "black"),
+                Condition("color", TII, ConditionOp.EQ, "silver"),
+            ],
+        )
+        distractors = make_distractors(Interpretation(tree=tree))
+        assert "AND" in distractors[0].describe()
+
+    def test_survey_favors_correct_interpretation(self, cars_system):
+        """When CQAds' reading equals the ground truth, the simulated
+        respondents overwhelmingly pick it."""
+        from repro.datagen.questions import make_generator
+
+        built = cars_system.domains["cars"]
+        generator = make_generator(built.dataset, seed=77)
+        question = generator.generate("explicit_or")
+        survey = BooleanSurvey(
+            database=cars_system.database,
+            domain=built.domain,
+            rng=random.Random(7),
+            respondents=60,
+        )
+        outcome = survey.run_question(question, question.interpretation)
+        assert outcome.accuracy > 0.85
+
+    def test_survey_zero_votes_when_no_reading(self, cars_system):
+        from repro.datagen.questions import make_generator
+
+        built = cars_system.domains["cars"]
+        generator = make_generator(built.dataset, seed=78)
+        question = generator.generate("mutex")
+        survey = BooleanSurvey(
+            database=cars_system.database,
+            domain=built.domain,
+            rng=random.Random(8),
+        )
+        outcome = survey.run_question(question, None)
+        assert outcome.accuracy == 0.0
+
+    def test_mutex_dissenters(self, cars_system):
+        """A fixed fraction of respondents genuinely hold the literal
+        AND reading (the paper's 22% on Q3/Q8)."""
+        from repro.datagen.questions import make_generator
+
+        built = cars_system.domains["cars"]
+        generator = make_generator(built.dataset, seed=79)
+        question = generator.generate("mutex")
+        survey = BooleanSurvey(
+            database=cars_system.database,
+            domain=built.domain,
+            rng=random.Random(9),
+            respondents=200,
+        )
+        outcome = survey.run_question(question, question.interpretation)
+        assert 0.6 < outcome.accuracy < 0.92

@@ -1,0 +1,164 @@
+"""End-to-end tests of the paper's own worked examples.
+
+Each test quotes the example from the paper and asserts CQAds
+reproduces its documented behaviour against the provisioned cars
+system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qa.conditions import BooleanOperator, ConditionGroup, ConditionOp
+
+
+@pytest.fixture(scope="module")
+def cqads(cars_system):
+    return cars_system.cqads
+
+
+def describe(cqads, question: str) -> str:
+    result = cqads.answer(question, domain="cars")
+    assert result.interpretation is not None, result.message
+    return result.interpretation.describe()
+
+
+class TestExample1And2:
+    """Q1-Q3 of Examples 1-2 (tagging and simplification)."""
+
+    def test_q1(self, cqads):
+        rendered = describe(cqads, "Do you have a 2 door red BMW?")
+        assert "doors = 2 door" in rendered
+        assert "color = red" in rendered
+        assert "make = bmw" in rendered
+
+    def test_q2(self, cqads):
+        result = cqads.answer(
+            "Cheapest 2dr mazda with automatic transmission", domain="cars"
+        )
+        rendered = result.interpretation.describe()
+        assert "doors = 2 door" in rendered
+        assert "make = mazda" in rendered
+        assert "transmission = automatic" in rendered
+        assert "MIN(price)" in rendered
+
+    def test_q3(self, cqads):
+        rendered = describe(
+            cqads, "I want a 4 wheel drive with less than 20k miles"
+        )
+        assert "drivetrain = 4 wheel drive" in rendered
+        assert "mileage < 20000" in rendered
+
+
+class TestSection421Spelling:
+    def test_hondaaccord(self, cqads):
+        result = cqads.answer("Hondaaccord less than $2000", domain="cars")
+        assert any(c.kind == "split" for c in result.corrections)
+        rendered = result.interpretation.describe()
+        assert "make = honda" in rendered
+        assert "model = accord" in rendered
+        assert "price < 2000" in rendered
+
+    def test_honda_accorr(self, cqads):
+        result = cqads.answer("honda accorr less than $2000", domain="cars")
+        assert any(c.kind == "respell" for c in result.corrections)
+        assert "model = accord" in result.interpretation.describe()
+
+
+class TestExample3Incomplete:
+    def test_honda_accord_2000_unions_candidates(self, cqads):
+        """2000 is in the valid range of year, price and mileage, so
+        CQAds unions the readings (Example 3)."""
+        result = cqads.answer("Honda accord 2000", domain="cars")
+        rendered = result.interpretation.describe()
+        assert "year = 2000" in rendered
+        assert "OR" in rendered
+
+    def test_less_than_4000_excludes_year(self, cqads):
+        """4000 is not a valid year, so only price/mileage remain."""
+        result = cqads.answer("Honda accord less than 4000", domain="cars")
+        rendered = result.interpretation.describe()
+        assert "year" not in rendered
+
+
+class TestSection43EvaluationOrder:
+    def test_cheapest_honda(self, cars_system):
+        """Evaluating 'cheapest' before 'Honda' would be wrong; the
+        answer must be the cheapest Honda, not a cheaper non-Honda."""
+        result = cars_system.cqads.answer("cheapest honda", domain="cars")
+        exact = result.exact_answers
+        assert exact
+        table = cars_system.domains["cars"].dataset.table
+        honda_prices = [
+            record["price"] for record in table if record["make"] == "honda"
+        ]
+        assert exact[0].record["make"] == "honda"
+        assert exact[0].record["price"] == min(honda_prices)
+
+
+class TestExample6Boolean:
+    def test_q1_range_combination(self, cqads):
+        rendered = describe(
+            cqads, "Any car priced below $7000 and not less than $2000"
+        )
+        assert "price >= 2000" in rendered
+        assert "price < 7000" in rendered
+
+    def test_q2_rule_2_and_4(self, cqads):
+        result = cqads.answer(
+            "I want a Toyota Corolla or a silver not manual not 2 dr Honda Accord",
+            domain="cars",
+        )
+        tree = result.interpretation.tree
+        assert isinstance(tree, ConditionGroup)
+        assert tree.operator is BooleanOperator.OR
+        rendered = result.interpretation.describe()
+        assert "make = toyota" in rendered and "model = corolla" in rendered
+        assert "NOT transmission = manual" in rendered
+        assert "NOT doors = 2 door" in rendered
+        assert "color = silver" in rendered
+
+
+class TestSection54SurveyQuestions:
+    def test_q3_black_silver_mutex(self, cqads):
+        """'Show me Black Silver cars' — CQAds changes the implicit AND
+        to OR because the values are mutually exclusive."""
+        rendered = describe(cqads, "Show me Black Silver cars")
+        assert "color = black OR color = silver" in rendered
+
+    def test_q8_models_and_colors(self, cqads):
+        rendered = describe(
+            cqads, "Focus, Corolla, or Civic. Show only black and grey cars"
+        )
+        assert "model = focus OR model = corolla OR model = civic" in rendered
+        assert "color = black OR color = grey" in rendered
+
+
+class TestExample7SQL:
+    def test_sql_shape(self, cqads):
+        result = cqads.answer("Do you have automatic blue cars?", domain="cars")
+        assert "record_id IN (SELECT record_id FROM car_ads" in result.sql
+        assert "transmission = 'automatic'" in result.sql
+        assert "color = 'blue'" in result.sql
+        for answer in result.exact_answers:
+            assert answer.record["transmission"] == "automatic"
+            assert answer.record["color"] == "blue"
+
+
+class TestTable2:
+    def test_partial_ranking_shape(self, cars_system):
+        """Table 2: partial answers to the running example, with
+        similarity kinds matching the paper's rightmost column."""
+        from repro.evaluation.experiments import table2_experiment
+
+        rows = table2_experiment(cars_system)
+        assert len(rows) == 5
+        scores = [row.score for row in rows]
+        assert scores == sorted(scores, reverse=True)
+        kinds = {row.similarity_kind for row in rows}
+        assert kinds <= {"TI_Sim", "Feat_Sim", "Num_Sim", "mixed"}
+        # cross-product rows (TI_Sim) must rank by learned similarity:
+        # any same-segment sedan outranks unrelated products
+        ti_rows = [row for row in rows if row.similarity_kind == "TI_Sim"]
+        for row in ti_rows:
+            assert row.identity != "honda accord"

@@ -1,0 +1,241 @@
+"""Tests for the implicit/explicit Boolean rules (Section 4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.errors import ContradictionError
+from repro.qa.boolean_rules import build_interpretation, merge_type_iii
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionOp,
+)
+from repro.qa.domain import AdsDomain
+from repro.qa.incomplete import candidate_columns, expand_incomplete
+from repro.qa.tagger import IncompleteNumeric, QuestionTagger
+
+TI = AttributeType.TYPE_I
+TII = AttributeType.TYPE_II
+TIII = AttributeType.TYPE_III
+
+
+@pytest.fixture()
+def domain(car_table):
+    return AdsDomain.from_table("cars", car_table)
+
+
+@pytest.fixture()
+def interpret(domain):
+    tagger = QuestionTagger(domain)
+
+    def _interpret(question: str):
+        return build_interpretation(tagger.tag(question), domain)
+
+    return _interpret
+
+
+def c3(op, value, negated=False):
+    return Condition("price", TIII, op, value, negated=negated)
+
+
+class TestRule1:
+    def test_rule_1a_negated_complement(self):
+        # "not less than $2000" -> price >= 2000
+        merged = merge_type_iii("price", [c3(ConditionOp.LT, 2000, negated=True)])
+        assert merged == [c3(ConditionOp.GE, 2000)]
+
+    def test_rule_1b_two_less_thans_keep_lower(self):
+        merged = merge_type_iii(
+            "price", [c3(ConditionOp.LT, 7000), c3(ConditionOp.LT, 5000)]
+        )
+        assert merged == [c3(ConditionOp.LT, 5000)]
+
+    def test_rule_1b_two_more_thans_keep_higher(self):
+        merged = merge_type_iii(
+            "price", [c3(ConditionOp.GT, 2000), c3(ConditionOp.GT, 4000)]
+        )
+        assert merged == [c3(ConditionOp.GT, 4000)]
+
+    def test_rule_1c_combine_into_between(self):
+        merged = merge_type_iii(
+            "price", [c3(ConditionOp.GE, 2000), c3(ConditionOp.LE, 7000)]
+        )
+        assert merged == [c3(ConditionOp.BETWEEN, (2000.0, 7000.0))]
+
+    def test_rule_1c_mixed_inclusivity_stays_two_bounds(self):
+        merged = merge_type_iii(
+            "price", [c3(ConditionOp.GE, 2000), c3(ConditionOp.LT, 7000)]
+        )
+        assert merged == [c3(ConditionOp.GE, 2000), c3(ConditionOp.LT, 7000)]
+
+    def test_rule_1c_contradiction(self):
+        with pytest.raises(ContradictionError, match="no results"):
+            merge_type_iii(
+                "price", [c3(ConditionOp.LT, 2000), c3(ConditionOp.GT, 7000)]
+            )
+
+    def test_equal_within_range_kept(self):
+        merged = merge_type_iii(
+            "price", [c3(ConditionOp.EQ, 5000), c3(ConditionOp.LT, 7000)]
+        )
+        assert merged == [c3(ConditionOp.EQ, 5000)]
+
+    def test_equal_outside_range_contradicts(self):
+        with pytest.raises(ContradictionError):
+            merge_type_iii(
+                "price", [c3(ConditionOp.EQ, 9000), c3(ConditionOp.LT, 7000)]
+            )
+
+    def test_two_equals_become_range(self):
+        merged = merge_type_iii(
+            "price", [c3(ConditionOp.EQ, 3000), c3(ConditionOp.EQ, 5000)]
+        )
+        assert merged == [c3(ConditionOp.BETWEEN, (3000.0, 5000.0))]
+
+    def test_negated_equal_survives_as_ne(self):
+        merged = merge_type_iii(
+            "price",
+            [c3(ConditionOp.LT, 7000), c3(ConditionOp.EQ, 5000, negated=True)],
+        )
+        assert c3(ConditionOp.NE, 5000) in merged
+
+    def test_paper_q1(self, interpret):
+        # "Any car priced below $7000 and not less than $2000" (Example 6)
+        interpretation = interpret(
+            "any car priced below $7000 and not less than $4000"
+        )
+        conditions = interpretation.conditions()
+        ops = {(c.op, c.value) for c in conditions}
+        assert (ConditionOp.GE, 4000.0) in ops
+        assert (ConditionOp.LT, 7000.0) in ops
+
+
+class TestRule2AndAnchors:
+    def test_negated_type_ii_anded(self, interpret):
+        interpretation = interpret("accord not blue not automatic")
+        for condition in interpretation.conditions():
+            if condition.attribute_type is TII:
+                assert condition.negated
+        # all ANDed: tree contains no OR groups
+        assert "OR" not in interpretation.describe()
+
+    def test_mutex_type_ii_ored(self, interpret):
+        interpretation = interpret("blue red camry")
+        description = interpretation.describe()
+        assert "color = blue OR color = red" in description
+
+    def test_non_mutex_type_ii_anded(self, interpret):
+        interpretation = interpret("blue automatic camry")
+        assert "OR" not in interpretation.describe()
+
+    def test_right_association(self, interpret):
+        # properties attach to the nearest (following) Type I anchor
+        interpretation = interpret("silver honda accord")
+        description = interpretation.describe()
+        assert "color = silver" in description
+        assert "make = honda" in description
+
+
+class TestRule4:
+    def test_paper_q2(self, interpret):
+        """Example 6's Q2: two product groups ORed (Rule 4)."""
+        interpretation = interpret(
+            "I want a toyota corolla or a silver not automatic honda accord"
+        )
+        tree = interpretation.tree
+        assert isinstance(tree, ConditionGroup)
+        assert tree.operator is BooleanOperator.OR
+        assert len(tree.children) == 2
+        rendered = interpretation.describe()
+        assert "make = toyota" in rendered
+        assert "NOT transmission = automatic" in rendered
+
+    def test_same_column_anchor_stays_one_group(self, interpret):
+        # the paper's Q8: "Focus, Corolla, or Civic ... black and grey"
+        interpretation = interpret(
+            "focus corolla or civic black and silver cars"
+        )
+        rendered = interpretation.describe()
+        assert "model = focus OR model = corolla OR model = civic" in rendered
+        assert "color = black OR color = silver" in rendered
+
+
+class TestExplicit:
+    def test_pure_or_evaluated_as_is(self, interpret):
+        interpretation = interpret("accord or camry or corolla")
+        tree = interpretation.tree
+        assert isinstance(tree, ConditionGroup)
+        assert tree.operator is BooleanOperator.OR
+        assert len(tree.children) == 3
+
+    def test_pure_and_stripped(self, interpret):
+        interpretation = interpret("blue and automatic accord")
+        assert interpretation.is_pure_conjunction() or (
+            "OR" not in interpretation.describe()
+        )
+
+    def test_mixed_operators_fall_back_to_implicit(self, interpret):
+        interpretation = interpret("blue or red camry and automatic")
+        rendered = interpretation.describe()
+        assert "color = blue OR color = red" in rendered
+        assert "transmission = automatic" in rendered
+
+
+class TestIncompleteExpansion:
+    def test_candidate_columns_respect_bounds(self, domain):
+        item = IncompleteNumeric(value=2000.0, op=ConditionOp.EQ)
+        # fixture bounds: year 1999-2008 only
+        assert candidate_columns(domain, item) == ["year"]
+
+    def test_currency_restricts_to_price(self, domain):
+        item = IncompleteNumeric(value=5000.0, op=ConditionOp.EQ, currency=True)
+        assert candidate_columns(domain, item) == ["price"]
+
+    def test_expand_single_candidate(self, domain):
+        item = IncompleteNumeric(value=2000.0, op=ConditionOp.EQ)
+        node = expand_incomplete(domain, item)
+        assert isinstance(node, Condition)
+        assert node.column == "year"
+
+    def test_expand_no_candidates(self, domain):
+        item = IncompleteNumeric(value=999999999.0, op=ConditionOp.EQ)
+        assert expand_incomplete(domain, item) is None
+
+    def test_expand_multiple_candidates_or_group(self):
+        from tests.conftest import small_car_schema
+
+        domain = AdsDomain.from_values(
+            "cars",
+            small_car_schema(),
+            {"make": ["honda"], "model": ["accord"]},
+        )
+        item = IncompleteNumeric(value=2000.0, op=ConditionOp.EQ)
+        node = expand_incomplete(domain, item)
+        assert isinstance(node, ConditionGroup)
+        assert node.operator is BooleanOperator.OR
+        columns = {c.column for c in node.iter_conditions()}
+        assert columns == {"year", "price", "mileage"}
+
+    def test_between_expansion(self, domain):
+        item = IncompleteNumeric(
+            value=2000.0, op=ConditionOp.BETWEEN, high_value=2005.0
+        )
+        node = expand_incomplete(domain, item)
+        assert isinstance(node, Condition)
+        assert node.op is ConditionOp.BETWEEN
+        assert node.value == (2000.0, 2005.0)
+
+
+class TestSuperlativePlacement:
+    def test_superlative_survives_interpretation(self, interpret):
+        interpretation = interpret("cheapest blue honda")
+        assert interpretation.superlative is not None
+        assert interpretation.superlative.column == "price"
+
+    def test_superlative_only_question(self, interpret):
+        interpretation = interpret("cheapest")
+        assert interpretation.tree is None
+        assert interpretation.superlative is not None

@@ -1,0 +1,121 @@
+"""Tests for AdsDomain construction and lookups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.qa.domain import AdsDomain
+from tests.conftest import small_car_schema
+
+
+@pytest.fixture()
+def domain(car_table):
+    return AdsDomain.from_table("cars", car_table)
+
+
+class TestFromTable:
+    def test_values_harvested(self, domain):
+        assert "honda" in domain.values_of("make")
+        assert "blue" in domain.values_of("color")
+        assert "3 series" in domain.values_of("model")
+
+    def test_trie_contains_values(self, domain):
+        payloads = domain.trie.get("honda")
+        assert payloads is not None
+        assert payloads[0].column == "make"
+        assert payloads[0].attribute_type is AttributeType.TYPE_I
+
+    def test_trie_contains_multiword_values(self, domain):
+        assert "3 series" in domain.trie
+
+    def test_word_trie_contains_entry_words(self, domain):
+        assert "series" in domain.word_trie
+        assert "honda" in domain.word_trie
+
+    def test_trie_contains_attribute_synonyms(self, domain):
+        payloads = domain.trie.get("cost")
+        assert payloads is not None
+        assert payloads[0].column == "price"
+        assert payloads[0].kind == "attribute"
+
+    def test_trie_contains_unit_words(self, domain):
+        payloads = domain.trie.get("miles")
+        assert payloads[0].column == "mileage"
+        assert payloads[0].kind == "unit"
+
+    def test_numeric_bounds_from_data(self, domain):
+        low, high = domain.numeric_bounds["price"]
+        assert (low, high) == (3000, 22000)
+
+    def test_value_ranges_positive(self, domain):
+        assert domain.value_ranges["price"] > 0
+
+
+class TestRoleResolution:
+    def test_price_role_direct(self, domain):
+        assert domain.resolve_role("price") == "price"
+
+    def test_year_role(self, domain):
+        assert domain.resolve_role("year") == "year"
+
+    def test_price_role_via_unit_words(self, car_table):
+        # a domain whose money column is not literally "price"
+        from repro.db.schema import Column, ColumnKind, TableSchema
+
+        schema = TableSchema(
+            table_name="job_ads",
+            columns=[
+                Column("title", AttributeType.TYPE_I),
+                Column(
+                    "salary",
+                    AttributeType.TYPE_III,
+                    ColumnKind.NUMERIC,
+                    unit_words=("usd", "dollars"),
+                    valid_range=(30000, 200000),
+                ),
+            ],
+        )
+        domain = AdsDomain.from_values(
+            "jobs", schema, {"title": ["developer"]}
+        )
+        assert domain.resolve_role("price") == "salary"
+
+    def test_missing_role(self, car_table):
+        from repro.db.schema import Column, TableSchema
+
+        schema = TableSchema(
+            table_name="t", columns=[Column("name", AttributeType.TYPE_I)]
+        )
+        domain = AdsDomain.from_values("t", schema, {"name": ["x"]})
+        assert domain.resolve_role("price") is None
+        assert domain.resolve_role("year") is None
+
+
+class TestBoundsQueries:
+    def test_value_in_bounds(self, domain):
+        assert domain.numeric_value_in_bounds("year", 2005)
+        assert not domain.numeric_value_in_bounds("year", 1200)
+        assert not domain.numeric_value_in_bounds("price", 100)
+
+    def test_unknown_bounds_permissive(self):
+        domain = AdsDomain.from_values(
+            "cars", small_car_schema(), {"make": ["honda"], "model": ["fit"]}
+        )
+        # schema valid_range backfills the bounds
+        assert domain.numeric_value_in_bounds("price", 5000)
+
+    def test_attribute_value_range_fallbacks(self, domain):
+        assert domain.attribute_value_range("price") > 0
+        # unknown column: defensive default of 1.0
+        assert domain.attribute_value_range("nonexistent") == 1.0
+
+
+class TestAllCategoricalValues:
+    def test_contains_every_type_i_ii_value(self, domain):
+        values = set(domain.all_categorical_values())
+        assert {"honda", "accord", "blue", "automatic"} <= values
+
+    def test_no_numeric_values(self, domain):
+        values = domain.all_categorical_values()
+        assert "9000" not in values

@@ -1,0 +1,129 @@
+"""Tests for the Table 1 identifier rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qa.conditions import ConditionOp
+from repro.qa.identifiers import (
+    IDENTIFIER_ENTRIES,
+    KeywordClass,
+    classify_keyword,
+    is_negation_word,
+    multiword_identifier_phrases,
+)
+
+
+class TestComparisonWords:
+    @pytest.mark.parametrize(
+        "word", ["below", "fewer", "less", "lower", "smaller", "under", "<"]
+    )
+    def test_less_than_family(self, word):
+        entry = classify_keyword(word)
+        assert entry is not None
+        assert entry.keyword_class is KeywordClass.COMPARISON
+        assert entry.op is ConditionOp.LT
+
+    @pytest.mark.parametrize("word", ["above", "greater", "higher", "more", "over", ">"])
+    def test_greater_than_family(self, word):
+        entry = classify_keyword(word)
+        assert entry.op is ConditionOp.GT
+
+    @pytest.mark.parametrize("word", ["equal", "equals", "exactly", "="])
+    def test_equality_family(self, word):
+        assert classify_keyword(word).op is ConditionOp.EQ
+
+    @pytest.mark.parametrize("word", ["between", "range", "within"])
+    def test_between_family(self, word):
+        assert classify_keyword(word).keyword_class is KeywordClass.BETWEEN
+
+
+class TestCompleteBoundaries:
+    def test_cheaper_carries_price_role(self):
+        entry = classify_keyword("cheaper")
+        assert entry.keyword_class is KeywordClass.COMPLETE_BOUNDARY
+        assert entry.role == "price"
+        assert entry.op is ConditionOp.LT
+
+    def test_newer_older_carry_year_role(self):
+        assert classify_keyword("newer").role == "year"
+        assert classify_keyword("newer").op is ConditionOp.GT
+        assert classify_keyword("older").op is ConditionOp.LT
+
+    def test_more_expensive_multiword(self):
+        entry = classify_keyword("more expensive")
+        assert entry.op is ConditionOp.GT
+        assert entry.role == "price"
+
+
+class TestSuperlatives:
+    def test_complete_superlatives(self):
+        cheapest = classify_keyword("cheapest")
+        assert cheapest.keyword_class is KeywordClass.SUPERLATIVE_COMPLETE
+        assert cheapest.role == "price"
+        assert cheapest.maximum is False
+        newest = classify_keyword("newest")
+        assert newest.role == "year"
+        assert newest.maximum is True
+        assert classify_keyword("oldest").maximum is False
+        assert classify_keyword("latest").maximum is True
+
+    @pytest.mark.parametrize("word", ["lowest", "least", "min", "fewest", "smallest"])
+    def test_partial_min(self, word):
+        entry = classify_keyword(word)
+        assert entry.keyword_class is KeywordClass.SUPERLATIVE_PARTIAL
+        assert entry.maximum is False
+
+    @pytest.mark.parametrize("word", ["highest", "max", "greatest", "most"])
+    def test_partial_max(self, word):
+        entry = classify_keyword(word)
+        assert entry.keyword_class is KeywordClass.SUPERLATIVE_PARTIAL
+        assert entry.maximum is True
+
+
+class TestNegations:
+    @pytest.mark.parametrize(
+        "word",
+        ["not", "no", "without", "except", "excluding", "remove", "nothing"],
+    )
+    def test_paper_footnote_1_list(self, word):
+        assert is_negation_word(word)
+
+    def test_stemmed_variants(self):
+        # "(or their stemmed versions)" — Section 4.4.1 footnote 1
+        assert is_negation_word("excluded")
+        assert is_negation_word("removes")
+        assert is_negation_word("removing")
+
+    def test_non_negations(self):
+        assert not is_negation_word("blue")
+        assert not is_negation_word("under")
+
+
+class TestBooleanOperators:
+    def test_and_or(self):
+        assert classify_keyword("and").keyword_class is KeywordClass.BOOLEAN_AND
+        assert classify_keyword("or").keyword_class is KeywordClass.BOOLEAN_OR
+
+
+class TestTableShape:
+    def test_unknown_word_returns_none(self):
+        assert classify_keyword("honda") is None
+        assert classify_keyword("blue") is None
+
+    def test_multiword_phrases_listed_longest_first(self):
+        phrases = multiword_identifier_phrases()
+        assert "less expensive" in phrases
+        lengths = [len(p) for p in phrases]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_entries_have_required_payloads(self):
+        for entry in IDENTIFIER_ENTRIES:
+            if entry.keyword_class is KeywordClass.COMPARISON:
+                assert entry.op is not None
+            if entry.keyword_class is KeywordClass.COMPLETE_BOUNDARY:
+                assert entry.op is not None and entry.role is not None
+            if entry.keyword_class is KeywordClass.SUPERLATIVE_COMPLETE:
+                assert entry.role is not None and entry.maximum is not None
+            if entry.keyword_class is KeywordClass.SUPERLATIVE_PARTIAL:
+                assert entry.maximum is not None

@@ -1,0 +1,86 @@
+"""Tests for the Section 4.5 tabular/HTML answer presentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qa.presentation import answers_as_rows, render_html, render_text
+
+
+@pytest.fixture(scope="module")
+def result_and_schema(cars_system):
+    result = cars_system.cqads.answer(
+        "Find Honda Accord blue less than 15000 dollars", domain="cars"
+    )
+    schema = cars_system.domains["cars"].dataset.spec.schema
+    return result, schema
+
+
+class TestRows:
+    def test_headers_cover_schema(self, result_and_schema):
+        result, schema = result_and_schema
+        headers, rows = answers_as_rows(result, schema)
+        assert headers[0] == "#"
+        assert headers[-2:] == ["match", "Rank_Sim"]
+        for column in schema.columns:
+            assert column.name in headers
+        assert len(rows) == len(result.answers)
+
+    def test_exact_rows_have_blank_score(self, result_and_schema):
+        result, schema = result_and_schema
+        _, rows = answers_as_rows(result, schema)
+        for row, answer in zip(rows, result.answers):
+            if answer.exact:
+                assert row[-1] == ""
+                assert row[-2] == "exact"
+            else:
+                assert float(row[-1]) == pytest.approx(answer.score, abs=0.01)
+
+    def test_limit(self, result_and_schema):
+        result, schema = result_and_schema
+        _, rows = answers_as_rows(result, schema, limit=3)
+        assert len(rows) == 3
+
+
+class TestTextRendering:
+    def test_contains_question_and_reading(self, result_and_schema):
+        result, schema = result_and_schema
+        text = render_text(result, schema, limit=5)
+        assert result.question in text
+        assert "make = honda" in text
+
+    def test_empty_result(self, cars_system):
+        result = cars_system.cqads.answer(
+            "honda cheaper than 600 and more expensive than 70000",
+            domain="cars",
+        )
+        schema = cars_system.domains["cars"].dataset.spec.schema
+        text = render_text(result, schema)
+        assert "no results" in text
+
+
+class TestHTMLRendering:
+    def test_well_formed_and_escaped(self, cars_system):
+        result = cars_system.cqads.answer(
+            "honda <script>alert(1)</script>", domain="cars"
+        )
+        schema = cars_system.domains["cars"].dataset.spec.schema
+        page = render_html(result, schema)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_row_classes(self, result_and_schema):
+        result, schema = result_and_schema
+        page = render_html(result, schema)
+        if result.exact_answers:
+            assert "tr class='exact'" in page
+        if result.partial_answers:
+            assert "tr class='partial'" in page
+
+    def test_corrections_shown(self, cars_system):
+        result = cars_system.cqads.answer("hondaaccord", domain="cars")
+        schema = cars_system.domains["cars"].dataset.spec.schema
+        page = render_html(result, schema)
+        assert "corrections:" in page
+        assert "hondaaccord" in page

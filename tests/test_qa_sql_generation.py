@@ -1,0 +1,167 @@
+"""Tests for interpretation -> SQL rendering and evaluation order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.db.sql.parser import parse_select
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionOp,
+    Interpretation,
+    Superlative,
+)
+from repro.qa.domain import AdsDomain
+from repro.qa.sql_generation import (
+    apply_superlative,
+    evaluate_interpretation,
+    generate_sql,
+)
+
+TI = AttributeType.TYPE_I
+TII = AttributeType.TYPE_II
+TIII = AttributeType.TYPE_III
+
+
+def make_interpretation():
+    return Interpretation(
+        tree=ConditionGroup(
+            BooleanOperator.AND,
+            [
+                Condition("price", TIII, ConditionOp.LT, 15000),
+                Condition("color", TII, ConditionOp.EQ, "blue"),
+                Condition("make", TI, ConditionOp.EQ, "honda"),
+            ],
+        )
+    )
+
+
+class TestGenerateSQL:
+    def test_example7_subquery_shape(self):
+        statement = generate_sql("car_ads", make_interpretation())
+        sql = statement.to_sql()
+        assert sql.count("record_id IN (SELECT record_id FROM car_ads") == 3
+        # round-trips through the parser
+        assert parse_select(sql).to_sql() == sql
+
+    def test_evaluation_order_type_i_first(self):
+        statement = generate_sql("car_ads", make_interpretation(), ordered=True)
+        sql = statement.to_sql()
+        assert sql.index("make") < sql.index("color") < sql.index("price")
+
+    def test_unordered_preserves_question_order(self):
+        statement = generate_sql(
+            "car_ads", make_interpretation(), ordered=False
+        )
+        sql = statement.to_sql()
+        assert sql.index("price") < sql.index("color") < sql.index("make")
+
+    def test_direct_style(self):
+        statement = generate_sql(
+            "car_ads", make_interpretation(), subquery_style=False
+        )
+        sql = statement.to_sql()
+        assert "IN (SELECT" not in sql
+        assert "make = 'honda'" in sql
+
+    def test_limit_rendered(self):
+        statement = generate_sql("car_ads", make_interpretation(), limit=30)
+        assert statement.to_sql().endswith("LIMIT 30")
+
+    def test_superlative_renders_order_by(self):
+        interpretation = make_interpretation()
+        interpretation.superlative = Superlative("price", maximum=False)
+        sql = generate_sql("car_ads", interpretation).to_sql()
+        assert "ORDER BY price" in sql
+
+    def test_boolean_tree_renders_directly(self):
+        tree = ConditionGroup(
+            BooleanOperator.OR,
+            [
+                Condition("make", TI, ConditionOp.EQ, "honda"),
+                Condition("make", TI, ConditionOp.EQ, "toyota"),
+            ],
+        )
+        sql = generate_sql("car_ads", Interpretation(tree=tree)).to_sql()
+        assert "OR" in sql
+        assert "IN (SELECT" not in sql
+
+    def test_negation_renders_not(self):
+        tree = Condition("color", TII, ConditionOp.EQ, "blue", negated=True)
+        sql = generate_sql("car_ads", Interpretation(tree=tree)).to_sql()
+        assert "NOT" in sql
+
+    def test_between_and_ne(self):
+        tree = ConditionGroup(
+            BooleanOperator.AND,
+            [
+                Condition("price", TIII, ConditionOp.BETWEEN, (2000, 7000)),
+                Condition("year", TIII, ConditionOp.NE, 2001),
+            ],
+        )
+        sql = generate_sql("car_ads", Interpretation(tree=tree)).to_sql()
+        assert "BETWEEN 2000.0 AND 7000.0" in sql
+        assert "year != 2001" in sql
+
+
+class TestEvaluate:
+    def test_conjunction(self, car_database):
+        domain = AdsDomain.from_table("cars", car_database.table("car_ads"))
+        records = evaluate_interpretation(
+            car_database, domain, make_interpretation()
+        )
+        assert all(
+            r["make"] == "honda" and r["color"] == "blue" and r["price"] < 15000
+            for r in records
+        )
+        assert len(records) == 2  # blue accord (9000) and blue civic (11000)
+
+    def test_superlative_last(self, car_database):
+        """The paper's "cheapest Honda" example: the superlative must
+        apply after the make filter, not before."""
+        domain = AdsDomain.from_table("cars", car_database.table("car_ads"))
+        interpretation = Interpretation(
+            tree=Condition("make", TI, ConditionOp.EQ, "honda"),
+            superlative=Superlative("price", maximum=False),
+        )
+        records = evaluate_interpretation(car_database, domain, interpretation)
+        assert len(records) == 1
+        assert records[0]["make"] == "honda"
+        assert records[0]["price"] == 5000  # cheapest honda, not cheapest car
+
+    def test_limit(self, car_database):
+        domain = AdsDomain.from_table("cars", car_database.table("car_ads"))
+        records = evaluate_interpretation(
+            car_database, domain, Interpretation(tree=None), limit=3
+        )
+        assert len(records) == 3
+
+    def test_empty_interpretation_returns_all(self, car_database):
+        domain = AdsDomain.from_table("cars", car_database.table("car_ads"))
+        records = evaluate_interpretation(
+            car_database, domain, Interpretation(tree=None)
+        )
+        assert len(records) == 8
+
+
+class TestApplySuperlative:
+    def test_min_keeps_ties(self, car_table):
+        records = list(car_table)
+        cheapest = apply_superlative(records, Superlative("price", False))
+        assert [r["price"] for r in cheapest] == [3000]
+
+    def test_max(self, car_table):
+        records = list(car_table)
+        priciest = apply_superlative(records, Superlative("price", True))
+        assert [r["price"] for r in priciest] == [22000]
+
+    def test_empty_input(self):
+        assert apply_superlative([], Superlative("price", False)) == []
+
+    def test_all_null_column(self, car_table):
+        record = car_table.insert({"make": "kia", "model": "rio"})
+        result = apply_superlative([record], Superlative("price", False))
+        assert result == []

@@ -1,0 +1,222 @@
+"""Tests for keyword tagging with context switching (Sections 4.1-4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.qa.conditions import Condition, ConditionOp, Superlative
+from repro.qa.domain import AdsDomain
+from repro.qa.tagger import IncompleteNumeric, Marker, QuestionTagger
+
+TI = AttributeType.TYPE_I
+TII = AttributeType.TYPE_II
+TIII = AttributeType.TYPE_III
+
+
+@pytest.fixture()
+def tagger(car_table):
+    return QuestionTagger(AdsDomain.from_table("cars", car_table))
+
+
+def condition_map(tagged):
+    return {
+        condition.column: condition for condition in tagged.conditions()
+    }
+
+
+class TestPaperExample2:
+    """The three questions of the paper's Examples 1-2."""
+
+    def test_q1_two_door_red_bmw(self, tagger):
+        # 'doors' isn't a value in the small fixture; color+make suffice
+        tagged = tagger.tag("Do you have a red BMW?")
+        by_column = condition_map(tagged)
+        assert by_column["color"].value == "red"
+        assert by_column["make"].value == "bmw"
+        assert by_column["make"].attribute_type is TI
+
+    def test_q2_cheapest_with_superlative(self, tagger):
+        tagged = tagger.tag("Cheapest toyota with automatic transmission")
+        assert tagged.superlatives() == [Superlative("price", maximum=False)]
+        by_column = condition_map(tagged)
+        assert by_column["make"].value == "toyota"
+        assert by_column["transmission"].value == "automatic"
+
+    def test_q3_boundary_with_unit(self, tagger):
+        tagged = tagger.tag("I want a camry with less than 20k miles")
+        by_column = condition_map(tagged)
+        assert by_column["mileage"] == Condition(
+            "mileage", TIII, ConditionOp.LT, 20000.0
+        )
+
+
+class TestNumbers:
+    def test_currency_binds_to_price(self, tagger):
+        tagged = tagger.tag("honda accord less than $2000")
+        by_column = condition_map(tagged)
+        assert by_column["price"].op is ConditionOp.LT
+        assert by_column["price"].value == 2000.0
+
+    def test_unit_after_number(self, tagger):
+        tagged = tagger.tag("accord under 5000 dollars")
+        assert condition_map(tagged)["price"].value == 5000.0
+
+    def test_attribute_word_before_number(self, tagger):
+        tagged = tagger.tag("accord price under 5000")
+        assert condition_map(tagged)["price"].op is ConditionOp.LT
+
+    def test_attribute_synonym(self, tagger):
+        tagged = tagger.tag("accord cost below 5000")
+        assert "price" in condition_map(tagged)
+
+    def test_between(self, tagger):
+        tagged = tagger.tag("accord between 2000 and 7000 dollars")
+        condition = condition_map(tagged)["price"]
+        assert condition.op is ConditionOp.BETWEEN
+        assert condition.value == (2000.0, 7000.0)
+
+    def test_between_reversed_bounds_normalized(self, tagger):
+        tagged = tagger.tag("accord price between 7000 and 2000")
+        assert condition_map(tagged)["price"].value == (2000.0, 7000.0)
+
+    def test_ambiguous_number_is_incomplete(self):
+        # With overlapping valid ranges (as in the paper's Example 3),
+        # a bare number cannot be resolved and becomes incomplete.
+        from tests.conftest import small_car_schema
+
+        domain = AdsDomain.from_values(
+            "cars",
+            small_car_schema(),
+            {"make": ["honda"], "model": ["accord"]},
+            numeric_bounds={
+                "year": (1985, 2011),
+                "price": (500, 80000),
+                "mileage": (0, 250000),
+            },
+        )
+        tagged = QuestionTagger(domain).tag("honda accord 2000")
+        incomplete = tagged.incomplete()
+        assert len(incomplete) == 1
+        assert incomplete[0].value == 2000.0
+        assert incomplete[0].op is ConditionOp.EQ
+
+    def test_unambiguous_number_resolved_by_bounds(self, tagger):
+        # 2000 is below the fixture's observed price minimum (3000), so
+        # only year admits it — Section 4.2.2's valid-range analysis.
+        tagged = tagger.tag("honda accord 2000")
+        assert tagged.incomplete() == []
+        assert condition_map(tagged)["year"].value == 2000.0
+
+    def test_context_switch_carries_column(self, tagger):
+        # 4000 is in the price bounds, so the bare number inherits the
+        # price context from the first clause.
+        tagged = tagger.tag("accord price below 7000 and not less than 4000")
+        conditions = [c for c in tagged.conditions() if c.column == "price"]
+        assert len(conditions) == 2
+        assert conditions[1].negated
+
+    def test_year_disambiguated_by_bounds(self, tagger):
+        # 150000 is only plausible as mileage in the small fixture
+        tagged = tagger.tag("accord less than 150000")
+        by_column = condition_map(tagged)
+        assert "mileage" in by_column
+
+    def test_unfinished_between_degrades(self, tagger):
+        tagged = tagger.tag("accord price within 7000")
+        condition = condition_map(tagged)["price"]
+        assert condition.op is ConditionOp.LE
+        assert condition.value == 7000.0
+
+
+class TestSuperlatives:
+    def test_complete_superlative(self, tagger):
+        tagged = tagger.tag("cheapest honda")
+        assert tagged.superlatives() == [Superlative("price", False)]
+
+    def test_most_expensive_pair(self, tagger):
+        tagged = tagger.tag("most expensive honda")
+        assert tagged.superlatives() == [Superlative("price", True)]
+
+    def test_newest_oldest(self, tagger):
+        assert tagger.tag("newest camry").superlatives() == [
+            Superlative("year", True)
+        ]
+        assert tagger.tag("oldest camry").superlatives() == [
+            Superlative("year", False)
+        ]
+
+    def test_partial_superlative_with_attribute(self, tagger):
+        tagged = tagger.tag("lowest mileage accord")
+        assert tagged.superlatives() == [Superlative("mileage", False)]
+
+    def test_partial_superlative_attribute_first(self, tagger):
+        tagged = tagger.tag("accord with mileage lowest")
+        assert tagged.superlatives() == [Superlative("mileage", False)]
+
+    def test_max_with_number_reads_as_bound(self, tagger):
+        tagged = tagger.tag("accord max $5000")
+        condition = condition_map(tagged)["price"]
+        assert condition.op is ConditionOp.LE
+        assert condition.value == 5000.0
+
+
+class TestNegationAndBoolean:
+    def test_negation_marks_next_condition(self, tagger):
+        tagged = tagger.tag("accord not blue")
+        assert condition_map(tagged)["color"].negated
+
+    def test_negation_words(self, tagger):
+        for word in ("without", "except", "excluding", "no"):
+            tagged = tagger.tag(f"accord {word} blue")
+            assert condition_map(tagged)["color"].negated, word
+
+    def test_or_marker(self, tagger):
+        tagged = tagger.tag("accord or camry")
+        assert any(isinstance(item, Marker) and item.operator == "OR"
+                   for item in tagged.items)
+
+    def test_and_marker(self, tagger):
+        tagged = tagger.tag("blue and red toyota")
+        assert any(isinstance(item, Marker) and item.operator == "AND"
+                   for item in tagged.items)
+
+    def test_between_and_not_a_marker(self, tagger):
+        tagged = tagger.tag("accord between 2000 and 7000 dollars")
+        assert not tagged.has_explicit_boolean()
+
+
+class TestRobustness:
+    def test_non_essential_keywords_dropped(self, tagger):
+        tagged = tagger.tag("do you maybe possibly have a blue honda")
+        assert "maybe" in tagged.dropped_tokens
+        assert {c.value for c in tagged.conditions()} == {"blue", "honda"}
+
+    def test_misspelling_corrected_in_stream(self, tagger):
+        tagged = tagger.tag("hinda accord")
+        assert condition_map(tagged)["make"].value == "honda"
+        assert tagged.corrections
+
+    def test_shorthand_expanded(self, tagger):
+        tagged = tagger.tag("auto accord")
+        assert condition_map(tagged)["transmission"].value == "automatic"
+
+    def test_multiword_value(self, tagger):
+        tagged = tagger.tag("bmw 3 series black")
+        by_column = condition_map(tagged)
+        assert by_column["model"].value == "3 series"
+        assert by_column["color"].value == "black"
+
+    def test_empty_question(self, tagger):
+        tagged = tagger.tag("")
+        assert tagged.items == []
+
+    def test_only_stopwords(self, tagger):
+        tagged = tagger.tag("do you have any of the these")
+        assert tagged.conditions() == []
+
+    def test_describe_is_stable(self, tagger):
+        tagged = tagger.tag("red honda accord under $5000")
+        description = tagged.describe()
+        assert "color = red" in description
+        assert "price < 5000" in description

@@ -1,0 +1,144 @@
+"""Tests for the four comparison rankers of Section 5.5.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.qa.conditions import Condition, ConditionOp
+from repro.ranking.baselines import (
+    AIMQRanker,
+    CosineRanker,
+    FAQFinderRanker,
+    RandomRanker,
+)
+
+TI = AttributeType.TYPE_I
+TII = AttributeType.TYPE_II
+TIII = AttributeType.TYPE_III
+
+
+def car_conditions():
+    return [
+        Condition("make", TI, ConditionOp.EQ, "honda"),
+        Condition("model", TI, ConditionOp.EQ, "accord"),
+        Condition("color", TII, ConditionOp.EQ, "blue"),
+        Condition("price", TIII, ConditionOp.LT, 10000),
+    ]
+
+
+class TestRandomRanker:
+    def test_permutation(self, car_table):
+        records = list(car_table)
+        ranked = RandomRanker(seed=1).rank(records, car_conditions())
+        assert sorted(r.record_id for r in ranked) == sorted(
+            r.record_id for r in records
+        )
+
+    def test_seeded_determinism(self, car_table):
+        records = list(car_table)
+        first = RandomRanker(seed=1).rank(records, car_conditions())
+        second = RandomRanker(seed=1).rank(records, car_conditions())
+        assert [r.record_id for r in first] == [r.record_id for r in second]
+
+    def test_top_k(self, car_table):
+        ranked = RandomRanker(seed=1).rank(
+            list(car_table), car_conditions(), top_k=3
+        )
+        assert len(ranked) == 3
+
+
+class TestCosineRanker:
+    def test_score_is_sqrt_fraction(self, car_table):
+        ranker = CosineRanker()
+        record = car_table.get(1)  # satisfies all 4
+        assert ranker.score(record, car_conditions()) == pytest.approx(1.0)
+        record = car_table.get(4)  # camry: blue + price ok = 2 of 4
+        assert ranker.score(record, car_conditions()) == pytest.approx(
+            (2 / 4) ** 0.5
+        )
+
+    def test_rank_by_satisfied_count(self, car_table):
+        ranked = CosineRanker().rank(list(car_table), car_conditions())
+        assert ranked[0].record_id == 1  # the exact match leads
+
+    def test_no_conditions(self, car_table):
+        assert CosineRanker().score(car_table.get(1), []) == 0.0
+
+    def test_zero_satisfied(self, car_table):
+        conditions = [Condition("make", TI, ConditionOp.EQ, "porsche")]
+        assert CosineRanker().score(car_table.get(1), conditions) == 0.0
+
+
+class TestAIMQRanker:
+    def test_supertuple_jaccard_identity(self, car_table):
+        ranker = AIMQRanker(car_table)
+        assert ranker._v_sim("make", "honda", "honda") == 1.0
+
+    def test_supertuple_jaccard_overlap(self, car_table):
+        ranker = AIMQRanker(car_table)
+        # honda and toyota co-occur with overlapping colors/transmissions
+        sim = ranker._v_sim("make", "honda", "toyota")
+        assert 0.0 < sim < 1.0
+
+    def test_unknown_value(self, car_table):
+        ranker = AIMQRanker(car_table)
+        assert ranker._v_sim("make", "honda", "porsche") == 0.0
+
+    def test_numeric_similarity_query_normalized(self, car_table):
+        # AIMQ's Eq. 9: 1 - |Q - A| / Q
+        assert AIMQRanker._numeric_sim(10000, 9000) == pytest.approx(0.9)
+        assert AIMQRanker._numeric_sim(10000, 25000) == 0.0
+
+    def test_exact_match_scores_highest(self, car_table):
+        ranker = AIMQRanker(car_table)
+        ranked = ranker.rank(list(car_table), car_conditions())
+        assert ranked[0].record_id == 1
+
+    def test_missing_values_contribute_zero(self, car_table):
+        record = car_table.insert({"make": "honda", "model": "accord"})
+        ranker = AIMQRanker(car_table)
+        score = ranker.score(record, [Condition("color", TII, ConditionOp.EQ, "blue")])
+        assert score == 0.0
+
+
+class TestFAQFinderRanker:
+    def test_exact_text_match_leads(self, car_table):
+        ranker = FAQFinderRanker(car_table)
+        ranked = ranker.rank(
+            list(car_table),
+            car_conditions(),
+            question_text="blue honda accord automatic",
+        )
+        top = ranked[0]
+        assert top["make"] == "honda"
+        assert top["model"] == "accord"
+
+    def test_numbers_not_compared(self, car_table):
+        """The paper's criticism: numeric constraints carry no signal."""
+        ranker = FAQFinderRanker(car_table)
+        with_price = ranker.rank(
+            list(car_table), [], question_text="honda accord under 9500"
+        )
+        without_price = ranker.rank(
+            list(car_table), [], question_text="honda accord"
+        )
+        assert [r.record_id for r in with_price[:2]] == [
+            r.record_id for r in without_price[:2]
+        ]
+
+    def test_empty_question_falls_back_to_conditions(self, car_table):
+        ranker = FAQFinderRanker(car_table)
+        ranked = ranker.rank(list(car_table), car_conditions(), question_text="")
+        assert ranked[0]["make"] == "honda"
+
+    def test_score_zero_for_unrelated(self, car_table):
+        ranker = FAQFinderRanker(car_table)
+        assert ranker.score(car_table.get(1), "zebra crossing") == 0.0
+
+    def test_record_added_after_indexing(self, car_table):
+        ranker = FAQFinderRanker(car_table)
+        record = car_table.insert(
+            {"make": "kia", "model": "rio", "color": "green"}
+        )
+        assert ranker.score(record, "green kia rio") > 0.0

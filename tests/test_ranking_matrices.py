@@ -1,0 +1,132 @@
+"""Tests for the learned similarity matrices (TI-matrix and WS-matrix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.corpus import generate_corpus
+from repro.datagen.latent import LatentSimilarity
+from repro.datagen.querylog import generate_query_log
+from repro.datagen.vocab import build_domain_spec
+from repro.ranking.ti_matrix import TIMatrix
+from repro.ranking.ws_matrix import WSMatrix
+
+
+@pytest.fixture(scope="module")
+def cars_spec():
+    return build_domain_spec("cars")
+
+
+@pytest.fixture(scope="module")
+def cars_latent(cars_spec):
+    return LatentSimilarity(cars_spec)
+
+
+@pytest.fixture(scope="module")
+def ti_matrix(cars_spec, cars_latent):
+    sessions = generate_query_log(cars_spec, cars_latent, n_sessions=800, seed=11)
+    return TIMatrix.from_query_log(sessions)
+
+
+@pytest.fixture(scope="module")
+def ws_matrix(cars_spec):
+    corpus = generate_corpus([cars_spec], n_documents=300, seed=13)
+    return WSMatrix.from_corpus(corpus)
+
+
+class TestQueryLog:
+    def test_sessions_have_structure(self, cars_spec, cars_latent):
+        sessions = generate_query_log(
+            cars_spec, cars_latent, n_sessions=50, seed=11
+        )
+        assert len(sessions) == 50
+        for session in sessions:
+            assert session.queries
+            assert len({q.user_id for q in session.queries}) == 1
+            timestamps = [q.timestamp for q in session.queries]
+            assert timestamps == sorted(timestamps)
+            for query in session.queries:
+                assert query.results
+                ranks = [result.rank for result in query.results]
+                assert ranks == sorted(ranks)
+                for result in query.results:
+                    if result.clicked:
+                        assert result.dwell_seconds > 0
+                    else:
+                        assert result.dwell_seconds == 0.0
+
+    def test_query_text_is_product_label(self, cars_spec, cars_latent):
+        sessions = generate_query_log(
+            cars_spec, cars_latent, n_sessions=20, seed=11
+        )
+        labels = {product.label() for product in cars_spec.products}
+        for session in sessions:
+            for query in session.queries:
+                assert query.text in labels
+
+
+class TestTIMatrix:
+    def test_identity_pairs_score_max(self, ti_matrix):
+        key = ("honda", "accord")
+        assert ti_matrix.normalized(key, key) == 1.0
+
+    def test_values_bounded(self, ti_matrix):
+        for (a, b), value in ti_matrix.similarities.items():
+            assert 0.0 <= value <= 5.0, (a, b, value)
+            assert 0.0 <= ti_matrix.normalized(a, b) <= 1.0
+
+    def test_symmetry(self, ti_matrix):
+        a, b = ("honda", "accord"), ("toyota", "camry")
+        assert ti_matrix.similarity(a, b) == ti_matrix.similarity(b, a)
+
+    def test_unknown_pair_is_zero(self, ti_matrix):
+        assert ti_matrix.similarity(("x", "y"), ("honda", "accord")) == 0.0
+
+    def test_recovers_latent_structure(self, ti_matrix, cars_latent):
+        """The learned matrix must rank same-segment products above
+        cross-segment ones — the property Figure 5 depends on."""
+        accord = ("honda", "accord")
+        same_group = [("toyota", "camry"), ("chevy", "malibu")]
+        cross_group = [("chevy", "corvette"), ("bmw", "m3")]
+        same_scores = [ti_matrix.normalized(accord, k) for k in same_group]
+        cross_scores = [ti_matrix.normalized(accord, k) for k in cross_group]
+        assert min(same_scores) > max(cross_scores)
+
+    def test_empty_log(self):
+        matrix = TIMatrix.from_query_log([])
+        assert len(matrix) == 0
+        assert matrix.normalized(("a",), ("b",)) == 0.0
+
+
+class TestWSMatrix:
+    def test_same_word_is_one(self, ws_matrix):
+        assert ws_matrix.similarity("blue", "blue") == 1.0
+
+    def test_stemming_applied(self, ws_matrix):
+        # identical after stemming
+        assert ws_matrix.similarity("automatic", "automatically") == 1.0
+
+    def test_values_bounded(self, ws_matrix):
+        for pair in list(ws_matrix.weights)[:200]:
+            assert ws_matrix.similarity(*pair) <= 1.0
+
+    def test_cluster_words_score_higher(self, ws_matrix):
+        # "black" and "grey" share a cluster in the cars spec; "black"
+        # and "diesel" do not.
+        related = ws_matrix.similarity("black", "grey")
+        unrelated = ws_matrix.similarity("black", "diesel")
+        assert related > unrelated
+
+    def test_value_similarity_multiword(self, ws_matrix):
+        sim = ws_matrix.value_similarity("4 wheel drive", "all wheel drive")
+        assert sim > 0.0
+
+    def test_value_similarity_empty(self, ws_matrix):
+        assert ws_matrix.value_similarity("", "blue") == 0.0
+
+    def test_unseen_words(self, ws_matrix):
+        assert ws_matrix.similarity("zyzzyva", "blue") == 0.0
+
+    def test_empty_corpus(self):
+        matrix = WSMatrix.from_corpus([])
+        assert matrix.similarity("a", "b") == 0.0

@@ -1,0 +1,205 @@
+"""Tests for Num_Sim (Eq. 4) and Rank_Sim (Eq. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.qa.conditions import Condition, ConditionOp
+from repro.ranking.num_sim import condition_num_sim, num_sim
+from repro.ranking.rank_sim import (
+    RankSimRanker,
+    ScoringUnit,
+    condition_satisfied,
+)
+
+TI = AttributeType.TYPE_I
+TII = AttributeType.TYPE_II
+TIII = AttributeType.TYPE_III
+
+
+class TestNumSim:
+    def test_paper_example_4(self):
+        # Example 4: range 10000; $7,500 -> 0.75, $11,000 -> 0.90
+        assert num_sim(10000, 7500, 10000) == pytest.approx(0.75)
+        assert num_sim(10000, 11000, 10000) == pytest.approx(0.90)
+
+    def test_equal_values(self):
+        assert num_sim(5000, 5000, 10000) == 1.0
+
+    def test_clamped_at_zero(self):
+        assert num_sim(0, 50000, 10000) == 0.0
+
+    def test_degenerate_range(self):
+        assert num_sim(5, 5, 0) == 1.0
+        assert num_sim(5, 6, 0) == 0.0
+
+    def test_condition_lt_satisfied_is_one(self):
+        condition = Condition("price", TIII, ConditionOp.LT, 15000)
+        assert condition_num_sim(condition, 9000, 10000) == 1.0
+
+    def test_condition_lt_violated_measures_to_bound(self):
+        condition = Condition("price", TIII, ConditionOp.LT, 15000)
+        assert condition_num_sim(condition, 16000, 10000) == pytest.approx(0.9)
+
+    def test_condition_between_inside(self):
+        condition = Condition("price", TIII, ConditionOp.BETWEEN, (2000, 7000))
+        assert condition_num_sim(condition, 5000, 10000) == 1.0
+
+    def test_condition_between_outside_uses_nearest_bound(self):
+        condition = Condition("price", TIII, ConditionOp.BETWEEN, (2000, 7000))
+        assert condition_num_sim(condition, 8000, 10000) == pytest.approx(0.9)
+        assert condition_num_sim(condition, 1000, 10000) == pytest.approx(0.9)
+
+    def test_condition_gt(self):
+        condition = Condition("price", TIII, ConditionOp.GT, 5000)
+        assert condition_num_sim(condition, 6000, 10000) == 1.0
+        assert condition_num_sim(condition, 4000, 10000) == pytest.approx(0.9)
+
+
+class TestConditionSatisfied:
+    def make_record(self, car_table, **kwargs):
+        matches = [r for r in car_table if all(r.get(k) == v for k, v in kwargs.items())]
+        return matches[0]
+
+    def test_categorical_eq(self, car_table):
+        record = car_table.get(1)  # blue honda accord
+        assert condition_satisfied(Condition("color", TII, ConditionOp.EQ, "blue"), record)
+        assert not condition_satisfied(Condition("color", TII, ConditionOp.EQ, "red"), record)
+
+    def test_negated(self, car_table):
+        record = car_table.get(1)
+        assert condition_satisfied(
+            Condition("color", TII, ConditionOp.EQ, "red", negated=True), record
+        )
+
+    def test_numeric_ops(self, car_table):
+        record = car_table.get(1)  # price 9000
+        assert condition_satisfied(Condition("price", TIII, ConditionOp.LT, 10000), record)
+        assert not condition_satisfied(Condition("price", TIII, ConditionOp.GT, 10000), record)
+        assert condition_satisfied(
+            Condition("price", TIII, ConditionOp.BETWEEN, (8000, 10000)), record
+        )
+
+    def test_null_fails_positive_satisfies_negated(self, car_table):
+        record = car_table.insert({"make": "kia", "model": "rio"})
+        positive = Condition("color", TII, ConditionOp.EQ, "blue")
+        assert not condition_satisfied(positive, record)
+        negated = Condition("color", TII, ConditionOp.EQ, "blue", negated=True)
+        assert condition_satisfied(negated, record)
+
+
+class TestRankSim:
+    @pytest.fixture()
+    def ranker(self, cars_system):
+        return RankSimRanker(cars_system.domains["cars"].resources)
+
+    @pytest.fixture()
+    def table(self, cars_system):
+        return cars_system.domains["cars"].dataset.table
+
+    def conditions(self):
+        return [
+            Condition("make", TI, ConditionOp.EQ, "honda"),
+            Condition("model", TI, ConditionOp.EQ, "accord"),
+            Condition("color", TII, ConditionOp.EQ, "blue"),
+            Condition("price", TIII, ConditionOp.LT, 15000),
+        ]
+
+    def test_exact_match_scores_n(self, ranker, table):
+        exact = [
+            record
+            for record in table
+            if record["make"] == "honda"
+            and record["model"] == "accord"
+            and record.get("color") == "blue"
+            and record["price"] < 15000
+        ]
+        if not exact:
+            pytest.skip("no exact match in this dataset draw")
+        scored = ranker.score(exact[0], self.conditions())
+        assert scored.score == pytest.approx(4.0)
+        assert scored.similarity_kind == "exact"
+
+    def test_eq5_shape_n_minus_1_plus_sim(self, ranker, table):
+        wrong_color = [
+            record
+            for record in table
+            if record["make"] == "honda"
+            and record["model"] == "accord"
+            and record.get("color") not in (None, "blue")
+            and record["price"] < 15000
+        ]
+        if not wrong_color:
+            pytest.skip("no wrong-color accord in this draw")
+        scored = ranker.score(wrong_color[0], self.conditions())
+        assert 3.0 <= scored.score < 4.0
+        assert scored.similarity_kind == "Feat_Sim"
+        assert len(scored.failed) == 1
+
+    def test_same_segment_beats_cross_segment(self, ranker, table):
+        camry = [r for r in table if r["model"] == "camry"]
+        corvette = [r for r in table if r["model"] == "corvette"]
+        if not camry or not corvette:
+            pytest.skip("dataset draw lacks a needed product")
+        conditions = self.conditions()
+        camry_score = ranker.score(camry[0], conditions)
+        corvette_score = ranker.score(corvette[0], conditions)
+        # TI_Sim learned from the query log: Camry (same segment as
+        # Accord) must outrank Corvette.
+        assert camry_score.score != corvette_score.score
+
+    def test_rank_orders_descending(self, ranker, table):
+        records = list(table)[:50]
+        scored = ranker.rank(records, self.conditions())
+        values = [item.score for item in scored]
+        assert values == sorted(values, reverse=True)
+
+    def test_rank_top_k(self, ranker, table):
+        records = list(table)[:50]
+        assert len(ranker.rank(records, self.conditions(), top_k=5)) == 5
+
+    def test_units_any_mode(self, ranker, table):
+        # an incomplete-number OR unit: price=9000 or mileage=9000
+        unit = ScoringUnit(
+            conditions=(
+                Condition("price", TIII, ConditionOp.LT, 9000),
+                Condition("mileage", TIII, ConditionOp.LT, 9000),
+            ),
+            mode="any",
+        )
+        cheap = [r for r in table if r["price"] < 9000][0]
+        scored = ranker.score_units(cheap, [unit])
+        assert scored.score == pytest.approx(1.0)
+
+    def test_units_anchor_bundling(self, ranker, table):
+        units = [
+            ScoringUnit(
+                conditions=(
+                    Condition("make", TI, ConditionOp.EQ, "honda"),
+                    Condition("model", TI, ConditionOp.EQ, "accord"),
+                )
+            ),
+            ScoringUnit(conditions=(Condition("color", TII, ConditionOp.EQ, "blue"),)),
+        ]
+        blue_camry = [
+            r for r in table if r["model"] == "camry" and r.get("color") == "blue"
+        ]
+        if not blue_camry:
+            pytest.skip("no blue camry in this draw")
+        scored = ranker.score_units(blue_camry[0], units)
+        # 1 for blue + two TI similarities in (0, 1)
+        assert 1.0 < scored.score < 3.0
+        assert scored.similarity_kind == "TI_Sim"
+
+    def test_rank_units_matches_score_units(self, ranker, table):
+        units = [
+            ScoringUnit(conditions=(Condition("make", TI, ConditionOp.EQ, "honda"),)),
+            ScoringUnit(conditions=(Condition("color", TII, ConditionOp.EQ, "blue"),)),
+        ]
+        records = list(table)[:30]
+        ranked = ranker.rank_units(records, units)
+        for item in ranked:
+            assert item.score == pytest.approx(
+                ranker.score_units(item.record, units).score
+            )

@@ -1,0 +1,102 @@
+"""Tests for the programmatic query builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql.builder import QueryBuilder
+from repro.db.sql.executor import SQLExecutor
+from repro.db.sql.parser import parse_select
+
+
+@pytest.fixture()
+def builder():
+    return QueryBuilder("car_ads")
+
+
+class TestPredicates:
+    def test_eq_lowercases_column(self, builder):
+        expr = builder.eq("Make", "honda")
+        assert expr.to_sql() == "make = 'honda'"
+
+    def test_comparison_family(self, builder):
+        assert builder.lt("price", 5000).to_sql() == "price < 5000"
+        assert builder.le("price", 5000).to_sql() == "price <= 5000"
+        assert builder.gt("price", 5000).to_sql() == "price > 5000"
+        assert builder.ge("price", 5000).to_sql() == "price >= 5000"
+        assert builder.ne("color", "red").to_sql() == "color != 'red'"
+
+    def test_between_and_contains(self, builder):
+        assert (
+            builder.between("price", 1000, 2000).to_sql()
+            == "price BETWEEN 1000 AND 2000"
+        )
+        assert builder.contains("model", "cor").to_sql() == "model LIKE '%cor%'"
+
+    def test_string_escaping(self, builder):
+        expr = builder.eq("model", "o'brien")
+        assert expr.to_sql() == "model = 'o''brien'"
+        # and it round-trips through the parser
+        parsed = parse_select(f"SELECT * FROM t WHERE {expr.to_sql()}")
+        assert parsed.where.value.value == "o'brien"
+
+    def test_combinators_skip_none(self, builder):
+        combined = builder.and_(builder.eq("make", "honda"), None)
+        assert combined.to_sql() == "make = 'honda'"
+        assert builder.and_(None, None) is None
+        either = builder.or_(
+            builder.eq("make", "honda"), builder.eq("make", "bmw")
+        )
+        assert "OR" in either.to_sql()
+
+    def test_not(self, builder):
+        assert builder.not_(builder.eq("color", "blue")).to_sql() == (
+            "NOT (color = 'blue')"
+        )
+
+
+class TestStatements:
+    def test_select_with_everything(self, builder):
+        statement = builder.select(
+            where=builder.eq("make", "honda"),
+            order_by=[("price", False), ("year", True)],
+            limit=5,
+        )
+        sql = statement.to_sql()
+        assert "ORDER BY price, year DESC" in sql
+        assert sql.endswith("LIMIT 5")
+        # round-trip
+        assert parse_select(sql).to_sql() == sql
+
+    def test_select_conjunction_matches_example7(self, builder):
+        statement = builder.select_conjunction(
+            [builder.eq("transmission", "automatic"),
+             builder.eq("color", "blue")]
+        )
+        sql = statement.to_sql()
+        assert sql.count("record_id IN (SELECT record_id FROM car_ads") == 2
+        assert " AND " in sql
+
+    def test_select_disjunction_footnote4(self, builder):
+        statement = builder.select_disjunction(
+            [builder.eq("color", "blue"), builder.lt("price", 5000)]
+        )
+        assert " OR " in statement.to_sql()
+
+    def test_min_max_probe(self, builder):
+        sql = builder.select_min_max("price").to_sql()
+        assert sql == "SELECT MIN(price), MAX(price) FROM car_ads"
+
+    def test_executes_against_database(self, car_database, builder):
+        statement = builder.select_conjunction(
+            [builder.eq("make", "honda"), builder.lt("price", 10000)]
+        )
+        result = SQLExecutor(car_database).execute(statement)
+        assert {record["model"] for record in result.records} == {"accord"}
+
+    def test_disjunction_executes(self, car_database, builder):
+        statement = builder.select_disjunction(
+            [builder.eq("make", "bmw"), builder.eq("make", "ford")]
+        )
+        result = SQLExecutor(car_database).execute(statement)
+        assert len(result) == 2

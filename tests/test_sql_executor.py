@@ -1,0 +1,201 @@
+"""Tests for SQL execution over the small cars table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql.executor import SQLExecutor, execute
+from repro.errors import SQLExecutionError, SQLSyntaxError
+
+
+@pytest.fixture()
+def run(car_database):
+    def _run(sql: str):
+        return execute(car_database, sql)
+
+    return _run
+
+
+class TestBasicQueries:
+    def test_select_all(self, run):
+        assert len(run("SELECT * FROM car_ads")) == 8
+
+    def test_equality_uses_lowercase_match(self, run):
+        result = run("SELECT * FROM car_ads WHERE make = 'HONDA'")
+        assert {r["model"] for r in result.records} == {"accord", "civic"}
+
+    def test_numeric_comparisons(self, run):
+        assert len(run("SELECT * FROM car_ads WHERE price < 6000")) == 3
+        assert len(run("SELECT * FROM car_ads WHERE price <= 5900")) == 3
+        assert len(run("SELECT * FROM car_ads WHERE price > 20000")) == 1
+        assert len(run("SELECT * FROM car_ads WHERE year = 2004")) == 1
+        assert len(run("SELECT * FROM car_ads WHERE year != 2004")) == 7
+
+    def test_between(self, run):
+        result = run("SELECT * FROM car_ads WHERE price BETWEEN 5000 AND 9000")
+        assert all(5000 <= r["price"] <= 9000 for r in result.records)
+        assert len(result) == 5
+
+    def test_and_or_not(self, run):
+        result = run(
+            "SELECT * FROM car_ads WHERE make = 'honda' AND color = 'blue'"
+        )
+        assert {r["model"] for r in result.records} == {"accord", "civic"}
+        result = run(
+            "SELECT * FROM car_ads WHERE make = 'bmw' OR make = 'ford'"
+        )
+        assert len(result) == 2
+        result = run("SELECT * FROM car_ads WHERE NOT make = 'honda'")
+        assert len(result) == 5
+
+    def test_like_substring(self, run):
+        result = run("SELECT * FROM car_ads WHERE model LIKE '%cor%'")
+        assert {r["model"] for r in result.records} == {"accord", "corolla"}
+
+    def test_like_prefix_pattern(self, run):
+        result = run("SELECT * FROM car_ads WHERE model LIKE 'c%'")
+        assert {r["model"] for r in result.records} == {"civic", "camry", "corolla"}
+
+    def test_in_value_list(self, run):
+        result = run(
+            "SELECT * FROM car_ads WHERE color IN ('black', 'silver')"
+        )
+        assert len(result) == 2
+
+    def test_in_subquery_example7_shape(self, run):
+        # The paper's Example 7 query shape.
+        result = run(
+            "SELECT * FROM car_ads WHERE record_id IN "
+            "(SELECT record_id FROM car_ads c WHERE c.transmission = 'automatic') "
+            "AND record_id IN "
+            "(SELECT record_id FROM car_ads c WHERE c.color = 'blue')"
+        )
+        assert all(
+            r["transmission"] == "automatic" and r["color"] == "blue"
+            for r in result.records
+        )
+        assert len(result) == 4
+
+
+class TestOrderingAndLimit:
+    def test_order_by_ascending(self, run):
+        result = run("SELECT * FROM car_ads ORDER BY price")
+        prices = [r["price"] for r in result.records]
+        assert prices == sorted(prices)
+
+    def test_order_by_descending(self, run):
+        result = run("SELECT * FROM car_ads ORDER BY price DESC")
+        prices = [r["price"] for r in result.records]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_group_by_acts_as_sort(self, run):
+        # Table 1's 'group by price' idiom surfaces extremes first.
+        result = run("SELECT * FROM car_ads GROUP BY price")
+        assert result.records[0]["price"] == 3000
+
+    def test_limit(self, run):
+        result = run("SELECT * FROM car_ads ORDER BY price LIMIT 3")
+        assert [r["price"] for r in result.records] == [3000, 5000, 5900]
+
+    def test_deterministic_tie_break_by_record_id(self, run):
+        result = run("SELECT * FROM car_ads ORDER BY transmission")
+        ids = [r.record_id for r in result.records]
+        # within equal keys, ids ascend
+        automatic = [r.record_id for r in result.records if r["transmission"] == "automatic"]
+        assert automatic == sorted(automatic)
+        assert len(ids) == 8
+
+
+class TestProjectionAndAggregates:
+    def test_column_projection(self, run):
+        result = run("SELECT make, price FROM car_ads WHERE price < 6000")
+        assert all(set(row) == {"make", "price"} for row in result.rows)
+        assert len(result.rows) == 3
+
+    def test_record_id_projection(self, run):
+        result = run("SELECT record_id FROM car_ads WHERE make = 'bmw'")
+        assert result.rows == [{"record_id": 8}]
+
+    def test_min_max(self, run):
+        result = run("SELECT MIN(price), MAX(price) FROM car_ads")
+        assert result.scalars == {"MIN(price)": 3000, "MAX(price)": 22000}
+
+    def test_aggregate_on_empty_set(self, run):
+        result = run("SELECT MIN(price) FROM car_ads WHERE make = 'kia'")
+        assert result.scalars["MIN(price)"] is None
+
+    def test_unknown_column_in_projection(self, run):
+        with pytest.raises(SQLExecutionError):
+            run("SELECT engine FROM car_ads")
+
+    def test_mixing_aggregate_and_plain_rejected(self, run):
+        with pytest.raises(SQLExecutionError):
+            run("SELECT make, MIN(price) FROM car_ads")
+
+
+class TestNullSemantics:
+    def test_null_fails_positive_predicates(self, car_database):
+        table = car_database.table("car_ads")
+        record = table.insert({"make": "kia", "model": "rio", "color": None})
+        executor = SQLExecutor(car_database)
+        result = executor.execute_sql(
+            "SELECT * FROM car_ads WHERE color = 'blue'"
+        )
+        assert record.record_id not in result.record_ids()
+
+    def test_is_null(self, car_database):
+        table = car_database.table("car_ads")
+        record = table.insert({"make": "kia", "model": "rio"})
+        executor = SQLExecutor(car_database)
+        result = executor.execute_sql(
+            "SELECT * FROM car_ads WHERE color IS NULL"
+        )
+        assert result.record_ids() == [record.record_id]
+
+    def test_not_includes_nulls(self, car_database):
+        # NOT(color = blue) must include records without a color.
+        table = car_database.table("car_ads")
+        record = table.insert({"make": "kia", "model": "rio"})
+        executor = SQLExecutor(car_database)
+        result = executor.execute_sql(
+            "SELECT * FROM car_ads WHERE NOT color = 'blue'"
+        )
+        assert record.record_id in result.record_ids()
+
+    def test_bare_inequality_excludes_nulls(self, car_database):
+        table = car_database.table("car_ads")
+        record = table.insert({"make": "kia", "model": "rio"})
+        executor = SQLExecutor(car_database)
+        result = executor.execute_sql(
+            "SELECT * FROM car_ads WHERE color != 'blue'"
+        )
+        assert record.record_id not in result.record_ids()
+
+
+class TestExecutorErrors:
+    def test_unknown_table(self, car_database):
+        with pytest.raises(Exception):
+            execute(car_database, "SELECT * FROM nothing")
+
+    def test_between_on_categorical(self, run):
+        with pytest.raises(SQLExecutionError):
+            run("SELECT * FROM car_ads WHERE make BETWEEN 1 AND 2")
+
+    def test_like_on_numeric(self, run):
+        with pytest.raises(SQLExecutionError):
+            run("SELECT * FROM car_ads WHERE price LIKE '%5%'")
+
+    def test_numeric_column_vs_string(self, run):
+        with pytest.raises(SQLExecutionError):
+            run("SELECT * FROM car_ads WHERE price = 'cheap'")
+
+    def test_in_subquery_star_rejected(self, run):
+        with pytest.raises(SQLExecutionError):
+            run(
+                "SELECT * FROM car_ads WHERE record_id IN "
+                "(SELECT * FROM car_ads)"
+            )
+
+    def test_syntax_error_propagates(self, run):
+        with pytest.raises(SQLSyntaxError):
+            run("SELEC * FROM car_ads")

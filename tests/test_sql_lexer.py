@@ -1,0 +1,79 @@
+"""Tests for the SQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql.lexer import SQLToken, tokenize_sql
+from repro.errors import SQLSyntaxError
+
+
+def kinds(sql: str) -> list[str]:
+    return [token.kind for token in tokenize_sql(sql)]
+
+
+def texts(sql: str) -> list[str]:
+    return [token.text for token in tokenize_sql(sql)]
+
+
+class TestTokenKinds:
+    def test_keywords_lowercased(self):
+        tokens = tokenize_sql("SELECT * FROM cars")
+        assert tokens[0] == SQLToken("keyword", "select", 0)
+        assert texts("SELECT * FROM cars") == ["select", "*", "from", "cars"]
+
+    def test_identifiers_keep_case(self):
+        assert texts("select Price from Cars") == [
+            "select", "Price", "from", "Cars",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize_sql("1 2.5 3000")
+        assert [t.kind for t in tokens] == ["number"] * 3
+        assert [t.text for t in tokens] == ["1", "2.5", "3000"]
+
+    def test_string_literal(self):
+        tokens = tokenize_sql("'blue'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "blue"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize_sql("'o''brien'")
+        assert tokens[0].text == "o'brien"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize_sql('`weird name` "other"')
+        assert tokens[0] == SQLToken("identifier", "weird name", 0)
+        assert tokens[1].kind == "identifier"
+
+    def test_operators(self):
+        assert texts("a <= 1 and b >= 2 or c != 3 and d <> 4") == [
+            "a", "<=", "1", "and", "b", ">=", "2", "or",
+            "c", "!=", "3", "and", "d", "<>", "4",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , * .") == ["punct"] * 5
+
+
+class TestLexerErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated string"):
+            tokenize_sql("select 'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SQLSyntaxError, match="quoted identifier"):
+            tokenize_sql("select `oops")
+
+    def test_stray_bang(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("a ! b")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize_sql("select #")
+        assert excinfo.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize_sql("select price")
+        assert tokens[1].position == 7

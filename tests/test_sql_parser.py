@@ -1,0 +1,164 @@
+"""Tests for the SQL parser and AST round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql.ast import (
+    Aggregate,
+    BetweenExpr,
+    BinaryExpr,
+    ColumnRef,
+    Comparison,
+    InExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+)
+from repro.db.sql.parser import parse_select
+from repro.errors import SQLSyntaxError
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        statement = parse_select("SELECT * FROM car_ads")
+        assert statement.table == "car_ads"
+        assert statement.select_items == ("*",)
+        assert statement.where is None
+
+    def test_select_columns(self):
+        statement = parse_select("SELECT make, model FROM car_ads")
+        assert statement.select_items == (
+            ColumnRef("make"), ColumnRef("model"),
+        )
+
+    def test_alias_and_qualified_columns(self):
+        statement = parse_select(
+            "SELECT * FROM car_ads c WHERE c.color = 'blue'"
+        )
+        assert statement.alias == "c"
+        assert statement.where == Comparison(
+            ColumnRef("color", qualifier="c"), "=", Literal("blue")
+        )
+
+    def test_aggregates(self):
+        statement = parse_select("SELECT MIN(price), MAX(price) FROM car_ads")
+        assert statement.select_items == (
+            Aggregate("MIN", ColumnRef("price")),
+            Aggregate("MAX", ColumnRef("price")),
+        )
+
+    def test_limit(self):
+        assert parse_select("SELECT * FROM t LIMIT 30").limit == 30
+
+    def test_order_by_desc(self):
+        statement = parse_select("SELECT * FROM t ORDER BY price DESC")
+        assert statement.order_by[0].column == ColumnRef("price")
+        assert statement.order_by[0].descending
+
+    def test_group_by(self):
+        statement = parse_select("SELECT * FROM t GROUP BY year DESC")
+        assert statement.group_by[0].descending
+
+
+class TestPredicates:
+    def where(self, clause: str):
+        return parse_select(f"SELECT * FROM t WHERE {clause}").where
+
+    def test_comparisons(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            expr = self.where(f"price {op} 5000")
+            assert isinstance(expr, Comparison)
+            assert expr.operator == op
+
+    def test_between(self):
+        expr = self.where("price BETWEEN 2000 AND 7000")
+        assert expr == BetweenExpr(
+            ColumnRef("price"), Literal(2000), Literal(7000)
+        )
+
+    def test_like(self):
+        expr = self.where("model LIKE '%cor%'")
+        assert expr == LikeExpr(ColumnRef("model"), "%cor%")
+
+    def test_in_value_list(self):
+        expr = self.where("color IN ('blue', 'red')")
+        assert isinstance(expr, InExpr)
+        assert expr.values == (Literal("blue"), Literal("red"))
+
+    def test_in_subquery(self):
+        expr = self.where(
+            "record_id IN (SELECT record_id FROM t WHERE color = 'blue')"
+        )
+        assert isinstance(expr, InExpr)
+        assert expr.subquery is not None
+        assert expr.subquery.table == "t"
+
+    def test_is_null(self):
+        expr = self.where("color IS NULL")
+        assert expr == Comparison(ColumnRef("color"), "=", Literal(None))
+
+    def test_is_not_null(self):
+        expr = self.where("color IS NOT NULL")
+        assert isinstance(expr, NotExpr)
+
+    def test_not_predicate(self):
+        expr = self.where("NOT color = 'blue'")
+        assert isinstance(expr, NotExpr)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryExpr)
+        assert expr.operator == "OR"
+        assert isinstance(expr.right, BinaryExpr)
+        assert expr.right.operator == "AND"
+
+    def test_parentheses_override(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert expr.operator == "AND"
+        assert expr.left.operator == "OR"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM car_ads",
+            "SELECT * FROM car_ads WHERE make = 'honda' AND price < 15000",
+            "SELECT * FROM car_ads WHERE price BETWEEN 2000 AND 7000 LIMIT 30",
+            "SELECT * FROM car_ads WHERE record_id IN "
+            "(SELECT record_id FROM car_ads WHERE color = 'blue')",
+            "SELECT * FROM car_ads WHERE NOT (color = 'blue') ORDER BY price DESC",
+            "SELECT MIN(price), MAX(price) FROM car_ads",
+            "SELECT * FROM car_ads WHERE model LIKE '%cor%'",
+        ],
+    )
+    def test_parse_render_parse_fixpoint(self, sql):
+        first = parse_select(sql)
+        rendered = first.to_sql()
+        second = parse_select(rendered)
+        assert second.to_sql() == rendered
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE price <",
+            "SELECT * FROM t WHERE price BETWEEN 1",
+            "SELECT * FROM t WHERE color IN ()",
+            "SELECT * FROM t LIMIT x",
+            "SELECT * FROM t trailing garbage",
+        ],
+    )
+    def test_rejected(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_select(sql)
+
+    def test_in_subquery_requires_select(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM t WHERE a IN (FROM t)")

@@ -1,0 +1,127 @@
+"""Tests for the trie (Section 4.1.3/4.1.4 substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.structures.trie import Trie
+
+
+@pytest.fixture()
+def car_trie():
+    trie = Trie()
+    for word in ("honda", "accord", "civic", "toyota", "camry", "corolla",
+                 "4 wheel drive", "4 door"):
+        trie.insert(word, payload=word.upper())
+    return trie
+
+
+class TestInsertLookup:
+    def test_membership(self, car_trie):
+        assert "honda" in car_trie
+        assert "hond" not in car_trie  # prefix, not an entry
+        assert "hondas" not in car_trie
+
+    def test_payload_retrieval(self, car_trie):
+        assert car_trie.get("accord") == "ACCORD"
+        assert car_trie.get("missing") is None
+        assert car_trie.get("missing", "fallback") == "fallback"
+
+    def test_len_counts_entries(self, car_trie):
+        assert len(car_trie) == 8
+
+    def test_reinsert_overwrites_payload_without_growing(self, car_trie):
+        car_trie.insert("honda", payload="NEW")
+        assert len(car_trie) == 8
+        assert car_trie.get("honda") == "NEW"
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(ValueError):
+            Trie().insert("")
+
+    def test_entries_with_spaces(self, car_trie):
+        assert "4 wheel drive" in car_trie
+        assert "4 wheel" not in car_trie
+
+
+class TestNodeInvariants:
+    def test_labels_concatenate_values(self, car_trie):
+        node = car_trie.find_node("hon")
+        assert node is not None
+        assert node.label == "hon"
+        assert node.value == "n"
+
+    def test_find_node_missing(self, car_trie):
+        assert car_trie.find_node("xyz") is None
+
+    def test_terminal_flags(self, car_trie):
+        assert car_trie.find_node("honda").terminal
+        assert not car_trie.find_node("hond").terminal
+
+
+class TestEnumeration:
+    def test_iter_entries_complete(self, car_trie):
+        entries = dict(car_trie.iter_entries())
+        assert set(entries) == {
+            "honda", "accord", "civic", "toyota", "camry", "corolla",
+            "4 wheel drive", "4 door",
+        }
+
+    def test_entries_list(self, car_trie):
+        assert sorted(car_trie.entries()) == sorted(
+            ["honda", "accord", "civic", "toyota", "camry", "corolla",
+             "4 wheel drive", "4 door"]
+        )
+
+    def test_closest_entries_from_prefix(self, car_trie):
+        node = car_trie.find_node("c")
+        close = [entry for entry, _ in car_trie.closest_entries(node)]
+        assert set(close) == {"civic", "camry", "corolla"}
+
+    def test_closest_entries_limit(self, car_trie):
+        node = car_trie.find_node("c")
+        assert len(car_trie.closest_entries(node, limit=2)) == 2
+
+    def test_closest_entries_breadth_first(self):
+        trie = Trie()
+        trie.insert("ab")
+        trie.insert("abcdef")
+        close = [entry for entry, _ in trie.closest_entries(trie.root)]
+        assert close == ["ab", "abcdef"]  # shallowest first
+
+
+class TestLongestPrefix:
+    def test_missing_space_recovery(self, car_trie):
+        match = car_trie.longest_prefix_entry("hondaaccord")
+        assert match is not None
+        assert match[0] == "honda"
+
+    def test_longest_wins(self):
+        trie = Trie()
+        trie.insert("h")
+        trie.insert("honda")
+        assert trie.longest_prefix_entry("hondax")[0] == "honda"
+
+    def test_no_prefix(self, car_trie):
+        assert car_trie.longest_prefix_entry("zzz") is None
+
+
+class TestWalk:
+    def test_walk_finds_longest_match(self, car_trie):
+        walk = car_trie.walk("hondaxyz")
+        result = walk.run()
+        assert result is not None
+        end, node = result
+        assert end == 5
+        assert node.label == "honda"
+
+    def test_walk_dies_on_mismatch(self, car_trie):
+        walk = car_trie.walk("hxq")
+        assert walk.run() is None
+        assert not walk.alive
+
+    def test_walk_from_offset(self, car_trie):
+        walk = car_trie.walk("redhonda", start=3)
+        result = walk.run()
+        assert result is not None
+        assert result[1].label == "honda"

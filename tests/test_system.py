@@ -1,0 +1,129 @@
+"""Tests for the one-call system builder and experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import experiments as exp
+from repro.system import build_system
+
+
+class TestBuildSystem:
+    def test_artifacts_present(self, cars_system):
+        built = cars_system.domains["cars"]
+        assert len(built.dataset.records) == 250
+        assert len(built.ti_matrix) > 0
+        assert cars_system.ws_matrix is not None
+        assert len(cars_system.ws_matrix) > 0
+        assert built.resources.product_keys
+        assert cars_system.database.has_table("car_ads")
+
+    def test_domain_accessor(self, cars_system):
+        assert cars_system.domain("cars") is cars_system.domains["cars"]
+
+    def test_value_ranges_flow_to_resources(self, cars_system):
+        built = cars_system.domains["cars"]
+        assert built.resources.value_ranges["price"] > 0
+
+    def test_deterministic_rebuild(self):
+        first = build_system(
+            ["cars"], ads_per_domain=40, sessions_per_domain=30,
+            corpus_documents=30,
+        )
+        second = build_system(
+            ["cars"], ads_per_domain=40, sessions_per_domain=30,
+            corpus_documents=30,
+        )
+        first_records = [dict(r) for r in first.domains["cars"].dataset.records]
+        second_records = [dict(r) for r in second.domains["cars"].dataset.records]
+        assert first_records == second_records
+        assert (
+            first.domains["cars"].ti_matrix.similarities
+            == second.domains["cars"].ti_matrix.similarities
+        )
+
+
+class TestExperimentHarness:
+    """Smoke-level runs of every experiment on the small shared system;
+    the full-scale runs live in benchmarks/."""
+
+    def test_classification(self, two_domain_system):
+        result = exp.classification_experiment(
+            two_domain_system, questions_per_domain=15
+        )
+        assert set(result.per_domain) == {"cars", "motorcycles"}
+        assert 0.5 <= result.average <= 1.0
+
+    def test_exact_match(self, two_domain_system):
+        result = exp.exact_match_experiment(
+            two_domain_system, questions_per_domain=15
+        )
+        assert result.precision > 0.7
+        assert result.recall > 0.7
+        assert 0 < result.f_measure <= 1.0
+        assert len(result.per_question) == 30
+
+    def test_boolean_interpretation(self, two_domain_system):
+        result = exp.boolean_interpretation_experiment(
+            two_domain_system, respondents=40
+        )
+        assert len(result.outcomes) == 10
+        assert result.implicit_average > 0.5
+        assert result.explicit_average > 0.7
+        assert 0 < result.overall_average <= 1.0
+
+    def test_table2(self, cars_system):
+        rows = exp.table2_experiment(cars_system)
+        assert rows
+        assert rows[0].ranking == 1
+
+    def test_ranking_quality(self, two_domain_system):
+        result = exp.ranking_quality_experiment(
+            two_domain_system, questions_per_domain=3
+        )
+        assert result.questions_evaluated > 0
+        for metric in (result.p_at_1, result.p_at_5, result.mrr):
+            assert set(metric) == {
+                "cqads", "random", "cosine", "aimq", "faqfinder",
+            }
+            assert all(0.0 <= v <= 1.0 for v in metric.values())
+        # the headline result: CQAds leads, random trails
+        assert result.p_at_5["cqads"] >= result.p_at_5["random"]
+        assert result.mrr["cqads"] >= result.mrr["random"]
+
+    def test_latency(self, two_domain_system):
+        result = exp.latency_experiment(
+            two_domain_system, questions_per_domain=4
+        )
+        assert result.questions_timed == 8
+        assert all(v > 0 for v in result.average_seconds.values())
+        assert result.average_seconds["random"] == min(
+            result.average_seconds.values()
+        )
+
+    def test_shorthand(self, two_domain_system):
+        score = exp.shorthand_experiment(two_domain_system, variants=150)
+        assert score > 0.6
+
+
+class TestReporting:
+    def test_format_table(self):
+        from repro.evaluation.reporting import (
+            format_percent,
+            format_seconds,
+            format_table,
+        )
+
+        text = format_table(
+            ["domain", "accuracy"],
+            [["cars", "96.0%"], ["motorcycles", "88.1%"]],
+            title="Figure 2",
+        )
+        assert "Figure 2" in text
+        assert "cars" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert format_percent(0.961) == "96.1%"
+        assert format_seconds(0.00345) == "3.45ms"
+        assert format_seconds(2.5) == "2.500s"
+        assert format_seconds(0.0000005) == "0us"

@@ -1,0 +1,96 @@
+"""Tests for shorthand-notation detection (Section 4.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.shorthand import expand_shorthand, is_shorthand, shorthand_match
+
+
+class TestIsShorthand:
+    @pytest.mark.parametrize(
+        "candidate",
+        ["4dr", "4 dr", "four door", "4 doors", "4-door", "4doors"],
+    )
+    def test_paper_door_variants(self, candidate):
+        # The paper's Section 4.2.3 examples, all equivalent to "4 doors".
+        assert is_shorthand(candidate, "4 doors")
+
+    def test_order_matters(self):
+        # characters must appear in the same order as in the value
+        assert not is_shorthand("rd", "door")
+        assert is_shorthand("dr", "door")
+
+    def test_value_is_shorthand_of_itself(self):
+        assert is_shorthand("automatic", "automatic")
+
+    def test_case_insensitive(self):
+        assert is_shorthand("AuTo", "automatic")
+
+    def test_first_character_must_match(self):
+        assert not is_shorthand("uto", "automatic")
+
+    def test_single_character_rejected(self):
+        assert not is_shorthand("a", "automatic")
+
+    def test_too_short_coverage_rejected(self):
+        # 2 chars against a 10-char value is under the 1/3 coverage bar
+        assert not is_shorthand("au", "automatic stick")
+
+    def test_number_words_canonicalized(self):
+        assert is_shorthand("four door", "4 door")
+        assert is_shorthand("4 door", "four door")
+
+    def test_plural_s_optional(self):
+        assert is_shorthand("4 door", "4 doors")
+
+    def test_empty_inputs(self):
+        assert not is_shorthand("", "door")
+        assert not is_shorthand("dr", "")
+
+    def test_not_longer_than_value(self):
+        assert not is_shorthand("doooor", "door")
+
+
+class TestShorthandMatch:
+    VALUES = ["4 door", "2 door", "automatic", "manual", "4 wheel drive"]
+
+    def test_exact_recovery(self):
+        assert shorthand_match("4dr", self.VALUES) == "4 door"
+        assert shorthand_match("auto", self.VALUES) == "automatic"
+
+    def test_no_match_returns_none(self):
+        assert shorthand_match("xyz", self.VALUES) is None
+
+    def test_best_coverage_wins(self):
+        # "man" covers more of "manual" than of anything else
+        assert shorthand_match("man", self.VALUES) == "manual"
+
+
+class TestExpandShorthand:
+    VALUES = ["4 door", "2 door", "automatic", "4 wheel drive"]
+
+    def test_pair_window(self):
+        assert expand_shorthand(["2", "dr", "mazda"], self.VALUES) == [
+            "2", "door", "mazda",
+        ]
+
+    def test_single_token(self):
+        assert expand_shorthand(["auto"], self.VALUES) == ["automatic"]
+
+    def test_untouched_tokens_pass_through(self):
+        assert expand_shorthand(["honda", "blue"], self.VALUES) == [
+            "honda", "blue",
+        ]
+
+    def test_skip_predicate_blocks_expansion(self):
+        tokens = ["or", "a", "silver"]
+        expanded = expand_shorthand(
+            tokens, ["orange"], skip=lambda t: t in ("or", "a")
+        )
+        assert expanded == tokens
+
+    def test_without_skip_or_a_would_be_orange(self):
+        # documents why the tagger needs the skip predicate
+        expanded = expand_shorthand(["or", "a"], ["orange"])
+        assert expanded == ["orange"]

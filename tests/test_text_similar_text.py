@@ -1,0 +1,66 @@
+"""Tests for the PHP-style similar_text implementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.similar_text import similar_text, similar_text_percent
+
+
+class TestSimilarText:
+    def test_identical_strings(self):
+        assert similar_text("honda", "honda") == 5
+
+    def test_no_common_characters(self):
+        assert similar_text("abc", "xyz") == 0
+
+    def test_empty_inputs(self):
+        assert similar_text("", "honda") == 0
+        assert similar_text("honda", "") == 0
+
+    def test_php_reference_example(self):
+        # PHP docs: similar_text("World","Word") == 4
+        assert similar_text("world", "word") == 4
+
+    def test_recursion_on_both_sides(self):
+        # "xworld" vs "worldx": LCS "world" (5); the leading/trailing
+        # x cannot pair up because recursion only looks left-of-left
+        # and right-of-right.
+        assert similar_text("xworld", "worldx") == 5
+        # "ababab" vs "bababa": LCS "ababa"/"babab" (5), sides empty.
+        assert similar_text("ababab", "bababa") == 5
+
+    def test_misspelled_keyword(self):
+        assert similar_text("accorr", "accord") == 5
+
+    def test_symmetry_of_count_on_typical_words(self):
+        pairs = [("accord", "accorr"), ("mazda", "mazada"), ("civic", "civci")]
+        for a, b in pairs:
+            assert similar_text(a, b) == similar_text(b, a)
+
+
+class TestSimilarTextPercent:
+    def test_identical_is_100(self):
+        assert similar_text_percent("blue", "blue") == 100.0
+
+    def test_empty_pair_is_100(self):
+        assert similar_text_percent("", "") == 100.0
+
+    def test_one_empty_is_0(self):
+        assert similar_text_percent("", "blue") == 0.0
+
+    def test_range(self):
+        value = similar_text_percent("accorr", "accord")
+        assert 0.0 < value < 100.0
+
+    def test_known_value(self):
+        # 5 matched chars, lengths 6 and 6 -> 2*5/12*100
+        assert similar_text_percent("accorr", "accord") == pytest.approx(
+            2 * 5 / 12 * 100
+        )
+
+    def test_correction_prefers_closer_candidate(self):
+        typo = "hinda"
+        good = similar_text_percent(typo, "honda")
+        bad = similar_text_percent(typo, "mazda")
+        assert good > bad

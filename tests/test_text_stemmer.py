@@ -1,0 +1,135 @@
+"""Tests for the from-scratch Porter stemmer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.stemmer import PorterStemmer, stem
+
+
+@pytest.fixture()
+def stemmer():
+    return PorterStemmer()
+
+
+class TestMeasure:
+    def test_measure_zero(self, stemmer):
+        for word in ("tr", "ee", "tree", "y", "by"):
+            assert stemmer._measure(word) == 0, word
+
+    def test_measure_one(self, stemmer):
+        for word in ("trouble", "oats", "trees", "ivy"):
+            assert stemmer._measure(word) == 1, word
+
+    def test_measure_two(self, stemmer):
+        for word in ("troubles", "private", "oaten"):
+            assert stemmer._measure(word) == 2, word
+
+
+class TestClassicExamples:
+    """The published examples from Porter's 1980 paper."""
+
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_example(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestDomainWords:
+    def test_negation_stems_align(self):
+        # Section 4.4.1 matches negation keywords on their stems.
+        assert stem("excluding") == stem("exclude")
+
+    def test_short_words_untouched(self):
+        assert stem("no") == "no"
+        assert stem("ad") == "ad"
+
+    def test_non_alpha_untouched(self):
+        assert stem("2dr") == "2dr"
+        assert stem("20k") == "20k"
+
+    def test_module_function_lowercases(self):
+        assert stem("Running") == stem("running")
+
+    def test_idempotent_on_common_stems(self):
+        for word in ("automat", "transmiss", "cheapest"):
+            once = stem(word)
+            assert stem(once) == once or len(stem(once)) <= len(once)

@@ -1,0 +1,84 @@
+"""Tests for repro.text.tokenizer."""
+
+from __future__ import annotations
+
+from repro.text.tokenizer import Token, iter_words, normalize, tokenize, tokenize_with_spans
+
+
+class TestTokenize:
+    def test_plain_words_lowercased(self):
+        assert tokenize("Find Honda Accord") == ["find", "honda", "accord"]
+
+    def test_currency_with_commas(self):
+        assert tokenize("under $5,000") == ["under", "$5000"]
+
+    def test_currency_with_space_after_sign(self):
+        assert tokenize("$ 3000") == ["$3000"]
+
+    def test_currency_with_k_suffix(self):
+        assert tokenize("$20k") == ["$20k"]
+
+    def test_bare_number_with_commas_stays_one_token(self):
+        assert tokenize("12,400 bucks") == ["12400", "bucks"]
+
+    def test_k_suffix_number(self):
+        assert tokenize("20k miles") == ["20k", "miles"]
+
+    def test_alphanumeric_compound_kept(self):
+        assert tokenize("2dr mazda") == ["2dr", "mazda"]
+
+    def test_hyphen_splits(self):
+        assert tokenize("4-door sedan") == ["4", "door", "sedan"]
+
+    def test_slash_splits(self):
+        assert tokenize("automatic/manual") == ["automatic", "manual"]
+
+    def test_punctuation_dropped(self):
+        assert tokenize("Do you have a BMW?") == ["do", "you", "have", "a", "bmw"]
+
+    def test_comparison_operators_survive(self):
+        assert tokenize("price < 5000") == ["price", "<", "5000"]
+        assert tokenize("year >= 2005") == ["year", ">=", "2005"]
+
+    def test_decimal_number(self):
+        assert tokenize("1.5 carat") == ["1.5", "carat"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n ") == []
+
+
+class TestSpans:
+    def test_spans_cover_original_text(self):
+        text = "red BMW under $5,000"
+        tokens = tokenize_with_spans(text)
+        assert all(isinstance(token, Token) for token in tokens)
+        for token in tokens:
+            assert 0 <= token.start < token.end <= len(text)
+
+    def test_spans_are_ordered(self):
+        tokens = tokenize_with_spans("cheapest 2dr mazda")
+        starts = [token.start for token in tokens]
+        assert starts == sorted(starts)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("BMW") == "bmw"
+
+    def test_strips_commas_between_digits(self):
+        assert normalize("12,400") == "12400"
+
+    def test_preserves_commas_elsewhere(self):
+        # normalize only touches digit,digit commas
+        assert normalize("a,b") == "a,b"
+
+
+class TestIterWords:
+    def test_drops_numbers(self):
+        assert list(iter_words("honda accord 2000 $5,000")) == ["honda", "accord"]
+
+    def test_keeps_alpha_only(self):
+        assert list(iter_words("2dr blue")) == ["blue"]

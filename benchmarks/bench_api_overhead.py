@@ -1,0 +1,170 @@
+"""Service-layer overhead and batch-vs-serial throughput.
+
+The api_redesign PR routes every question through
+``QueryPipeline`` + ``AnswerService`` instead of the monolithic
+``CQAds.answer``; this bench quantifies what that costs and buys:
+
+1. **per-question overhead** — wall-clock of ``service.answer`` minus
+   the sum of the stage timings: the price of the request objects, the
+   option resolution and the trace bookkeeping (expected: tens of µs,
+   i.e. noise against ~ms of pipeline work);
+2. **legacy shim parity** — ``cqads.answer`` (the back-compat facade)
+   vs ``service.answer``: both run the same stages, so the delta should
+   be ~0;
+3. **batch throughput** — ``answer_batch`` on a realistic workload
+   where popular questions repeat (120 questions drawn from 40
+   templates) vs a serial loop.  The win comes from answering each
+   distinct request once (frozen requests are hashable, the pipeline is
+   read-only) plus thread-pool overlap.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_api_overhead.py -s
+  or: PYTHONPATH=src python benchmarks/bench_api_overhead.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.api import AnswerRequest, SystemBuilder
+from repro.datagen.questions import make_generator
+from repro.evaluation.reporting import format_seconds, format_table
+
+#: Distinct question templates and how often each repeats in the batch.
+UNIQUE_QUESTIONS = 40
+REPEAT_FACTOR = 3
+BATCH_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def system():
+    """A paper-scale single-domain build (artifacts kept for questions)."""
+    return (
+        SystemBuilder()
+        .with_domains("cars")
+        .ads_per_domain(500)
+        .sessions_per_domain(500)
+        .corpus_documents(300)
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def service(system):
+    return system.service()
+
+
+@pytest.fixture(scope="module")
+def questions(system):
+    generator = make_generator(system.domain("cars").dataset, seed=31)
+    return [generator.generate().text for _ in range(UNIQUE_QUESTIONS)]
+
+
+def _signature(result):
+    return [
+        (a.record.record_id, a.exact, round(a.score, 9), a.similarity_kind)
+        for a in result.answers
+    ]
+
+
+def test_service_overhead_per_question(service, questions):
+    """Request-object plumbing costs µs against ms of pipeline work."""
+    overheads, totals, shim_totals = [], [], []
+    for question in questions:
+        request = AnswerRequest(question=question, domain="cars")
+        started = time.perf_counter()
+        result = service.answer(request)
+        total = time.perf_counter() - started
+        overheads.append(total - sum(result.timings.values()))
+        totals.append(total)
+        started = time.perf_counter()
+        service.cqads.answer(question, domain="cars")
+        shim_totals.append(time.perf_counter() - started)
+    mean_total = statistics.mean(totals)
+    mean_overhead = statistics.mean(overheads)
+    rows = [
+        ["service.answer (mean)", format_seconds(mean_total)],
+        ["legacy cqads.answer shim (mean)", format_seconds(statistics.mean(shim_totals))],
+        ["service-layer overhead (mean)", format_seconds(mean_overhead)],
+        ["overhead share of total", f"{100 * mean_overhead / mean_total:.1f}%"],
+    ]
+    emit(
+        format_table(
+            ["measure", "value"],
+            rows,
+            title="API overhead — request objects + stage composition per question",
+        )
+    )
+    # The service layer must not dominate the pipeline it wraps.
+    assert mean_overhead < mean_total * 0.5
+
+
+def test_batch_vs_serial_throughput(service, questions):
+    """answer_batch matches the serial loop and is measurably faster."""
+    workload = [
+        AnswerRequest(question=question, domain="cars")
+        for question in questions * REPEAT_FACTOR
+    ]
+    assert len(workload) >= 100
+
+    started = time.perf_counter()
+    serial = [service.answer(request) for request in workload]
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dedup_only = service.answer_batch(workload, workers=1)
+    dedup_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = service.answer_batch(workload, workers=BATCH_WORKERS)
+    batch_seconds = time.perf_counter() - started
+
+    # Input order and answer-for-answer parity with the serial loop.
+    for serial_result, batch_result in zip(serial, batched):
+        assert serial_result.question == batch_result.question
+        assert _signature(serial_result) == _signature(batch_result)
+    for serial_result, dedup_result in zip(serial, dedup_only):
+        assert _signature(serial_result) == _signature(dedup_result)
+
+    per_question = len(workload)
+    rows = [
+        [
+            "serial loop",
+            format_seconds(serial_seconds),
+            f"{per_question / serial_seconds:.0f} q/s",
+            "1.00x",
+        ],
+        [
+            "batch workers=1 (dedup only)",
+            format_seconds(dedup_seconds),
+            f"{per_question / dedup_seconds:.0f} q/s",
+            f"{serial_seconds / dedup_seconds:.2f}x",
+        ],
+        [
+            f"batch workers={BATCH_WORKERS}",
+            format_seconds(batch_seconds),
+            f"{per_question / batch_seconds:.0f} q/s",
+            f"{serial_seconds / batch_seconds:.2f}x",
+        ],
+    ]
+    emit(
+        format_table(
+            ["mode", "wall-clock", "throughput", "speedup"],
+            rows,
+            title=(
+                f"Batch answering — {len(workload)} questions "
+                f"({UNIQUE_QUESTIONS} distinct, x{REPEAT_FACTOR} repeats)"
+            ),
+        )
+    )
+    # Deduplication alone must already beat the serial loop on a
+    # repeat-heavy workload; the threaded batch must not regress it.
+    assert dedup_seconds < serial_seconds
+    assert batch_seconds < serial_seconds
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-s", "-q"]))

@@ -1,20 +1,35 @@
-"""Quickstart: provision CQAds and ask natural-language ads questions.
+"""Quickstart: the service-layer API over a provisioned CQAds system.
+
+Builds a single-domain system with the fluent :class:`SystemBuilder`,
+then exercises the three :class:`AnswerService` entry points —
+``answer`` (one request, with per-request options), ``answer_batch``
+(thread-pool fan-out, results in input order) and ``page`` (cursor
+pagination past the paper's 30-answer cap).
+
+Legacy API note: ``build_system(["cars"]).cqads.answer(question)``
+still works and returns bit-identical answers — it is a thin shim over
+the same pipeline — but new code should prefer this surface.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import build_system
+from repro import AnswerRequest, SystemBuilder
 
 
 def main() -> None:
     # Build a single-domain system: 500 synthetic car ads, a query log
     # for the TI-matrix, a corpus for the WS-matrix, all seeded and
-    # deterministic.
+    # deterministic.  build_service() wraps the engine in the service
+    # layer; the full artifact set stays reachable via service.cqads.
     print("Provisioning CQAds (cars domain) ...")
-    system = build_system(["cars"], ads_per_domain=500)
-    cqads = system.cqads
+    service = (
+        SystemBuilder()
+        .with_domains("cars")
+        .ads_per_domain(500)
+        .build_service()
+    )
 
     questions = [
         "Do you have a 2 door red BMW?",
@@ -28,8 +43,13 @@ def main() -> None:
         "Show me Black Silver cars",             # mutually exclusive values
     ]
 
-    for question in questions:
-        result = cqads.answer(question, domain="cars")
+    # Batched answering: one thread-pool pass, results in input order.
+    results = service.answer_batch(
+        [AnswerRequest(question=q, domain="cars") for q in questions],
+        workers=4,
+    )
+
+    for question, result in zip(questions, results):
         print("=" * 72)
         print(f"Q: {question}")
         if result.corrections:
@@ -44,7 +64,11 @@ def main() -> None:
         print(f"   SQL: {result.sql}")
         exact = result.exact_answers
         partial = result.partial_answers
-        print(f"   answers: {len(exact)} exact, {len(partial)} partial")
+        stage_ms = ", ".join(
+            f"{stage} {seconds * 1000:.1f}ms"
+            for stage, seconds in result.timings.items()
+        )
+        print(f"   answers: {len(exact)} exact, {len(partial)} partial ({stage_ms})")
         for answer in result.answers[:3]:
             record = answer.record
             tag = "exact" if answer.exact else f"{answer.similarity_kind} {answer.score:.2f}"
@@ -53,6 +77,35 @@ def main() -> None:
                 f"{record['model']}, {record.get('color', '?')}, "
                 f"${record.get('price')}"
             )
+
+    # Per-request overrides (no system rebuild) and an explain trace.
+    print("=" * 72)
+    result = service.ask(
+        "Find Honda Accord blue less than 15000 dollars",
+        domain="cars",
+        max_answers=5,
+        explain=True,
+    )
+    print(f"Q (max_answers=5, explain=True): {result.question}")
+    for entry in result.trace or []:
+        print(f"   stage {entry.describe()}")
+
+    # Cursor pagination: walk the FULL ranking (past the 30-answer cap)
+    # without re-running or re-ranking anything.
+    broad = service.ask("honda", domain="cars")
+    print("=" * 72)
+    print(f"Q: honda — capped at {len(broad.answers)} answers, "
+          f"{len(broad.ranked_pool)} ranked in total")
+    offset, shown = 0, 0
+    while True:
+        window = service.page(broad, offset=offset, limit=25)
+        shown += len(window)
+        print(f"   page offset={window.offset}: {len(window)} answers "
+              f"(has_more={window.has_more})")
+        if window.next_offset is None:
+            break
+        offset = window.next_offset
+    print(f"   walked {shown}/{window.total} ranked answers")
 
 
 if __name__ == "__main__":

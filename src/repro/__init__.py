@@ -4,33 +4,61 @@ A from-scratch reproduction of *"Generating Exact- and Ranked
 Partially-Matched Answers to Questions in Advertisements"*
 (Qumsiyeh, Pera & Ng — PVLDB 5(3), 2011).
 
-Quickstart::
+Quickstart (the service-layer API)::
 
-    from repro import build_system
+    from repro import AnswerRequest, SystemBuilder
 
-    system = build_system(["cars"])
-    result = system.cqads.answer("Find Honda Accord blue less than 15000 dollars")
+    service = (
+        SystemBuilder()
+        .with_domains("cars")
+        .ads_per_domain(500)
+        .build_service()
+    )
+    result = service.answer(
+        AnswerRequest(question="Find Honda Accord blue less than 15000 dollars")
+    )
     for answer in result.answers[:5]:
         print(answer.exact, answer.score, dict(answer.record))
 
+    # per-request overrides, batching and pagination:
+    result = service.ask("blue honda", max_answers=5, explain=True)
+    results = service.answer_batch(["honda accord", "red bmw"], workers=4)
+    page = service.page(result, offset=30, limit=30)  # past the 30-cap
+
+Legacy API: :func:`build_system` and ``CQAds.answer(question)`` remain
+fully supported thin shims over the same pipeline — they produce
+bit-identical answers — so existing code and the paper-facing
+benchmarks keep working unchanged.
+
 Public surface:
 
-* :func:`build_system` — provision the full system (synthetic ads,
-  query logs, corpus, similarity matrices, classifier);
-* :class:`CQAds` — the question-answering pipeline;
+* :mod:`repro.api` — the service layer: :class:`SystemBuilder`,
+  :class:`AnswerService`, :class:`AnswerRequest`/:class:`AnswerOptions`,
+  :class:`QueryPipeline` with pluggable stages, :class:`AnswerPage`;
+* :func:`build_system` — one-call provisioning (synthetic ads, query
+  logs, corpus, similarity matrices, classifier);
+* :class:`CQAds` — the engine (domains, classifier, N-1 relaxation);
 * :class:`Database` and :mod:`repro.db.sql` — the relational substrate;
 * :mod:`repro.ranking` — Rank_Sim and the four baseline rankers;
 * :mod:`repro.datagen` — the synthetic-data generators;
 * :mod:`repro.evaluation` — the paper's metrics and experiment harness.
 """
 
+from repro.api import (
+    AnswerOptions,
+    AnswerPage,
+    AnswerRequest,
+    AnswerService,
+    QueryPipeline,
+    SystemBuilder,
+)
 from repro.db.database import Database
 from repro.qa.conditions import Condition, ConditionOp, Interpretation, Superlative
 from repro.qa.domain import AdsDomain
 from repro.qa.pipeline import MAX_ANSWERS, Answer, CQAds, QuestionResult
 from repro.system import BuiltDomain, BuiltSystem, build_system
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
@@ -46,5 +74,11 @@ __all__ = [
     "BuiltDomain",
     "BuiltSystem",
     "build_system",
+    "AnswerOptions",
+    "AnswerPage",
+    "AnswerRequest",
+    "AnswerService",
+    "QueryPipeline",
+    "SystemBuilder",
     "__version__",
 ]

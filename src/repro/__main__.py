@@ -1,30 +1,38 @@
-"""Command-line interface: ``python -m repro "your question"``.
+"""Command-line interface.
 
-Provisions a synthetic CQAds system (all eight domains by default) and
-answers the question, printing the interpretation, the generated SQL
-and the ranked answers — a one-line way to watch the whole pipeline.
+Two modes:
+
+``python -m repro "your question"``
+    Provision a synthetic CQAds system (all eight domains by default)
+    and answer one question, printing the interpretation, the
+    generated SQL and the ranked answers — a one-line way to watch the
+    whole pipeline.  ``--explain`` adds the per-stage timing trace.
+
+``python -m repro batch questions.txt``
+    Answer one question per line of the file (``-`` for stdin) through
+    :meth:`repro.api.service.AnswerService.answer_batch` and emit a
+    JSON array of results to stdout — the scripted counterpart of the
+    interactive mode.
+
+The word ``batch`` in first position selects the subcommand; to ask
+the literal one-word question "batch", put the flags (if any) first
+and separate the question with ``--``:
+``python -m repro --domains cars -- batch``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.api import AnswerRequest, AnswerService, SystemBuilder
 from repro.datagen.vocab import DOMAIN_NAMES
-from repro.system import build_system
 
-__all__ = ["build_arg_parser", "main"]
+__all__ = ["build_arg_parser", "build_batch_parser", "main"]
 
 
-def build_arg_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description=(
-            "CQAds: ask a natural-language question over synthetic "
-            "advertisement data (VLDB 2011 reproduction)."
-        ),
-    )
-    parser.add_argument("question", help="the ads question to answer")
+def _add_provisioning_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--domain",
         choices=sorted(DOMAIN_NAMES),
@@ -46,6 +54,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="synthetic ads per domain (default 500, the paper's scale)",
     )
     parser.add_argument(
+        "--seed", type=int, default=7, help="data-generation seed"
+    )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "CQAds: ask a natural-language question over synthetic "
+            "advertisement data (VLDB 2011 reproduction).  Use the "
+            "'batch' subcommand to answer a file of questions as JSON."
+        ),
+    )
+    parser.add_argument("question", help="the ads question to answer")
+    _add_provisioning_arguments(parser)
+    parser.add_argument(
         "--top",
         type=int,
         default=10,
@@ -57,21 +81,69 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print the generated SQL statement",
     )
     parser.add_argument(
-        "--seed", type=int, default=7, help="data-generation seed"
+        "--explain",
+        action="store_true",
+        help="print the per-stage pipeline trace",
     )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_arg_parser().parse_args(argv)
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro batch",
+        description=(
+            "Answer one question per line of FILE (use '-' for stdin) "
+            "and emit a JSON array of results to stdout."
+        ),
+    )
+    parser.add_argument(
+        "file", help="file with one question per line, or '-' for stdin"
+    )
+    _add_provisioning_arguments(parser)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="thread-pool size for answer_batch (default 4)",
+    )
+    parser.add_argument(
+        "--max-answers",
+        type=int,
+        default=None,
+        help="per-request answer cap (default: the engine's 30)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="answers to include per question in the JSON (default 10)",
+    )
+    parser.add_argument(
+        "--indent",
+        type=int,
+        default=2,
+        help="JSON indentation (default 2; 0 for compact output)",
+    )
+    return parser
+
+
+def _provision_service(args: argparse.Namespace) -> AnswerService:
     domains = args.domains
     if domains is None and args.domain is not None:
         domains = [args.domain]
     print("provisioning CQAds ...", file=sys.stderr)
-    system = build_system(
-        domain_names=domains, ads_per_domain=args.ads, seed=args.seed
+    builder = SystemBuilder().ads_per_domain(args.ads).with_seed(args.seed)
+    if domains is not None:
+        builder = builder.with_domains(domains)
+    return builder.build_service()
+
+
+def _ask_main(argv: list[str]) -> int:
+    args = build_arg_parser().parse_args(argv)
+    service = _provision_service(args)
+    result = service.ask(
+        args.question, domain=args.domain, explain=args.explain
     )
-    result = system.cqads.answer(args.question, domain=args.domain)
     print(f"domain:        {result.domain}")
     if result.corrections:
         fixed = ", ".join(
@@ -89,7 +161,10 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(result.partial_answers)} partial "
         f"({result.elapsed_seconds * 1000:.1f} ms)"
     )
-    schema = system.domains[result.domain].dataset.spec.schema
+    if args.explain and result.trace is not None:
+        for entry in result.trace:
+            print(f"  stage {entry.describe()}")
+    schema = service.cqads.domain(result.domain).schema
     for answer in result.answers[: args.top]:
         identity = " ".join(
             str(answer.record.get(column.name, ""))
@@ -108,6 +183,83 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"  [{tag:>14}] {identity}  ({details})")
     return 0
+
+
+def _result_to_json(result, top: int) -> dict:
+    return {
+        "question": result.question,
+        "domain": result.domain,
+        "message": result.message,
+        "sql": result.sql,
+        "interpretation": (
+            result.interpretation.describe()
+            if result.interpretation is not None
+            else None
+        ),
+        "corrections": [
+            {"original": c.original, "corrected": c.corrected}
+            for c in result.corrections
+        ],
+        "exact_count": len(result.exact_answers),
+        "partial_count": len(result.partial_answers),
+        "total_ranked": len(result.ranked_pool),
+        "timings_ms": {
+            stage: seconds * 1000 for stage, seconds in result.timings.items()
+        },
+        "answers": [
+            {
+                "exact": answer.exact,
+                "score": None if answer.exact else answer.score,
+                "similarity_kind": answer.similarity_kind,
+                "record": dict(answer.record),
+            }
+            for answer in result.answers[:top]
+        ],
+    }
+
+
+def _batch_main(argv: list[str]) -> int:
+    args = build_batch_parser().parse_args(argv)
+    if args.file == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            print(f"cannot read {args.file!r}: {error}", file=sys.stderr)
+            return 1
+    questions = [line.strip() for line in lines if line.strip()]
+    if not questions:
+        print("no questions found", file=sys.stderr)
+        return 1
+    service = _provision_service(args)
+    requests = [
+        AnswerRequest(question=question, domain=args.domain)
+        for question in questions
+    ]
+    if args.max_answers is not None:
+        requests = [
+            request.with_options(max_answers=args.max_answers)
+            for request in requests
+        ]
+    print(
+        f"answering {len(requests)} questions "
+        f"({args.workers} workers) ...",
+        file=sys.stderr,
+    )
+    results = service.answer_batch(requests, workers=args.workers)
+    payload = [_result_to_json(result, args.top) for result in results]
+    json.dump(payload, sys.stdout, indent=args.indent or None)
+    print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "batch":
+        return _batch_main(argv[1:])
+    return _ask_main(argv)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,57 @@
+"""The CQAds service-layer API.
+
+This package is the preferred public surface of the reproduction:
+
+* :mod:`repro.api.requests` — frozen :class:`AnswerRequest` /
+  :class:`AnswerOptions` value objects carrying per-request overrides;
+* :mod:`repro.api.stages` — the five pipeline stages (classify → tag →
+  interpret → execute → relax) behind the :class:`PipelineStage`
+  protocol, composed by :class:`QueryPipeline` with per-stage timings
+  and optional explain traces;
+* :mod:`repro.api.service` — :class:`AnswerService` with single,
+  batched and paginated answering;
+* :mod:`repro.api.pagination` — :class:`AnswerPage` cursors over a
+  result's full ranking;
+* :mod:`repro.api.builder` — the fluent :class:`SystemBuilder` over
+  :func:`repro.system.build_system`.
+
+The legacy surface (``CQAds.answer``, ``build_system``) delegates to
+this layer, so both produce bit-identical answers.
+"""
+
+from repro.api.builder import SystemBuilder
+from repro.api.pagination import AnswerPage, page_result
+from repro.api.requests import AnswerOptions, AnswerRequest, ResolvedOptions
+from repro.api.service import AnswerService
+from repro.api.stages import (
+    ClassifyStage,
+    ExecuteStage,
+    InterpretStage,
+    PipelineStage,
+    QueryPipeline,
+    RelaxStage,
+    StageContext,
+    StageTrace,
+    TagStage,
+    default_stages,
+)
+
+__all__ = [
+    "AnswerOptions",
+    "AnswerRequest",
+    "ResolvedOptions",
+    "AnswerService",
+    "AnswerPage",
+    "page_result",
+    "SystemBuilder",
+    "PipelineStage",
+    "QueryPipeline",
+    "StageContext",
+    "StageTrace",
+    "ClassifyStage",
+    "TagStage",
+    "InterpretStage",
+    "ExecuteStage",
+    "RelaxStage",
+    "default_stages",
+]

@@ -1,0 +1,154 @@
+"""`SystemBuilder`: fluent provisioning of a CQAds system.
+
+The seed's ``build_system()`` packs seven keyword arguments plus
+``**cqads_options`` into one call; the builder names each knob as a
+chainable method and adds two things the function can't express
+cleanly:
+
+* **lazy per-domain provisioning** (:meth:`SystemBuilder.lazy`) — the
+  shared substrate is built up front, each domain on first use;
+* a direct :meth:`SystemBuilder.build_service` that returns the
+  :class:`~repro.api.service.AnswerService` most callers actually want.
+
+::
+
+    service = (
+        SystemBuilder()
+        .with_domains("cars", "motorcycles")
+        .ads_per_domain(500)
+        .with_seed(7)
+        .build_service()
+    )
+    result = service.answer(AnswerRequest(question="blue honda accord"))
+
+``build_system()`` remains the single provisioning implementation; the
+builder only collects arguments, so both surfaces stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.classify.naive_bayes import NaiveBayesClassifier
+from repro.system import BuiltSystem, build_system
+
+from repro.api.service import AnswerService
+
+__all__ = ["SystemBuilder"]
+
+
+class SystemBuilder:
+    """Collects provisioning options, then delegates to ``build_system``.
+
+    Every ``with_*``-style method returns ``self`` for chaining;
+    :meth:`build` may be called repeatedly (each call provisions a
+    fresh, independent system from the same recipe).
+    """
+
+    def __init__(self) -> None:
+        self._domains: list[str] | None = None
+        self._ads_per_domain = 500
+        self._sessions_per_domain = 1500
+        self._corpus_documents = 1200
+        self._seed = 7
+        self._classifier: NaiveBayesClassifier | None = None
+        self._train_classifier = True
+        self._lazy = False
+        self._cqads_options: dict[str, object] = {}
+
+    # -- domains and scale ---------------------------------------------
+    def with_domains(self, *names: str | Iterable[str]) -> "SystemBuilder":
+        """Which domains to serve (default: all eight).
+
+        Accepts varargs or a single iterable:
+        ``.with_domains("cars", "food_coupons")`` or
+        ``.with_domains(["cars", "food_coupons"])``.
+        """
+        flattened: list[str] = []
+        for name in names:
+            if isinstance(name, str):
+                flattened.append(name)
+            else:
+                flattened.extend(name)
+        self._domains = flattened
+        return self
+
+    def ads_per_domain(self, count: int) -> "SystemBuilder":
+        """Synthetic ads per domain (paper scale: 500, Section 4.1.4)."""
+        self._ads_per_domain = count
+        return self
+
+    def sessions_per_domain(self, count: int) -> "SystemBuilder":
+        """Query-log sessions per domain feeding the TI-matrix (Eq. 3)."""
+        self._sessions_per_domain = count
+        return self
+
+    def corpus_documents(self, count: int) -> "SystemBuilder":
+        """Topical-corpus size feeding the shared WS-matrix."""
+        self._corpus_documents = count
+        return self
+
+    def with_seed(self, seed: int) -> "SystemBuilder":
+        """Master seed; every generator derives from it (determinism)."""
+        self._seed = seed
+        return self
+
+    # -- engine configuration ------------------------------------------
+    def with_classifier(
+        self, classifier: NaiveBayesClassifier | None
+    ) -> "SystemBuilder":
+        """Replace the default JBBSM Naive Bayes classifier."""
+        self._classifier = classifier
+        return self
+
+    def train_classifier(self, train: bool = True) -> "SystemBuilder":
+        """Train the classifier at build time (default: yes, when >1 domain)."""
+        self._train_classifier = train
+        return self
+
+    def max_answers(self, count: int) -> "SystemBuilder":
+        """The engine's default answer cap (the paper's 30)."""
+        self._cqads_options["max_answers"] = count
+        return self
+
+    def answer_defaults(self, **cqads_options) -> "SystemBuilder":
+        """Engine-level answering defaults (``correct_spelling``,
+        ``relax_partial``, ``ordered_evaluation``,
+        ``partial_pool_per_query``) — still overridable per request."""
+        self._cqads_options.update(cqads_options)
+        return self
+
+    # -- provisioning strategy -----------------------------------------
+    def lazy(self, lazy: bool = True) -> "SystemBuilder":
+        """Defer per-domain provisioning to first use.
+
+        ``build()`` then returns immediately with the shared substrate
+        (database, corpus, WS-matrix, engine); each domain's ads, query
+        log and TI-matrix are generated on the first
+        ``system.domain(name)`` / ``ensure_domain(name)`` call.
+        """
+        self._lazy = lazy
+        return self
+
+    # -- terminal operations -------------------------------------------
+    def build(self) -> BuiltSystem:
+        """Provision and return the system."""
+        return build_system(
+            domain_names=self._domains,
+            ads_per_domain=self._ads_per_domain,
+            sessions_per_domain=self._sessions_per_domain,
+            corpus_documents=self._corpus_documents,
+            seed=self._seed,
+            classifier=self._classifier,
+            train_classifier=self._train_classifier,
+            lazy=self._lazy,
+            **self._cqads_options,
+        )
+
+    def build_service(self) -> AnswerService:
+        """Provision the system and wrap it in an :class:`AnswerService`.
+
+        The built system stays reachable via ``service.cqads`` (and the
+        full artifact set via :meth:`build` when needed separately).
+        """
+        return AnswerService(self.build().cqads)

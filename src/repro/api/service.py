@@ -1,0 +1,112 @@
+"""`AnswerService`: the request/response front door to CQAds.
+
+Wraps a :class:`~repro.qa.pipeline.CQAds` engine (and optionally a
+customized :class:`~repro.api.stages.QueryPipeline`) behind three
+calls:
+
+* :meth:`AnswerService.answer` — one request, one result;
+* :meth:`AnswerService.answer_batch` — many requests fanned out over a
+  thread pool, results in input order, duplicate requests answered
+  once (the pipeline is read-only, so sharing results is safe);
+* :meth:`AnswerService.page` — cursor pagination over a result's full
+  ranking, past the paper's 30-answer cap, without re-ranking.
+
+The engine stays fully usable directly; the service adds no state
+beyond the pipeline it runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.qa.pipeline import CQAds, QuestionResult
+
+from repro.api.pagination import AnswerPage, page_result
+from repro.api.requests import AnswerOptions, AnswerRequest
+from repro.api.stages import QueryPipeline
+
+__all__ = ["AnswerService"]
+
+
+class AnswerService:
+    """The service layer over one provisioned :class:`CQAds` engine."""
+
+    def __init__(
+        self, cqads: CQAds, pipeline: QueryPipeline | None = None
+    ) -> None:
+        self.cqads = cqads
+        self.pipeline = pipeline if pipeline is not None else cqads.pipeline()
+
+    # ------------------------------------------------------------------
+    def answer(self, request: AnswerRequest | str) -> QuestionResult:
+        """Answer one request (a bare string becomes a default request)."""
+        return self.pipeline.run(self.cqads, AnswerRequest.of(request))
+
+    def ask(
+        self,
+        question: str,
+        domain: str | None = None,
+        options: AnswerOptions | None = None,
+        **overrides,
+    ) -> QuestionResult:
+        """Keyword convenience: build the request inline.
+
+        ``service.ask("blue honda", max_answers=5, explain=True)`` is
+        shorthand for an :class:`AnswerRequest` with those overrides.
+        """
+        request = AnswerRequest(
+            question=question,
+            domain=domain,
+            options=options if options is not None else AnswerOptions(),
+        )
+        if overrides:
+            request = request.with_options(**overrides)
+        return self.answer(request)
+
+    # ------------------------------------------------------------------
+    def answer_batch(
+        self,
+        requests: Iterable[AnswerRequest | str],
+        workers: int = 4,
+    ) -> list[QuestionResult]:
+        """Answer *requests*, returning results in input order.
+
+        The pipeline only reads the provisioned system, so requests fan
+        out over a thread pool.  Requests that compare equal (same
+        question, domain and options — both dataclasses are frozen) are
+        answered once and share the same result object, which is where
+        most of the batch win comes from on realistic workloads where
+        popular questions repeat.
+        """
+        items = [AnswerRequest.of(item) for item in requests]
+        order = list(dict.fromkeys(items))
+        if workers <= 1 or len(order) <= 1:
+            results = [self.answer(request) for request in order]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                results = list(executor.map(self.answer, order))
+        by_request = dict(zip(order, results))
+        return [by_request[request] for request in items]
+
+    # ------------------------------------------------------------------
+    def page(
+        self, result: QuestionResult, offset: int = 0, limit: int = 30
+    ) -> AnswerPage:
+        """A window into *result*'s full ranking (see ``page_result``)."""
+        return page_result(result, offset=offset, limit=limit)
+
+    def page_all(
+        self, result: QuestionResult, page_size: int = 30
+    ) -> Sequence[AnswerPage]:
+        """Every page of *result*, in order (convenience for exports)."""
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        pages: list[AnswerPage] = []
+        offset = 0
+        while True:
+            window = self.page(result, offset=offset, limit=page_size)
+            pages.append(window)
+            if window.next_offset is None:
+                return pages
+            offset = window.next_offset

@@ -1,21 +1,17 @@
-"""The CQAds facade: end-to-end question answering (Section 4).
+"""The CQAds engine: domains, classifier and relaxation (Section 4).
 
-:class:`CQAds` ties the subsystems together.  Answering a question
-runs:
+:class:`CQAds` holds the system state — the ads database, the
+registered domains with their taggers and ranking resources, and the
+Section 3 domain classifier — plus the N-1 relaxation machinery of
+Section 4.3.1.
 
-1. **domain classification** (Section 3) — Naive Bayes with JBBSM,
-   skipped when the caller names the domain;
-2. **tagging** — spelling correction, shorthand expansion, keyword
-   tagging with context switching (Sections 4.1-4.2);
-3. **Boolean interpretation** — the implicit/explicit rules of
-   Section 4.4 (a contradiction terminates with "search retrieved no
-   results");
-4. **SQL generation and execution** with the Section 4.3 evaluation
-   order (Type I → II → III boundaries → superlatives);
-5. **N-1 partial matching** (Section 4.3.1) when fewer than
-   ``max_answers`` exact matches exist: each criterion is dropped in
-   turn, the union of the relaxed queries forms the candidate pool,
-   and Eq. 5's Rank_Sim orders it.
+The *orchestration* of one question (classify → tag → interpret →
+execute → relax/rank) lives in :mod:`repro.api.stages` as five
+pluggable pipeline stages; :meth:`CQAds.answer` remains as a
+back-compat facade that runs the default
+:class:`~repro.api.stages.QueryPipeline`.  New code should prefer
+:class:`repro.api.service.AnswerService`, which adds per-request
+options, batching and pagination on top of the same stages.
 
 ``max_answers`` defaults to 30, the paper's choice backed by the
 iProspect statistic that 88% of users never look past 30 results (and
@@ -24,8 +20,9 @@ the survey average of ~26 desired answers).
 
 from __future__ import annotations
 
-import time
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.classify.naive_bayes import (
     BetaBinomialNaiveBayes,
@@ -34,8 +31,7 @@ from repro.classify.naive_bayes import (
 from repro.db.database import Database
 from repro.db.schema import AttributeType
 from repro.db.table import Record
-from repro.errors import ClassificationError, ContradictionError
-from repro.qa.boolean_rules import build_interpretation
+from repro.errors import ClassificationError
 from repro.qa.conditions import (
     BooleanOperator,
     Condition,
@@ -44,15 +40,17 @@ from repro.qa.conditions import (
     flatten_and,
 )
 from repro.qa.domain import AdsDomain
-from repro.qa.sql_generation import evaluate_interpretation, generate_sql
+from repro.qa.sql_generation import evaluate_interpretation
 from repro.qa.spelling import Correction
 from repro.qa.tagger import QuestionTagger
 from repro.ranking.rank_sim import (
     RankingResources,
     RankSimRanker,
-    ScoredRecord,
     ScoringUnit,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycle
+    from repro.api.stages import QueryPipeline, StageTrace
 
 __all__ = ["Answer", "QuestionResult", "CQAds", "MAX_ANSWERS"]
 
@@ -77,7 +75,18 @@ class Answer:
 
 @dataclass
 class QuestionResult:
-    """Everything CQAds produced for one question."""
+    """Everything CQAds produced for one question.
+
+    ``answers`` is the capped list the paper presents (at most
+    ``max_answers`` entries, exacts first).  ``ranked_pool`` is the full
+    ranking the pipeline computed before capping — exact matches in
+    evaluation order followed by every scored partial candidate — so
+    :meth:`repro.api.service.AnswerService.page` can walk past the
+    30-answer cap without re-running or re-ranking anything.
+
+    ``timings`` maps each executed stage name to its wall-clock seconds;
+    ``elapsed_seconds`` (the seed's single number) is derived from it.
+    """
 
     question: str
     domain: str
@@ -86,7 +95,14 @@ class QuestionResult:
     answers: list[Answer] = field(default_factory=list)
     corrections: list[Correction] = field(default_factory=list)
     message: str | None = None  # "search retrieved no results" etc.
-    elapsed_seconds: float = 0.0
+    timings: dict[str, float] = field(default_factory=dict)
+    ranked_pool: list[Answer] = field(default_factory=list)
+    trace: list["StageTrace"] | None = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total pipeline time — the sum of the per-stage timings."""
+        return sum(self.timings.values())
 
     @property
     def exact_answers(self) -> list[Answer]:
@@ -107,11 +123,23 @@ class _DomainContext:
     domain: AdsDomain
     tagger: QuestionTagger
     resources: RankingResources | None = None
+    _alt_tagger: QuestionTagger | None = None
 
     def ranker(self) -> RankSimRanker | None:
         if self.resources is None:
             return None
         return RankSimRanker(self.resources)
+
+    def tagger_for(self, correct_spelling: bool) -> QuestionTagger:
+        """The registered tagger, or a cached variant with spelling
+        correction toggled (used by per-request overrides)."""
+        if correct_spelling == (self.tagger.corrector is not None):
+            return self.tagger
+        if self._alt_tagger is None:
+            self._alt_tagger = QuestionTagger(
+                self.domain, correct_spelling=correct_spelling
+            )
+        return self._alt_tagger
 
 
 class CQAds:
@@ -127,6 +155,9 @@ class CQAds:
         Domain classifier; defaults to the paper's JBBSM Naive Bayes.
     correct_spelling / relax_partial:
         Feature switches used by the ablation benchmarks.
+
+    All of these are *defaults*: :class:`repro.api.requests.AnswerOptions`
+    can override any of them for a single request.
     """
 
     def __init__(
@@ -153,8 +184,21 @@ class CQAds:
             if partial_pool_per_query is not None
             else 3 * max_answers
         )
+        #: Whether the pool cap was chosen by the caller (per-request
+        #: ``max_answers`` overrides re-derive it only when it wasn't).
+        self.partial_pool_explicit = partial_pool_per_query is not None
+        #: Hook invoked when an unregistered domain is requested —
+        #: lazy builds point this at ``BuiltSystem.ensure_domain`` so
+        #: named-domain requests provision on first use.
+        self.domain_loader: Callable[[str], object] | None = None
+        #: Hook invoked before classification trains — lazy builds
+        #: point this at ``BuiltSystem.provision_all`` so the classifier
+        #: sees every requested domain's training texts.
+        self.classifier_warmup: Callable[[], None] | None = None
         self._contexts: dict[str, _DomainContext] = {}
         self._classifier_trained = False
+        self._train_lock = threading.Lock()
+        self._default_pipeline: "QueryPipeline | None" = None
 
     # ------------------------------------------------------------------
     # registration
@@ -182,87 +226,75 @@ class CQAds:
         return sorted(self._contexts.keys())
 
     def domain(self, name: str) -> AdsDomain:
+        self._maybe_load(name)
         return self._contexts[name].domain
+
+    def _maybe_load(self, name: str) -> None:
+        """Provision *name* through ``domain_loader`` on lazy builds."""
+        if name not in self._contexts and self.domain_loader is not None:
+            try:
+                self.domain_loader(name)
+            except KeyError:
+                pass  # not a requested domain either; fall through
+
+    def context(self, name: str) -> _DomainContext:
+        """The registered context for *name* (stages' entry point).
+
+        With a ``domain_loader`` attached (lazy builds), an unknown
+        name is provisioned on first use before failing.
+        """
+        self._maybe_load(name)
+        try:
+            return self._contexts[name]
+        except KeyError:
+            raise ClassificationError(
+                f"domain {name!r} is not registered; known domains: "
+                f"{self.domains()}"
+            ) from None
 
     def train_classifier(self) -> None:
         self.classifier.train()
         self._classifier_trained = True
 
     def classify_question(self, question: str) -> str:
-        """Section 3: route the question to its ads domain."""
+        """Section 3: route the question to its ads domain.
+
+        On-demand training is double-checked under a lock so that
+        concurrent requests (``AnswerService.answer_batch``) never
+        observe a half-trained classifier.
+        """
+        if self.classifier_warmup is not None:
+            self.classifier_warmup()
         if len(self._contexts) == 1:
             return next(iter(self._contexts))
         if not self._classifier_trained:
-            self.train_classifier()
+            with self._train_lock:
+                if not self._classifier_trained:
+                    self.train_classifier()
         return self.classifier.classify(question)
 
     # ------------------------------------------------------------------
-    # answering
+    # answering (back-compat facade over repro.api)
     # ------------------------------------------------------------------
     def answer(self, question: str, domain: str | None = None) -> QuestionResult:
-        """Answer *question*, classifying its domain unless given."""
-        started = time.perf_counter()
-        if domain is None:
-            domain = self.classify_question(question)
-        try:
-            context = self._contexts[domain]
-        except KeyError:
-            raise ClassificationError(
-                f"domain {domain!r} is not registered; known domains: "
-                f"{self.domains()}"
-            ) from None
-        tagged = context.tagger.tag(question)
-        try:
-            interpretation = build_interpretation(tagged, context.domain)
-        except ContradictionError as error:
-            return QuestionResult(
-                question=question,
-                domain=domain,
-                interpretation=None,
-                sql="",
-                corrections=tagged.corrections,
-                message=str(error),
-                elapsed_seconds=time.perf_counter() - started,
-            )
-        sql_text = generate_sql(
-            context.domain.schema.table_name,
-            interpretation,
-            limit=self.max_answers,
-            ordered=self.ordered_evaluation,
-        ).to_sql()
-        exact_records = evaluate_interpretation(
-            self.database,
-            context.domain,
-            interpretation,
-            limit=self.max_answers,
-            ordered=self.ordered_evaluation,
-        )
-        answers = [
-            Answer(record=record, exact=True, score=float("inf"), similarity_kind="exact")
-            for record in exact_records
-        ]
-        if (
-            self.relax_partial
-            and len(answers) < self.max_answers
-            and interpretation.tree is not None
-        ):
-            partials = self._partial_answers(
-                context, interpretation, exclude={r.record_id for r in exact_records}
-            )
-            answers.extend(partials[: self.max_answers - len(answers)])
-        message = None
-        if not answers:
-            message = "search retrieved no results"
-        return QuestionResult(
-            question=question,
-            domain=domain,
-            interpretation=interpretation,
-            sql=sql_text,
-            answers=answers,
-            corrections=tagged.corrections,
-            message=message,
-            elapsed_seconds=time.perf_counter() - started,
-        )
+        """Answer *question*, classifying its domain unless given.
+
+        Legacy facade: equivalent to running the default
+        :class:`~repro.api.stages.QueryPipeline` on an
+        :class:`~repro.api.requests.AnswerRequest` with no overrides.
+        """
+        from repro.api.requests import AnswerRequest
+
+        request = AnswerRequest(question=question, domain=domain)
+        return self.pipeline().run(self, request)
+
+    def pipeline(self) -> "QueryPipeline":
+        """This engine's default (cached) query pipeline."""
+        if self._default_pipeline is None:
+            from repro.api.stages import QueryPipeline
+
+            self._default_pipeline = QueryPipeline()
+        return self._default_pipeline
 
     # ------------------------------------------------------------------
     # N-1 partial matching (Section 4.3.1)
@@ -316,6 +348,9 @@ class CQAds:
         domain: str,
         interpretation: Interpretation,
         exclude: set[int] | None = None,
+        *,
+        pool_cap: int | None = None,
+        ordered: bool | None = None,
     ) -> list[Record]:
         """The raw N-1 candidate pool for a question (Section 4.3.1).
 
@@ -325,9 +360,16 @@ class CQAds:
         fall back to the whole table (the paper's similarity-matching
         case).  Used by the Figure 5 benchmark to feed every ranker
         the same candidates.
+
+        ``pool_cap``/``ordered`` default to the engine's settings; the
+        pipeline passes per-request values through them.
         """
-        context = self._contexts[domain]
+        context = self.context(domain)
         exclude = exclude or set()
+        if pool_cap is None:
+            pool_cap = self.partial_pool_per_query
+        if ordered is None:
+            ordered = self.ordered_evaluation
         units = self.relaxation_units(interpretation)
         if len(units) < 1:
             return []
@@ -338,7 +380,7 @@ class CQAds:
                 if record.record_id not in exclude:
                     candidates[record.record_id] = record
         else:
-            cap = self.partial_pool_per_query
+            cap = pool_cap
             for dropped_index in range(len(units)):
                 remaining = [
                     unit
@@ -354,24 +396,38 @@ class CQAds:
                     context.domain,
                     relaxed,
                     limit=budget,
-                    ordered=self.ordered_evaluation,
+                    ordered=ordered,
                 ):
                     if record.record_id not in exclude:
                         candidates.setdefault(record.record_id, record)
         return list(candidates.values())
 
-    def _partial_answers(
+    def partial_answers(
         self,
-        context: _DomainContext,
+        domain: str,
         interpretation: Interpretation,
         exclude: set[int],
+        *,
+        pool_cap: int | None = None,
+        ordered: bool | None = None,
     ) -> list[Answer]:
+        """The full scored N-1 answer list (uncapped), best first.
+
+        With ranking resources the pool is ordered by Eq. 5's Rank_Sim;
+        without them the N-1 retrieval order (by record id) is kept and
+        answers are marked ``unranked``.
+        """
+        context = self.context(domain)
         ranker = context.ranker()
         units = self.relaxation_units(interpretation)
         if len(units) < 1:
             return []
         pool = self.partial_candidates(
-            context.domain.name, interpretation, exclude
+            domain,
+            interpretation,
+            exclude,
+            pool_cap=pool_cap,
+            ordered=ordered,
         )
         if ranker is None:
             # No similarity resources: preserve N-1 retrieval order by id.

@@ -14,11 +14,23 @@ describes across Sections 3-4:
 The returned :class:`BuiltSystem` keeps every intermediate artifact
 (datasets, latent models, matrices) so tests, examples and benchmarks
 can inspect or re-use them without rebuilding.
+
+With ``lazy=True`` (what :meth:`repro.api.builder.SystemBuilder.lazy`
+sets), only the shared substrate (database, corpus, WS-matrix, the
+engine) is built up front; each domain is provisioned on first access
+through :meth:`BuiltSystem.ensure_domain`.  Eager and lazy builds are
+deterministic and identical per domain — every generator is seeded per
+call, so provisioning order does not matter.
+
+Prefer :class:`repro.api.builder.SystemBuilder` for new code; this
+function remains the single implementation both surfaces share.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.classify.naive_bayes import NaiveBayesClassifier
 from repro.datagen.ads import DomainDataset, build_dataset
@@ -32,6 +44,9 @@ from repro.qa.pipeline import CQAds
 from repro.ranking.rank_sim import RankingResources
 from repro.ranking.ti_matrix import TIMatrix
 from repro.ranking.ws_matrix import WSMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.api.service import AnswerService
 
 __all__ = ["BuiltDomain", "BuiltSystem", "build_system"]
 
@@ -57,9 +72,90 @@ class BuiltSystem:
     domains: dict[str, BuiltDomain] = field(default_factory=dict)
     ws_matrix: WSMatrix | None = None
     corpus: list[str] = field(default_factory=list)
+    #: Names this system was asked to serve (provisioned or pending).
+    requested_domains: tuple[str, ...] = ()
+    _provisioner: Callable[[str], BuiltDomain] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _provision_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def domain(self, name: str) -> BuiltDomain:
+        """The provisioned artifacts for *name* (provisions lazily)."""
+        return self.ensure_domain(name)
+
+    def ensure_domain(self, name: str) -> BuiltDomain:
+        """Provision *name* on first access (no-op when already built).
+
+        Thread-safe: concurrent requests (``answer_batch``) may race to
+        the same unprovisioned domain; exactly one provisions it.
+        """
+        if name not in self.domains:
+            if self._provisioner is None or name not in self.requested_domains:
+                raise KeyError(name)
+            with self._provision_lock:
+                if name not in self.domains:
+                    self.domains[name] = self._provisioner(name)
         return self.domains[name]
+
+    def provision_all(self) -> None:
+        """Provision every requested domain that is still pending."""
+        for name in self.requested_domains:
+            self.ensure_domain(name)
+
+    @property
+    def pending_domains(self) -> tuple[str, ...]:
+        """Requested domains not yet provisioned (lazy builds only)."""
+        return tuple(
+            name for name in self.requested_domains if name not in self.domains
+        )
+
+    def service(self) -> "AnswerService":
+        """An :class:`~repro.api.service.AnswerService` over this system."""
+        from repro.api.service import AnswerService
+
+        return AnswerService(self.cqads)
+
+
+def _provision_domain(
+    system: BuiltSystem,
+    spec,
+    ads_per_domain: int,
+    sessions_per_domain: int,
+    seed: int,
+) -> BuiltDomain:
+    """Steps 1-3 and 5 of the provisioning pipeline for one domain."""
+    assert system.ws_matrix is not None
+    dataset = build_dataset(spec, system.database, ads_per_domain, seed=seed)
+    domain = AdsDomain.from_table(spec.name, dataset.table)
+    # The generated dataset's ebay-style ranges override the
+    # table-derived ones (same computation, same data — kept for
+    # symmetry with the paper's separate ebay statistics source).
+    domain.value_ranges.update(dataset.value_ranges)
+    latent = LatentSimilarity(spec)
+    sessions = generate_query_log(
+        spec, latent, n_sessions=sessions_per_domain, seed=seed + 4
+    )
+    ti_matrix = TIMatrix.from_query_log(sessions)
+    resources = RankingResources(
+        ti_matrix=ti_matrix,
+        ws_matrix=system.ws_matrix,
+        value_ranges=dict(domain.value_ranges),
+        type_i_columns=[c.name for c in spec.schema.type_i_columns],
+        product_keys=[product.key() for product in spec.products],
+    )
+    system.cqads.add_domain(
+        domain, training_texts=dataset.ad_texts(), resources=resources
+    )
+    return BuiltDomain(
+        dataset=dataset,
+        domain=domain,
+        latent=latent,
+        sessions=sessions,
+        ti_matrix=ti_matrix,
+        resources=resources,
+    )
 
 
 def build_system(
@@ -70,52 +166,48 @@ def build_system(
     seed: int = 7,
     classifier: NaiveBayesClassifier | None = None,
     train_classifier: bool = True,
+    lazy: bool = False,
     **cqads_options,
 ) -> BuiltSystem:
     """Provision CQAds over *domain_names* (default: all eight).
 
     The defaults match the paper's scale: 500 ads per domain, one table
     per domain, a 30-answer cap.  Smaller values make unit tests fast.
+
+    With ``lazy=True`` the shared substrate (corpus, WS-matrix, engine)
+    is built immediately but per-domain provisioning is deferred to the
+    first :meth:`BuiltSystem.ensure_domain` (or ``domain``) call;
+    classifier training then happens on demand inside
+    :meth:`CQAds.classify_question`.
     """
     names = list(domain_names) if domain_names is not None else list(DOMAIN_NAMES)
     database = Database()
-    system = BuiltSystem(cqads=None, database=database)  # type: ignore[arg-type]
-    specs = []
-    for name in names:
-        spec = build_domain_spec(name)
-        specs.append(spec)
-    system.corpus = generate_corpus(specs, n_documents=corpus_documents, seed=seed)
-    system.ws_matrix = WSMatrix.from_corpus(system.corpus)
+    specs = [build_domain_spec(name) for name in names]
+    spec_by_name = {spec.name: spec for spec in specs}
+    corpus = generate_corpus(specs, n_documents=corpus_documents, seed=seed)
     cqads = CQAds(database, classifier=classifier, **cqads_options)
-    for spec in specs:
-        dataset = build_dataset(spec, database, ads_per_domain, seed=seed)
-        domain = AdsDomain.from_table(spec.name, dataset.table)
-        # The generated dataset's ebay-style ranges override the
-        # table-derived ones (same computation, same data — kept for
-        # symmetry with the paper's separate ebay statistics source).
-        domain.value_ranges.update(dataset.value_ranges)
-        latent = LatentSimilarity(spec)
-        sessions = generate_query_log(
-            spec, latent, n_sessions=sessions_per_domain, seed=seed + 4
-        )
-        ti_matrix = TIMatrix.from_query_log(sessions)
-        resources = RankingResources(
-            ti_matrix=ti_matrix,
-            ws_matrix=system.ws_matrix,
-            value_ranges=dict(domain.value_ranges),
-            type_i_columns=[c.name for c in spec.schema.type_i_columns],
-            product_keys=[product.key() for product in spec.products],
-        )
-        cqads.add_domain(domain, training_texts=dataset.ad_texts(), resources=resources)
-        system.domains[spec.name] = BuiltDomain(
-            dataset=dataset,
-            domain=domain,
-            latent=latent,
-            sessions=sessions,
-            ti_matrix=ti_matrix,
-            resources=resources,
-        )
+    system = BuiltSystem(
+        cqads=cqads,
+        database=database,
+        ws_matrix=WSMatrix.from_corpus(corpus),
+        corpus=corpus,
+        requested_domains=tuple(spec.name for spec in specs),
+    )
+    system._provisioner = lambda name: _provision_domain(
+        system,
+        spec_by_name[name],
+        ads_per_domain,
+        sessions_per_domain,
+        seed,
+    )
+    if lazy:
+        # Named-domain requests provision on first use; classification
+        # first provisions everything so the classifier is trained on
+        # the full domain set.
+        cqads.domain_loader = system.ensure_domain
+        cqads.classifier_warmup = system.provision_all
+        return system
+    system.provision_all()
     if train_classifier and len(names) > 1:
         cqads.train_classifier()
-    system.cqads = cqads
     return system

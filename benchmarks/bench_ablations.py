@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.datagen.questions import make_generator

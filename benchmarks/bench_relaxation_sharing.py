@@ -1,0 +1,188 @@
+"""Shared-subplan relaxation vs legacy per-drop evaluation.
+
+The N-1 relaxation answers an N-criteria question with N relaxed
+queries.  The legacy path re-evaluated every relaxed WHERE tree
+independently — N×(N-1) unit-predicate evaluations per question — while
+the shared-subplan engine (:mod:`repro.perf.subplan`) evaluates each
+unit once and intersects, so the predicate work is linear in N.
+
+This bench times ``partial_candidates`` under both strategies on
+partial-match questions with ≥ 4 criteria (six relaxation units:
+identity, color, transmission, price, mileage, year) at the paper's
+500-ad scale and at 2000 ads, verifies the pools stay identical, and
+records the snapshot in ``BENCH_relaxation.json``.
+
+Acceptance: ≥ 2x speedup at the 2000-ad scale.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_relaxation_sharing.py -s
+  or: PYTHONPATH=src python benchmarks/bench_relaxation_sharing.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.db.schema import AttributeType
+from repro.evaluation.reporting import format_seconds, format_table
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionOp,
+    Interpretation,
+)
+from repro.qa.sql_generation import evaluate_interpretation
+from repro.system import build_system
+
+RESULT_PATH = pathlib.Path(__file__).parent / "BENCH_relaxation.json"
+
+SCALES = (500, 2000)
+QUESTIONS_PER_SCALE = 12
+REPEATS = 3
+MIN_SPEEDUP_AT_2000 = 2.0
+
+
+@pytest.fixture(scope="module", params=SCALES)
+def sized_system(request):
+    return build_system(
+        ["cars"],
+        ads_per_domain=request.param,
+        sessions_per_domain=300,
+        corpus_documents=200,
+    ), request.param
+
+
+def _question_interpretations(system, count: int) -> list[Interpretation]:
+    """Six-unit conjunctions anchored on real records (≥ 4 criteria)."""
+    rng = random.Random(1729)
+    dataset = system.domain("cars").dataset
+    interpretations = []
+    needed = ("make", "model", "color", "transmission", "price", "mileage", "year")
+    complete = [
+        record
+        for record in dataset.records
+        if all(record.get(column) is not None for column in needed)
+    ]
+    for _ in range(count):
+        record = rng.choice(complete)
+        conditions = [
+            Condition("make", AttributeType.TYPE_I, ConditionOp.EQ,
+                      str(record["make"])),
+            Condition("model", AttributeType.TYPE_I, ConditionOp.EQ,
+                      str(record["model"])),
+            Condition("color", AttributeType.TYPE_II, ConditionOp.EQ,
+                      str(record["color"])),
+            Condition("transmission", AttributeType.TYPE_II, ConditionOp.EQ,
+                      str(record["transmission"])),
+            Condition("price", AttributeType.TYPE_III, ConditionOp.LT,
+                      float(record["price"]) + 1000.0),
+            Condition("mileage", AttributeType.TYPE_III, ConditionOp.LT,
+                      float(record["mileage"]) + 5000.0),
+            Condition("year", AttributeType.TYPE_III, ConditionOp.GE,
+                      float(record["year"]) - 2.0),
+        ]
+        interpretations.append(
+            Interpretation(tree=ConditionGroup(BooleanOperator.AND, conditions))
+        )
+    return interpretations
+
+
+def _time_strategy(cqads, interpretations, excludes, strategy: str) -> float:
+    """Best-of-REPEATS wall-clock for the full question batch."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        for interpretation, exclude in zip(interpretations, excludes):
+            cqads.partial_candidates(
+                "cars", interpretation, exclude, strategy=strategy
+            )
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_shared_subplan_speedup(sized_system):
+    system, scale = sized_system
+    cqads = system.cqads
+    interpretations = _question_interpretations(system, QUESTIONS_PER_SCALE)
+    excludes = []
+    units_per_question = []
+    for interpretation in interpretations:
+        exact = evaluate_interpretation(
+            cqads.database, cqads.domain("cars"), interpretation
+        )
+        excludes.append({record.record_id for record in exact})
+        units_per_question.append(len(cqads.relaxation_units(interpretation)))
+    assert min(units_per_question) >= 4  # the ≥ 4-criteria requirement
+
+    # Pools must be identical before timing means anything.
+    for interpretation, exclude in zip(interpretations, excludes):
+        legacy_pool = cqads.partial_candidates(
+            "cars", interpretation, exclude, strategy="legacy"
+        )
+        shared_pool = cqads.partial_candidates(
+            "cars", interpretation, exclude, strategy="shared"
+        )
+        assert [r.record_id for r in legacy_pool] == [
+            r.record_id for r in shared_pool
+        ]
+
+    legacy_seconds = _time_strategy(cqads, interpretations, excludes, "legacy")
+    shared_seconds = _time_strategy(cqads, interpretations, excludes, "shared")
+    speedup = legacy_seconds / shared_seconds
+
+    per_question = QUESTIONS_PER_SCALE
+    rows = [
+        [
+            "legacy per-drop",
+            format_seconds(legacy_seconds / per_question),
+            "1.00x",
+        ],
+        [
+            "shared subplan",
+            format_seconds(shared_seconds / per_question),
+            f"{speedup:.2f}x",
+        ],
+    ]
+    emit(
+        format_table(
+            ["strategy", "per-question pool latency", "speedup"],
+            rows,
+            title=(
+                f"N-1 candidate pools at {scale} ads — "
+                f"{statistics.mean(units_per_question):.1f} relaxation "
+                f"units per question"
+            ),
+        )
+    )
+
+    snapshot = {}
+    if RESULT_PATH.exists():
+        snapshot = json.loads(RESULT_PATH.read_text())
+    snapshot.setdefault("benchmark", "relaxation_sharing")
+    snapshot.setdefault("questions_per_scale", QUESTIONS_PER_SCALE)
+    snapshot.setdefault("scales", {})
+    snapshot["scales"][str(scale)] = {
+        "ads": scale,
+        "relaxation_units_mean": statistics.mean(units_per_question),
+        "legacy_ms_per_question": 1000 * legacy_seconds / per_question,
+        "shared_ms_per_question": 1000 * shared_seconds / per_question,
+        "speedup": speedup,
+    }
+    RESULT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    if scale == 2000:
+        assert speedup >= MIN_SPEEDUP_AT_2000, (
+            f"shared subplans must be >= {MIN_SPEEDUP_AT_2000}x at 2000 ads, "
+            f"measured {speedup:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-s", "-q"]))

@@ -10,6 +10,11 @@ Legacy API note: ``build_system(["cars"]).cqads.answer(question)``
 still works and returns bit-identical answers — it is a thin shim over
 the same pipeline — but new code should prefer this surface.
 
+Performance note: ``.answer_cache(1024)`` on the builder memoizes
+repeated questions, and the relaxation/execution layers share subplans
+and plans automatically — see ``PERFORMANCE.md`` for the algorithms,
+knobs and the cache-invalidation contract.
+
 Run:  python examples/quickstart.py
 """
 
@@ -28,6 +33,7 @@ def main() -> None:
         SystemBuilder()
         .with_domains("cars")
         .ads_per_domain(500)
+        .answer_cache(1024)  # serve repeated questions from memory
         .build_service()
     )
 

@@ -19,6 +19,8 @@ The legacy surface (``CQAds.answer``, ``build_system``) delegates to
 this layer, so both produce bit-identical answers.
 """
 
+from repro.perf.answer_cache import AnswerCache
+
 from repro.api.builder import SystemBuilder
 from repro.api.pagination import AnswerPage, page_result
 from repro.api.requests import AnswerOptions, AnswerRequest, ResolvedOptions
@@ -40,6 +42,7 @@ __all__ = [
     "AnswerOptions",
     "AnswerRequest",
     "ResolvedOptions",
+    "AnswerCache",
     "AnswerService",
     "AnswerPage",
     "page_result",

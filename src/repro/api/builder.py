@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.classify.naive_bayes import NaiveBayesClassifier
+from repro.perf.answer_cache import AnswerCache
 from repro.system import BuiltSystem, build_system
 
 from repro.api.service import AnswerService
@@ -54,6 +55,7 @@ class SystemBuilder:
         self._classifier: NaiveBayesClassifier | None = None
         self._train_classifier = True
         self._lazy = False
+        self._answer_cache_capacity: int | None = None
         self._cqads_options: dict[str, object] = {}
 
     # -- domains and scale ---------------------------------------------
@@ -114,8 +116,21 @@ class SystemBuilder:
     def answer_defaults(self, **cqads_options) -> "SystemBuilder":
         """Engine-level answering defaults (``correct_spelling``,
         ``relax_partial``, ``ordered_evaluation``,
-        ``partial_pool_per_query``) — still overridable per request."""
+        ``partial_pool_per_query``, ``relaxation_strategy``) — still
+        overridable per request where an
+        :class:`~repro.api.requests.AnswerOptions` field exists."""
         self._cqads_options.update(cqads_options)
+        return self
+
+    def answer_cache(self, capacity: int | None = 1024) -> "SystemBuilder":
+        """Attach a bounded answer cache to :meth:`build_service`.
+
+        Repeated questions are then served from memory until
+        :meth:`~repro.api.service.AnswerService.invalidate_cache` is
+        called (the database-mutation contract — see PERFORMANCE.md).
+        ``None`` removes a previously-configured cache.
+        """
+        self._answer_cache_capacity = capacity
         return self
 
     # -- provisioning strategy -----------------------------------------
@@ -151,4 +166,9 @@ class SystemBuilder:
         The built system stays reachable via ``service.cqads`` (and the
         full artifact set via :meth:`build` when needed separately).
         """
-        return AnswerService(self.build().cqads)
+        cache = (
+            AnswerCache(self._answer_cache_capacity)
+            if self._answer_cache_capacity is not None
+            else None
+        )
+        return AnswerService(self.build().cqads, cache=cache)

@@ -52,6 +52,12 @@ class AnswerOptions:
         Attach a per-stage :class:`~repro.api.stages.StageTrace` list to
         the result (timings are always recorded; the trace adds
         human-readable stage details and skip markers).
+    use_cache:
+        Let the service answer this request from its answer cache (and
+        store the result there).  ``None``/``True`` use the cache when
+        the service has one; ``False`` forces a fresh pipeline run
+        without touching the cache.  No-op on services built without a
+        cache.
     """
 
     max_answers: int | None = None
@@ -60,6 +66,7 @@ class AnswerOptions:
     ordered_evaluation: bool | None = None
     partial_pool_per_query: int | None = None
     explain: bool = False
+    use_cache: bool | None = None
 
     def merged(self, **overrides) -> "AnswerOptions":
         """A copy with *overrides* applied (fluent convenience)."""
@@ -105,6 +112,20 @@ class ResolvedOptions:
     ordered_evaluation: bool
     partial_pool_per_query: int | None
     explain: bool
+    use_cache: bool = True
+
+    def fingerprint(self) -> tuple:
+        """The answer-cache key component: every resolved knob that can
+        change the result.  ``use_cache`` itself is excluded — it
+        controls cache participation, not the answer."""
+        return (
+            self.max_answers,
+            self.correct_spelling,
+            self.relax_partial,
+            self.ordered_evaluation,
+            self.partial_pool_per_query,
+            self.explain,
+        )
 
     @classmethod
     def resolve(cls, options: AnswerOptions, engine: "CQAds") -> "ResolvedOptions":
@@ -154,4 +175,5 @@ class ResolvedOptions:
             ),
             partial_pool_per_query=pool,
             explain=options.explain,
+            use_cache=options.use_cache if options.use_cache is not None else True,
         )

@@ -11,19 +11,27 @@ calls:
 * :meth:`AnswerService.page` — cursor pagination over a result's full
   ranking, past the paper's 30-answer cap, without re-ranking.
 
-The engine stays fully usable directly; the service adds no state
-beyond the pipeline it runs.
+With a :class:`~repro.perf.answer_cache.AnswerCache` attached
+(``SystemBuilder().answer_cache(...)`` or the ``cache`` constructor
+argument), repeated questions are served from memory: keys combine the
+requested domain, the normalized question text and the resolved option
+fingerprint, so any knob that could change the answer misses the
+cache.  The cache never watches the database — after mutating a
+backing table, call :meth:`AnswerService.invalidate_cache` (the
+explicit invalidation contract; see ``PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+from dataclasses import replace
+from typing import Hashable, Iterable, Sequence
 
+from repro.perf.answer_cache import AnswerCache
 from repro.qa.pipeline import CQAds, QuestionResult
 
 from repro.api.pagination import AnswerPage, page_result
-from repro.api.requests import AnswerOptions, AnswerRequest
+from repro.api.requests import AnswerOptions, AnswerRequest, ResolvedOptions
 from repro.api.stages import QueryPipeline
 
 __all__ = ["AnswerService"]
@@ -33,15 +41,81 @@ class AnswerService:
     """The service layer over one provisioned :class:`CQAds` engine."""
 
     def __init__(
-        self, cqads: CQAds, pipeline: QueryPipeline | None = None
+        self,
+        cqads: CQAds,
+        pipeline: QueryPipeline | None = None,
+        cache: AnswerCache | int | None = None,
     ) -> None:
         self.cqads = cqads
         self.pipeline = pipeline if pipeline is not None else cqads.pipeline()
+        if isinstance(cache, int):
+            cache = AnswerCache(cache)
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def answer(self, request: AnswerRequest | str) -> QuestionResult:
-        """Answer one request (a bare string becomes a default request)."""
-        return self.pipeline.run(self.cqads, AnswerRequest.of(request))
+        """Answer one request (a bare string becomes a default request).
+
+        With a cache attached, a repeat of a previously answered
+        (domain, normalized question, options) is returned from memory
+        — same answers, scores and ordering, with the result's
+        ``question`` field restored to this request's raw text.
+        """
+        request = AnswerRequest.of(request)
+        if self.cache is None:
+            return self.pipeline.run(self.cqads, request)
+        options = ResolvedOptions.resolve(request.options, self.cqads)
+        if not options.use_cache:
+            return self.pipeline.run(self.cqads, request)
+        key = self._cache_key(request, options)
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            if cached.question != request.question:
+                cached = replace(cached, question=request.question)
+            return cached
+        result = self.pipeline.run(self.cqads, request)
+        self.cache.store(key, result.domain, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_question(question: str) -> str:
+        """Collapse whitespace and case — the tokenizer lowercases and
+        splits on whitespace, so this never changes the answer."""
+        return " ".join(question.split()).lower()
+
+    def _cache_key(
+        self, request: AnswerRequest, options: ResolvedOptions
+    ) -> Hashable:
+        return (
+            request.domain,
+            self._normalize_question(request.question),
+            options.fingerprint(),
+        )
+
+    def invalidate_cache(self, domain: str | None = None) -> int:
+        """Drop cached answers — all of them, or one domain's.
+
+        This is the mutation hook: call it after inserting into or
+        deleting from a backing table.  *domain* accepts either a
+        registered domain name or its table name; ``None`` clears
+        everything.  Returns the number of entries dropped (0 when the
+        service has no cache).
+        """
+        if self.cache is None:
+            return 0
+        if domain is not None:
+            # Accept a table name for convenience: invalidating "after
+            # a table mutation" is the contract, and callers touching
+            # the Database layer hold table names, not domain names.
+            for name in self.cqads.domains():
+                context = self.cqads.context(name)
+                if context.domain.schema.table_name == domain:
+                    domain = name
+                    break
+        return self.cache.invalidate(domain)
 
     def ask(
         self,

@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 from repro.datagen.vocab import build_domain_spec
 from repro.datagen.vocab.base import DomainSpec, Product
 from repro.db.database import Database
-from repro.db.schema import Column
 from repro.db.table import Record, Table
 
 __all__ = ["GeneratedAd", "AdsGenerator", "DomainDataset", "build_dataset"]

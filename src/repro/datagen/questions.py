@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datagen.ads import DomainDataset
 from repro.datagen.noise import drop_space, misspell, number_to_shorthand, to_shorthand

@@ -32,6 +32,7 @@ from repro.db.sql.builder import QueryBuilder
 from repro.db.sql.executor import SQLExecutor, execute
 from repro.db.sql.lexer import SQLToken, tokenize_sql
 from repro.db.sql.parser import parse_select
+from repro.db.sql.plan_cache import DEFAULT_PLAN_CACHE, PlanCache
 
 __all__ = [
     "Aggregate",
@@ -52,4 +53,6 @@ __all__ = [
     "SQLToken",
     "tokenize_sql",
     "parse_select",
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE",
 ]

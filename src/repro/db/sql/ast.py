@@ -22,7 +22,7 @@ queries are inspectable and round-trippable through the parser.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 __all__ = [

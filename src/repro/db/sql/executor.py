@@ -14,6 +14,21 @@ NULL handling is two-valued: a NULL value simply fails every predicate
 except ``IS NULL``, which is the behaviour CQAds relies on (an ad that
 omits a property never matches a constraint on it).
 
+Two performance devices keep the WHERE evaluation cheap without
+changing any result set (both are pure set algebra — see
+``PERFORMANCE.md``):
+
+* **lazy complements** — ``NOT`` and ``!=`` produce a
+  :class:`_IdSet` carrying a *complemented* flag instead of
+  materializing ``all_ids() - ids``; complements combine with AND/OR
+  symbolically and are subtracted from the table at most once, at the
+  top of the tree;
+* **selectivity-ordered conjunctions** — AND (and OR) chains are
+  flattened and evaluated cheapest-leaf-first (indexed equality before
+  ranges before substring scans before complements), short-circuiting
+  as soon as the accumulated intersection is empty (or the union
+  covers the table).
+
 The pseudo-column ``record_id`` is available on every table; CQAds uses
 it for the paper's ``Car_ID IN (subquery)`` idiom (Example 7).
 """
@@ -22,6 +37,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.db.database import Database
 from repro.db.sql.ast import (
@@ -33,16 +49,116 @@ from repro.db.sql.ast import (
     Expr,
     InExpr,
     LikeExpr,
-    Literal,
     NotExpr,
     SelectStatement,
 )
+from repro.db.sql.plan_cache import DEFAULT_PLAN_CACHE, PlanCache
 from repro.db.table import Record, Table
 from repro.errors import SQLExecutionError
 
 __all__ = ["SQLResult", "SQLExecutor", "execute"]
 
 RECORD_ID = "record_id"
+
+
+class _IdSet:
+    """A possibly-complemented record-id set.
+
+    ``ids`` holds the matching ids when ``complemented`` is False, and
+    the *non*-matching ids otherwise (relative to the table's full id
+    set).  Leaf sets are always subsets of the table, so flipping the
+    flag is an exact lazy NOT.
+    """
+
+    __slots__ = ("ids", "complemented")
+
+    def __init__(self, ids: set[int], complemented: bool = False) -> None:
+        self.ids = ids
+        self.complemented = complemented
+
+    def negated(self) -> "_IdSet":
+        return _IdSet(self.ids, not self.complemented)
+
+    def intersect(self, other: "_IdSet") -> "_IdSet":
+        if not self.complemented and not other.complemented:
+            return _IdSet(self.ids & other.ids)
+        if not self.complemented:
+            return _IdSet(self.ids - other.ids)
+        if not other.complemented:
+            return _IdSet(other.ids - self.ids)
+        return _IdSet(self.ids | other.ids, True)
+
+    def union(self, other: "_IdSet") -> "_IdSet":
+        if not self.complemented and not other.complemented:
+            return _IdSet(self.ids | other.ids)
+        if not self.complemented:
+            return _IdSet(other.ids - self.ids, True)
+        if not other.complemented:
+            return _IdSet(self.ids - other.ids, True)
+        return _IdSet(self.ids & other.ids, True)
+
+    def is_empty(self) -> bool:
+        """Definitely matches nothing (complements are never empty
+        without consulting the table, so they report False)."""
+        return not self.complemented and not self.ids
+
+    def is_universal(self) -> bool:
+        """Definitely matches the whole table."""
+        return self.complemented and not self.ids
+
+    def materialize(self, table: Table) -> set[int]:
+        if self.complemented:
+            return table.all_ids() - self.ids
+        return self.ids
+
+
+def _flatten_chain(expr: BinaryExpr) -> list[Expr]:
+    """Flatten a left-deep AND/OR chain into its operand list."""
+    operator = expr.operator
+    operands: list[Expr] = []
+    stack: list[Expr] = [expr.right, expr.left]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryExpr) and node.operator == operator:
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            operands.append(node)
+    return operands
+
+
+def _static_cost(expr: Expr) -> int:
+    """Rough evaluation-cost rank of a WHERE leaf (lower = cheaper).
+
+    Indexed equality is the cheapest and typically the most selective;
+    sorted-index ranges come next; substring/IN lookups after; scans
+    and complements (``!=``, NULL tests, NOT) last.  AND chains cost
+    what their cheapest operand costs (they can short-circuit there);
+    OR chains cost their dearest operand.
+    """
+    if isinstance(expr, Comparison):
+        if expr.value.value is None:
+            return 4  # NULL tests scan the table
+        if expr.operator == "=":
+            return 0
+        if expr.operator in ("!=", "<>"):
+            return 4
+        if isinstance(expr.value.value, str):
+            return 3  # lexicographic range on a categorical: full scan
+        return 1
+    if isinstance(expr, BetweenExpr):
+        return 1
+    if isinstance(expr, LikeExpr):
+        return 2
+    if isinstance(expr, InExpr):
+        return 5 if expr.subquery is not None else 2
+    if isinstance(expr, NotExpr):
+        return 4 + _static_cost(expr.operand)
+    if isinstance(expr, BinaryExpr):
+        left, right = _static_cost(expr.left), _static_cost(expr.right)
+        base = min(left, right) if expr.operator == "AND" else max(left, right)
+        return base + 1
+    return 6
 
 
 @dataclass
@@ -74,10 +190,19 @@ class SQLResult:
 
 
 class SQLExecutor:
-    """Evaluates parsed SELECT statements against a database."""
+    """Evaluates parsed SELECT statements against a database.
 
-    def __init__(self, database: Database) -> None:
+    ``plan_cache`` backs :meth:`execute_sql`; the module-wide
+    :data:`~repro.db.sql.plan_cache.DEFAULT_PLAN_CACHE` is shared when
+    none is given (executors are routinely constructed per call, so a
+    per-instance cache would never get warm).
+    """
+
+    def __init__(
+        self, database: Database, plan_cache: PlanCache | None = None
+    ) -> None:
         self.database = database
+        self.plan_cache = plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
 
     # ------------------------------------------------------------------
     def execute(self, statement: SelectStatement) -> SQLResult:
@@ -86,7 +211,25 @@ class SQLExecutor:
         if statement.where is None:
             ids = table.all_ids()
         else:
-            ids = self._eval_expr(table, statement.where)
+            ids = self.eval_where(table, statement.where)
+        return self._finish(table, statement, ids)
+
+    def execute_with_ids(
+        self, statement: SelectStatement, ids: Iterable[int]
+    ) -> SQLResult:
+        """Run *statement*'s post-WHERE phases over a precomputed id set.
+
+        The shared-subplan relaxation engine derives each N-1 pool's id
+        set by intersecting cached per-unit sets; this entry point runs
+        the identical ordering/limit/projection code on them, so the
+        two paths cannot drift apart.
+        """
+        table = self.database.table(statement.table)
+        return self._finish(table, statement, ids)
+
+    def _finish(
+        self, table: Table, statement: SelectStatement, ids: Iterable[int]
+    ) -> SQLResult:
         records = table.fetch(ids)
         sort_keys = list(statement.order_by) + list(statement.group_by)
         if sort_keys:
@@ -96,10 +239,8 @@ class SQLExecutor:
         return self._project(table, statement, records)
 
     def execute_sql(self, sql: str) -> SQLResult:
-        """Parse and run a SQL string."""
-        from repro.db.sql.parser import parse_select
-
-        return self.execute(parse_select(sql))
+        """Run a SQL string through the plan cache."""
+        return self.execute(self.plan_cache.get(sql))
 
     # ------------------------------------------------------------------
     # projection and ordering
@@ -190,24 +331,121 @@ class SQLExecutor:
     # ------------------------------------------------------------------
     # WHERE evaluation
     # ------------------------------------------------------------------
+    def eval_where(self, table: Table, expr: Expr) -> set[int]:
+        """The id set matching a WHERE expression against *table*."""
+        return self._eval_lazy(table, expr).materialize(table)
+
     def _eval_expr(self, table: Table, expr: Expr) -> set[int]:
+        # Retained name from the eager implementation; callers get the
+        # same materialized set as before.
+        return self.eval_where(table, expr)
+
+    def _eval_lazy(self, table: Table, expr: Expr) -> _IdSet:
         if isinstance(expr, BinaryExpr):
-            left = self._eval_expr(table, expr.left)
-            if expr.operator == "AND":
-                if not left:
-                    return set()
-                return left & self._eval_expr(table, expr.right)
-            return left | self._eval_expr(table, expr.right)
+            operands = sorted(_flatten_chain(expr), key=_static_cost)
+            accumulated: _IdSet | None = None
+            for index, operand in enumerate(operands):
+                if accumulated is not None and (
+                    accumulated.is_empty()
+                    if expr.operator == "AND"
+                    else accumulated.is_universal()
+                ):
+                    # Short-circuit: the outcome is decided.  Still
+                    # validate the skipped operands so a malformed
+                    # query raises deterministically instead of
+                    # depending on which leaf happened to be empty.
+                    for skipped in operands[index:]:
+                        self._validate_expr(table, skipped)
+                    break
+                evaluated = self._eval_lazy(table, operand)
+                if accumulated is None:
+                    accumulated = evaluated
+                elif expr.operator == "AND":
+                    accumulated = accumulated.intersect(evaluated)
+                else:
+                    accumulated = accumulated.union(evaluated)
+            assert accumulated is not None  # chains have >= 2 operands
+            return accumulated
         if isinstance(expr, NotExpr):
-            return table.all_ids() - self._eval_expr(table, expr.operand)
+            return self._eval_lazy(table, expr.operand).negated()
         if isinstance(expr, Comparison):
             return self._eval_comparison(table, expr)
         if isinstance(expr, BetweenExpr):
-            return self._eval_between(table, expr)
+            return _IdSet(self._eval_between(table, expr))
         if isinstance(expr, LikeExpr):
-            return self._eval_like(table, expr)
+            return _IdSet(self._eval_like(table, expr))
         if isinstance(expr, InExpr):
-            return self._eval_in(table, expr)
+            return _IdSet(self._eval_in(table, expr))
+        raise SQLExecutionError(f"unsupported expression node {expr!r}")
+
+    def _validate_expr(self, table: Table, expr: Expr) -> None:
+        """Raise exactly the errors evaluating *expr* would, sans work.
+
+        Mirrors each leaf evaluator's error conditions (unknown
+        columns, NULL with an ordering operator, numeric columns vs
+        non-numbers, BETWEEN/LIKE type constraints, IN-subquery shape)
+        so short-circuited operands still surface malformed queries.
+        """
+        if isinstance(expr, BinaryExpr):
+            self._validate_expr(table, expr.left)
+            self._validate_expr(table, expr.right)
+            return
+        if isinstance(expr, NotExpr):
+            self._validate_expr(table, expr.operand)
+            return
+        if isinstance(expr, Comparison):
+            name = self._check_column(table, expr.column)
+            value = expr.value.value
+            operator = "!=" if expr.operator == "<>" else expr.operator
+            if value is None:
+                if operator not in ("=", "!="):
+                    raise SQLExecutionError(
+                        "NULL only supports = / != comparisons"
+                    )
+                return
+            if name != RECORD_ID and table.schema.column(name).is_numeric:
+                try:
+                    float(value)  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    raise SQLExecutionError(
+                        f"numeric column {name!r} compared to non-number "
+                        f"{value!r}"
+                    ) from None
+            return
+        if isinstance(expr, BetweenExpr):
+            name = self._check_column(table, expr.column)
+            if name != RECORD_ID and not table.schema.column(name).is_numeric:
+                raise SQLExecutionError(
+                    f"BETWEEN requires a numeric column, got {name!r}"
+                )
+            if expr.low.value is None or expr.high.value is None:
+                raise SQLExecutionError("BETWEEN bounds must not be NULL")
+            return
+        if isinstance(expr, LikeExpr):
+            name = self._check_column(table, expr.column)
+            if name == RECORD_ID:
+                raise SQLExecutionError("LIKE is not supported on record_id")
+            if table.schema.column(name).is_numeric:
+                raise SQLExecutionError(
+                    f"LIKE requires a categorical column, got {name!r}"
+                )
+            return
+        if isinstance(expr, InExpr):
+            self._check_column(table, expr.column)
+            if expr.subquery is not None:
+                sub_items = expr.subquery.select_items
+                if sub_items == ("*",) or sub_items == ["*"]:
+                    raise SQLExecutionError(
+                        "IN subquery must select a single column, not *"
+                    )
+                if len(sub_items) != 1 or not isinstance(sub_items[0], ColumnRef):
+                    raise SQLExecutionError(
+                        "IN subquery must select exactly one plain column"
+                    )
+                sub_table = self.database.table(expr.subquery.table)
+                if expr.subquery.where is not None:
+                    self._validate_expr(sub_table, expr.subquery.where)
+            return
         raise SQLExecutionError(f"unsupported expression node {expr!r}")
 
     def _check_column(self, table: Table, column: ColumnRef) -> str:
@@ -215,27 +453,29 @@ class SQLExecutor:
             return RECORD_ID
         return table.schema.column(column.name).name
 
-    def _eval_comparison(self, table: Table, expr: Comparison) -> set[int]:
+    def _eval_comparison(self, table: Table, expr: Comparison) -> _IdSet:
         name = self._check_column(table, expr.column)
         value = expr.value.value
         operator = "!=" if expr.operator == "<>" else expr.operator
         if value is None:
             null_ids = table.scan(lambda record: record.get(name) is None)
             if operator == "=":
-                return null_ids
+                return _IdSet(null_ids)
             if operator == "!=":
-                return table.all_ids() - null_ids
+                return _IdSet(null_ids, complemented=True)
             raise SQLExecutionError("NULL only supports = / != comparisons")
         if name == RECORD_ID:
             try:
                 target = int(value)  # type: ignore[arg-type]
             except (TypeError, ValueError):
-                return set()
-            return {
-                record_id
-                for record_id in table.all_ids()
-                if _compare(record_id, operator, target)
-            }
+                return _IdSet(set())
+            return _IdSet(
+                {
+                    record_id
+                    for record_id in table.all_ids()
+                    if _compare(record_id, operator, target)
+                }
+            )
         column = table.schema.column(name)
         if column.is_numeric:
             try:
@@ -245,28 +485,38 @@ class SQLExecutor:
                     f"numeric column {name!r} compared to non-number {value!r}"
                 ) from None
             if operator == "=":
-                return table.lookup_range(name, number, number)
+                return _IdSet(table.lookup_range(name, number, number))
             if operator == "!=":
-                return table.all_ids() - table.lookup_range(name, number, number)
+                return _IdSet(
+                    table.lookup_range(name, number, number), complemented=True
+                )
             if operator == "<":
-                return table.lookup_range(name, None, number, include_high=False)
+                return _IdSet(
+                    table.lookup_range(name, None, number, include_high=False)
+                )
             if operator == "<=":
-                return table.lookup_range(name, None, number)
+                return _IdSet(table.lookup_range(name, None, number))
             if operator == ">":
-                return table.lookup_range(name, number, None, include_low=False)
-            return table.lookup_range(name, number, None)
+                return _IdSet(
+                    table.lookup_range(name, number, None, include_low=False)
+                )
+            return _IdSet(table.lookup_range(name, number, None))
         text = str(value).lower()
         if operator == "=":
-            return table.lookup_equal(name, text)
+            return _IdSet(table.lookup_equal(name, text))
         if operator == "!=":
             matched = table.lookup_equal(name, text)
-            # NULLs fail every predicate, != included.
-            non_null = table.scan(lambda record: record.get(name) is not None)
-            return non_null - matched
+            # NULLs fail every predicate, != included: complement the
+            # matches *and* the NULLs (same set as non_null - matched,
+            # without copying all_ids()).
+            null_ids = table.scan(lambda record: record.get(name) is None)
+            return _IdSet(matched | null_ids, complemented=True)
         # Lexicographic comparisons on categorical columns: full scan.
-        return table.scan(
-            lambda record: record.get(name) is not None
-            and _compare(str(record.get(name)), operator, text)
+        return _IdSet(
+            table.scan(
+                lambda record: record.get(name) is not None
+                and _compare(str(record.get(name)), operator, text)
+            )
         )
 
     def _eval_between(self, table: Table, expr: BetweenExpr) -> set[int]:

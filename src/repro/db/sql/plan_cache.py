@@ -1,0 +1,76 @@
+"""LRU cache of parsed SELECT statements, keyed by SQL text.
+
+``SQLExecutor.execute_sql`` used to re-tokenize and re-parse its SQL
+string on every call.  The question pipeline itself executes
+pre-built ASTs (``generate_sql`` → ``execute``) and never pays that
+cost, but every textual entry point — the module-level
+:func:`~repro.db.sql.executor.execute` helper, external callers,
+tools, tests — re-parsed identical statements over and over.
+:class:`~repro.db.sql.ast.SelectStatement` is a frozen dataclass, so a
+parsed plan can be shared freely across threads and requests.
+
+A module-level :data:`DEFAULT_PLAN_CACHE` is shared by every executor
+that is not given its own cache; pass a private :class:`PlanCache` to
+``SQLExecutor`` to isolate a workload.  Knobs are documented in
+``PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.db.sql.ast import SelectStatement
+from repro.db.sql.parser import parse_select
+from repro.perf.lru import LRUCache
+
+__all__ = ["PlanCache", "DEFAULT_PLAN_CACHE"]
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU of ``SQL text -> parsed statement``.
+
+    Parse errors propagate to the caller and are never cached, so a
+    malformed statement cannot poison the cache.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._plans = LRUCache(capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._plans.capacity
+
+    @property
+    def hits(self) -> int:
+        return self._plans.hits
+
+    @property
+    def misses(self) -> int:
+        return self._plans.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._plans.evictions
+
+    def get(self, sql: str) -> SelectStatement:
+        """The parsed plan for *sql*, parsing (and caching) on a miss."""
+        plan = self._plans.get(sql)
+        if plan is not None:
+            return plan  # type: ignore[return-value]
+        # Parse outside any lock: statements are immutable, so two
+        # threads racing the same miss just do the work twice once.
+        plan = parse_select(sql)
+        self._plans.put(sql, plan)
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, sql: str) -> bool:
+        return sql in self._plans
+
+
+#: Shared by every :class:`~repro.db.sql.executor.SQLExecutor` that is
+#: not constructed with an explicit cache.
+DEFAULT_PLAN_CACHE = PlanCache()

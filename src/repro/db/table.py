@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator
 
 from repro.db.indexes import HashIndex, SortedIndex, SubstringIndex
-from repro.db.schema import AttributeType, Column, TableSchema
+from repro.db.schema import AttributeType, TableSchema
 from repro.errors import SchemaError
 
 __all__ = ["Record", "Table"]

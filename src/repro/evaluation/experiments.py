@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from repro.datagen.noise import to_shorthand
 from repro.datagen.questions import (
     GeneratedQuestion,
-    QuestionGenerator,
     make_generator,
 )
 from repro.db.table import Record

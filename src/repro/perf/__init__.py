@@ -1,0 +1,46 @@
+"""Performance subsystem: shared subplans and the hot-path caches.
+
+Three layers keep the answer path fast without changing a single
+answer (``PERFORMANCE.md`` documents the algorithms, knobs and
+invalidation contracts):
+
+* :mod:`repro.perf.subplan` — the shared-subplan N-1 relaxation
+  engine: each relaxation unit's id-set is evaluated once and every
+  relaxed pool is derived by set intersection, replacing the legacy
+  N×(N-1) per-drop predicate evaluations with N;
+* :mod:`repro.perf.lru` — the generic bounded, thread-safe LRU the
+  caches are built on (stdlib-only, importable from any layer —
+  :mod:`repro.db.sql.plan_cache` builds on it);
+* :mod:`repro.perf.answer_cache` — memoized full question results for
+  :class:`repro.api.service.AnswerService`, with per-domain
+  invalidation for database mutations.
+
+The subplan names are re-exported lazily (PEP 562): ``subplan``
+reaches back into :mod:`repro.qa`, so importing it eagerly here would
+cycle when the db layer pulls :mod:`repro.perf.lru`.
+"""
+
+from repro.perf.answer_cache import AnswerCache
+from repro.perf.lru import LRUCache
+
+__all__ = [
+    "AnswerCache",
+    "LRUCache",
+    "drop_intersections",
+    "shared_partial_candidates",
+    "unit_expression",
+    "unit_id_sets",
+]
+
+_SUBPLAN_EXPORTS = frozenset(
+    ("drop_intersections", "shared_partial_candidates", "unit_expression",
+     "unit_id_sets")
+)
+
+
+def __getattr__(name: str):
+    if name in _SUBPLAN_EXPORTS:
+        from repro.perf import subplan
+
+        return getattr(subplan, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,91 @@
+"""A bounded, thread-safe cache of full question results.
+
+Heavy traffic repeats questions: the same "honda accord under 10k"
+arrives thousands of times between database changes.  The pipeline is
+deterministic — same engine state, same question, same options, same
+answer — so :class:`~repro.api.service.AnswerService` can serve repeats
+straight from memory.
+
+Keys are built by the service from three parts:
+
+* the requested domain (or ``None`` when the Section 3 classifier
+  routes the question — classification is deterministic too);
+* the *normalized* question text (lowercased, whitespace collapsed —
+  the tokenizer lowercases and splits on whitespace, so normalization
+  never changes the answer);
+* the resolved options fingerprint (answer cap, spelling, relaxation,
+  evaluation order, pool cap, explain).
+
+**Invalidation contract** (see ``PERFORMANCE.md``): the cache never
+observes the database, so any mutation of a backing table must be
+followed by :meth:`AnswerCache.invalidate` (or
+:meth:`repro.api.service.AnswerService.invalidate_cache`) for the
+affected domain — or ``None`` to drop everything.  Until then, reads
+may return answers reflecting the pre-mutation state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.perf.lru import LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.qa.pipeline import QuestionResult
+
+__all__ = ["AnswerCache"]
+
+
+class AnswerCache:
+    """LRU of ``(domain, normalized question, options) -> QuestionResult``."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._entries = LRUCache(capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._entries.capacity
+
+    @property
+    def hits(self) -> int:
+        return self._entries.hits
+
+    @property
+    def misses(self) -> int:
+        return self._entries.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._entries.evictions
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> "QuestionResult | None":
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        _domain, result = entry  # type: ignore[misc]
+        return result
+
+    def store(self, key: Hashable, domain: str, result: "QuestionResult") -> None:
+        """Cache *result*; *domain* is the resolved (classified) domain
+        the entry belongs to, used by per-domain invalidation."""
+        self._entries.put(key, (domain, result))
+
+    def invalidate(self, domain: str | None = None) -> int:
+        """Drop entries for *domain* (all entries when ``None``).
+
+        Matches both the resolved domain recorded at store time and the
+        key's requested domain, so classified and explicitly-routed
+        requests are both covered.  Returns the number of entries
+        dropped.
+        """
+        if domain is None:
+            return self._entries.clear()
+        return self._entries.pop_where(
+            lambda key, entry: entry[0] == domain  # type: ignore[index]
+            or (isinstance(key, tuple) and len(key) > 0 and key[0] == domain)
+        )

@@ -1,0 +1,171 @@
+"""The shared-subplan N-1 relaxation engine (Section 4.3.1, fast path).
+
+The paper's N-1 relaxation answers a question with N relaxable units
+by running N relaxed queries, each dropping one unit.  The legacy
+implementation evaluated every relaxed WHERE tree independently, so
+each unit's predicate was executed N-1 times — ~N× redundant index
+work per question.
+
+This module evaluates each unit's matching id-set **once** and derives
+every N-1 pool by set intersection:
+
+1. :func:`unit_id_sets` turns each
+   :class:`~repro.ranking.rank_sim.ScoringUnit` into one WHERE
+   expression (AND over its conditions; OR for an "any" unit) and
+   evaluates it through the same
+   :meth:`~repro.db.sql.executor.SQLExecutor.eval_where` the legacy
+   path used, so leaf semantics are identical by construction;
+2. :func:`drop_intersections` combines the cached sets with
+   prefix/suffix intersections — 3N set operations total instead of
+   the legacy N×(N-2);
+3. :func:`shared_partial_candidates` finalizes each pool exactly like
+   :func:`~repro.qa.sql_generation.evaluate_interpretation` did —
+   id-ordered fetch, the superlative ORDER BY + extreme filter when
+   present (via :meth:`~repro.db.sql.executor.SQLExecutor.execute_with_ids`,
+   the executor's own ordering code), the per-query budget, and the
+   first-drop-wins candidate union.
+
+Every step preserves the paper's Type I→II→III evaluation order
+story: ordering only ever affected *how fast* the conjunction is
+intersected, never which ids survive, and the executor now orders
+leaves by selectivity internally.  ``tests/test_perf_parity.py`` holds
+the bit-identical guarantee against the legacy path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.database import Database
+from repro.db.sql.builder import QueryBuilder
+from repro.db.sql.executor import SQLExecutor
+from repro.db.table import Record, Table
+from repro.qa.conditions import Interpretation
+from repro.qa.domain import AdsDomain
+from repro.qa.sql_generation import (
+    apply_superlative,
+    condition_to_expr,
+    generate_sql,
+)
+from repro.ranking.rank_sim import ScoringUnit
+
+__all__ = [
+    "unit_expression",
+    "unit_id_sets",
+    "drop_intersections",
+    "shared_partial_candidates",
+]
+
+
+def unit_expression(builder: QueryBuilder, unit: ScoringUnit):
+    """One relaxation unit as a WHERE expression.
+
+    Mirrors :meth:`repro.qa.pipeline.CQAds._units_to_interpretation`:
+    an "any" unit with several branches is an OR group, everything
+    else an AND over the unit's conditions.
+    """
+    expressions = [
+        condition_to_expr(builder, condition) for condition in unit.conditions
+    ]
+    if unit.mode == "any" and len(expressions) > 1:
+        return builder.or_(*expressions)
+    return builder.and_(*expressions)
+
+
+def unit_id_sets(
+    executor: SQLExecutor, table: Table, units: Sequence[ScoringUnit]
+) -> list[set[int]]:
+    """Each unit's matching id-set, evaluated once against *table*."""
+    builder = QueryBuilder(table.name)
+    sets: list[set[int]] = []
+    for unit in units:
+        expression = unit_expression(builder, unit)
+        assert expression is not None  # units always carry >= 1 condition
+        sets.append(executor.eval_where(table, expression))
+    return sets
+
+
+def drop_intersections(unit_sets: Sequence[set[int]]) -> list[set[int]]:
+    """For each index i, the intersection of every set except the i-th.
+
+    Prefix/suffix running intersections make this linear in the number
+    of units instead of quadratic.
+    """
+    count = len(unit_sets)
+    if count == 0:
+        return []
+    if count == 1:
+        # Dropping the only unit leaves an unconstrained query; callers
+        # handle that case separately (whole-table fallback).
+        return [set()]
+    prefix: list[set[int] | None] = [None] * count
+    running: set[int] | None = None
+    for index in range(count):
+        prefix[index] = running
+        running = (
+            unit_sets[index] if running is None else running & unit_sets[index]
+        )
+    suffix: list[set[int] | None] = [None] * count
+    running = None
+    for index in range(count - 1, -1, -1):
+        suffix[index] = running
+        running = (
+            unit_sets[index] if running is None else running & unit_sets[index]
+        )
+    pools: list[set[int]] = []
+    for index in range(count):
+        before, after = prefix[index], suffix[index]
+        if before is None:
+            assert after is not None
+            pools.append(after)
+        elif after is None:
+            pools.append(before)
+        else:
+            pools.append(before & after)
+    return pools
+
+
+def shared_partial_candidates(
+    database: Database,
+    domain: AdsDomain,
+    units: Sequence[ScoringUnit],
+    interpretation: Interpretation,
+    exclude: set[int],
+    pool_cap: int | None,
+) -> dict[int, Record]:
+    """The N-1 candidate pool via shared subplans.
+
+    Returns the same ``record_id -> Record`` mapping (same membership,
+    same insertion order) the legacy per-drop evaluation produced: the
+    drops run in unit order, every pool is finalized with the
+    executor's own ordering code, and earlier drops win ties.
+    """
+    table = database.table(domain.schema.table_name)
+    executor = SQLExecutor(database)
+    pools = drop_intersections(unit_id_sets(executor, table, units))
+    budget = pool_cap + len(exclude) if pool_cap is not None else None
+    superlative = interpretation.superlative
+    order_statement = None
+    if superlative is not None:
+        # WHERE-less statement carrying only the superlative's ORDER BY;
+        # the executor applies it to each precomputed pool.
+        order_statement = generate_sql(
+            table.name,
+            Interpretation(tree=None, superlative=superlative),
+            limit=None,
+            subquery_style=False,
+        )
+    candidates: dict[int, Record] = {}
+    for pool_ids in pools:
+        if superlative is None:
+            records = table.fetch(pool_ids)
+        else:
+            assert order_statement is not None
+            records = executor.execute_with_ids(order_statement, pool_ids).records
+            records = apply_superlative(records, superlative)
+        if budget is not None:
+            records = records[:budget]
+        for record in records:
+            if record.record_id not in exclude:
+                candidates.setdefault(record.record_id, record)
+    return candidates

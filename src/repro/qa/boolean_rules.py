@@ -184,11 +184,18 @@ def merge_type_iii(
     """
     bounds = _Bounds()
     attribute_type = AttributeType.TYPE_III
+    excluded_ranges: list[Condition] = []
     for condition in conditions:
         # Rule 1a: a negated quantifier becomes its complement.
         if condition.negated:
             condition = condition.resolve_negation()
-            if condition.negated:  # still negated: was a negated EQ
+            if condition.negated:  # still negated: negated EQ or BETWEEN
+                if condition.op is ConditionOp.BETWEEN:
+                    # "not between low and high" — an excluded range
+                    # has no single-comparison complement, so it stays
+                    # its own ANDed leaf (like negated equalities).
+                    excluded_ranges.append(condition)
+                    continue
                 condition = Condition(
                     column=condition.column,
                     attribute_type=condition.attribute_type,
@@ -259,6 +266,7 @@ def merge_type_iii(
         merged.append(
             Condition(column, attribute_type, ConditionOp.NE, value)
         )
+    merged.extend(excluded_ranges)
     return merged
 
 

@@ -155,10 +155,20 @@ class CQAds:
         Domain classifier; defaults to the paper's JBBSM Naive Bayes.
     correct_spelling / relax_partial:
         Feature switches used by the ablation benchmarks.
+    relaxation_strategy:
+        ``"shared"`` (default) evaluates each relaxation unit once and
+        derives every N-1 pool by set intersection
+        (:mod:`repro.perf.subplan`); ``"legacy"`` re-evaluates each
+        relaxed WHERE tree per drop.  Both produce bit-identical
+        candidate pools (``tests/test_perf_parity.py``); the legacy
+        path is kept as the parity oracle and for the
+        ``bench_relaxation_sharing`` comparison.
 
     All of these are *defaults*: :class:`repro.api.requests.AnswerOptions`
     can override any of them for a single request.
     """
+
+    RELAXATION_STRATEGIES = ("shared", "legacy")
 
     def __init__(
         self,
@@ -169,13 +179,20 @@ class CQAds:
         relax_partial: bool = True,
         ordered_evaluation: bool = True,
         partial_pool_per_query: int | None = None,
+        relaxation_strategy: str = "shared",
     ) -> None:
+        if relaxation_strategy not in self.RELAXATION_STRATEGIES:
+            raise ValueError(
+                f"relaxation_strategy must be one of "
+                f"{self.RELAXATION_STRATEGIES}, got {relaxation_strategy!r}"
+            )
         self.database = database
         self.max_answers = max_answers
         self.classifier = classifier or BetaBinomialNaiveBayes()
         self.correct_spelling = correct_spelling
         self.relax_partial = relax_partial
         self.ordered_evaluation = ordered_evaluation
+        self.relaxation_strategy = relaxation_strategy
         # Each N-1 query contributes at most this many candidates —
         # the paper's per-query retrieval cap ("up to 30 (in)exact
         # matched records"), widened 3x so the ranker has slack.
@@ -351,6 +368,7 @@ class CQAds:
         *,
         pool_cap: int | None = None,
         ordered: bool | None = None,
+        strategy: str | None = None,
     ) -> list[Record]:
         """The raw N-1 candidate pool for a question (Section 4.3.1).
 
@@ -361,8 +379,11 @@ class CQAds:
         case).  Used by the Figure 5 benchmark to feed every ranker
         the same candidates.
 
-        ``pool_cap``/``ordered`` default to the engine's settings; the
-        pipeline passes per-request values through them.
+        ``pool_cap``/``ordered``/``strategy`` default to the engine's
+        settings; the pipeline passes per-request values through them.
+        The default ``"shared"`` strategy computes each unit's id-set
+        once and intersects (:mod:`repro.perf.subplan`); ``"legacy"``
+        re-runs one relaxed query per dropped unit.
         """
         context = self.context(domain)
         exclude = exclude or set()
@@ -370,6 +391,13 @@ class CQAds:
             pool_cap = self.partial_pool_per_query
         if ordered is None:
             ordered = self.ordered_evaluation
+        if strategy is None:
+            strategy = self.relaxation_strategy
+        if strategy not in self.RELAXATION_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {self.RELAXATION_STRATEGIES}, "
+                f"got {strategy!r}"
+            )
         units = self.relaxation_units(interpretation)
         if len(units) < 1:
             return []
@@ -379,6 +407,20 @@ class CQAds:
             for record in table:
                 if record.record_id not in exclude:
                     candidates[record.record_id] = record
+        elif strategy == "shared":
+            # Imported here: repro.perf.subplan reaches back into
+            # repro.qa for condition rendering, so a module-level
+            # import would cycle through repro.qa.__init__.
+            from repro.perf.subplan import shared_partial_candidates
+
+            candidates = shared_partial_candidates(
+                self.database,
+                context.domain,
+                units,
+                interpretation,
+                exclude,
+                pool_cap,
+            )
         else:
             cap = pool_cap
             for dropped_index in range(len(units)):
@@ -410,6 +452,7 @@ class CQAds:
         *,
         pool_cap: int | None = None,
         ordered: bool | None = None,
+        strategy: str | None = None,
     ) -> list[Answer]:
         """The full scored N-1 answer list (uncapped), best first.
 
@@ -428,6 +471,7 @@ class CQAds:
             exclude,
             pool_cap=pool_cap,
             ordered=ordered,
+            strategy=strategy,
         )
         if ranker is None:
             # No similarity resources: preserve N-1 retrieval order by id.

@@ -64,16 +64,26 @@ def condition_satisfied(condition: Condition, record: Record) -> bool:
     """Does *record* satisfy *condition* exactly?
 
     Missing (NULL) values fail positive conditions and satisfy negated
-    ones, matching the SQL executor's complement semantics.
+    ones, matching the SQL executor's complement semantics.  A stored
+    value that cannot be read as a number fails a numeric condition the
+    same way (instead of raising), mirroring the executor's treatment
+    of values that answer no predicate.
     """
     value = record.get(condition.column)
     if value is None:
         return condition.negated
     if condition.op is ConditionOp.BETWEEN:
         low, high = condition.value  # type: ignore[misc]
-        satisfied = float(low) <= float(value) <= float(high)
+        try:
+            number = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return condition.negated
+        satisfied = float(low) <= number <= float(high)
     elif isinstance(condition.value, (int, float)):
-        number = float(value)
+        try:
+            number = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return condition.negated
         target = float(condition.value)
         satisfied = {
             ConditionOp.EQ: number == target,
@@ -109,11 +119,43 @@ class RankingResources:
     value_ranges: dict[str, float]
     type_i_columns: list[str]
     product_keys: list[Key] = field(default_factory=list)
+    #: Per-record memoization (keyed by the table's stable, never-reused
+    #: ``record_id``; records are immutable after insert, see
+    #: PERFORMANCE.md).  Shared across questions so ``rank_units`` stops
+    #: re-stringifying every record per question; dict writes are atomic
+    #: under the GIL and racing writers store equal values, so the
+    #: caches are safe under ``answer_batch`` concurrency.
+    _record_keys: dict[int, Key] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _lowered_values: dict[tuple[int, str], str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def record_key(self, record: Record) -> Key:
-        return tuple(
-            str(record.get(column, "") or "") for column in self.type_i_columns
-        )
+        key = self._record_keys.get(record.record_id)
+        if key is None:
+            key = tuple(
+                str(record.get(column, "") or "") for column in self.type_i_columns
+            )
+            self._record_keys[record.record_id] = key
+        return key
+
+    def lowered_value(self, record: Record, column: str) -> str | None:
+        """The record's value for *column*, lowercased and memoized.
+
+        ``None`` when the record omits the column (never cached, so a
+        column name is only ever mapped to a string).
+        """
+        value = record.get(column)
+        if value is None:
+            return None
+        cache_key = (record.record_id, column)
+        text = self._lowered_values.get(cache_key)
+        if text is None:
+            text = str(value).lower()
+            self._lowered_values[cache_key] = text
+        return text
 
     def query_keys(self, type_i_values: dict[str, str]) -> list[Key]:
         """Product keys consistent with the question's Type I values.
@@ -150,6 +192,38 @@ class RankSimRanker:
         self.resources = resources
 
     # ------------------------------------------------------------------
+    # cached condition checks
+    # ------------------------------------------------------------------
+    def _condition_satisfied(self, condition: Condition, record: Record) -> bool:
+        """:func:`condition_satisfied`, reading categorical values
+        through the resources' per-record lowercase cache."""
+        if condition.op is ConditionOp.BETWEEN or isinstance(
+            condition.value, (int, float)
+        ):
+            return condition_satisfied(condition, record)
+        text = self.resources.lowered_value(record, condition.column)
+        if text is None:
+            return condition.negated
+        target = str(condition.value).lower()
+        if condition.op is ConditionOp.NE:
+            satisfied = text != target
+        else:
+            satisfied = text == target
+        return satisfied != condition.negated
+
+    def _unit_satisfied(self, unit: ScoringUnit, record: Record) -> bool:
+        """:meth:`ScoringUnit.satisfied_by` via the cached checks."""
+        if unit.mode == "any":
+            return any(
+                self._condition_satisfied(condition, record)
+                for condition in unit.conditions
+            )
+        return all(
+            self._condition_satisfied(condition, record)
+            for condition in unit.conditions
+        )
+
+    # ------------------------------------------------------------------
     def score(
         self, record: Record, conditions: list[Condition]
     ) -> ScoredRecord:
@@ -165,7 +239,7 @@ class RankSimRanker:
         failed: list[Condition] = []
         kinds: set[str] = set()
         for condition in conditions:
-            if condition_satisfied(condition, record):
+            if self._condition_satisfied(condition, record):
                 score += 1.0
                 continue
             failed.append(condition)
@@ -236,7 +310,7 @@ class RankSimRanker:
         kinds: set[str] = set()
         for unit in units:
             if unit.mode == "any":
-                if unit.satisfied_by(record):
+                if self._unit_satisfied(unit, record):
                     score += 1.0
                     continue
                 best = 0.0
@@ -252,7 +326,7 @@ class RankSimRanker:
                 kinds.add(best_kind)
                 continue
             for condition in unit.conditions:
-                if condition_satisfied(condition, record):
+                if self._condition_satisfied(condition, record):
                     score += 1.0
                     continue
                 failed.append(condition)

@@ -111,11 +111,15 @@ class BuiltSystem:
             name for name in self.requested_domains if name not in self.domains
         )
 
-    def service(self) -> "AnswerService":
-        """An :class:`~repro.api.service.AnswerService` over this system."""
+    def service(self, cache: int | None = None) -> "AnswerService":
+        """An :class:`~repro.api.service.AnswerService` over this system.
+
+        ``cache`` attaches a bounded answer cache of that capacity
+        (see :meth:`repro.api.builder.SystemBuilder.answer_cache`).
+        """
         from repro.api.service import AnswerService
 
-        return AnswerService(self.cqads)
+        return AnswerService(self.cqads, cache=cache)
 
 
 def _provision_domain(

@@ -7,7 +7,6 @@ import pytest
 from repro.datagen.questions import QUESTION_KINDS, make_generator
 from repro.db.schema import AttributeType
 from repro.qa.conditions import BooleanOperator, ConditionGroup, ConditionOp
-from repro.qa.sql_generation import evaluate_interpretation
 
 
 @pytest.fixture(scope="module")

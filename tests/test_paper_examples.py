@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.qa.conditions import BooleanOperator, ConditionGroup, ConditionOp
+from repro.qa.conditions import BooleanOperator, ConditionGroup
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,225 @@
+"""Cache correctness: plan cache, answer cache, concurrency.
+
+Covers the three satellite requirements of the perf subsystem:
+
+* plan-cache eviction (bounded LRU, oldest statement leaves first);
+* answer-cache invalidation after a table mutation (the explicit
+  contract: stale until invalidated, fresh afterwards);
+* thread-safety of concurrent ``answer_batch`` calls against a warm
+  cache (and of the underlying LRU).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.requests import AnswerRequest
+from repro.api.service import AnswerService
+from repro.db.sql.executor import SQLExecutor
+from repro.db.sql.plan_cache import PlanCache
+from repro.perf.answer_cache import AnswerCache
+from repro.perf.lru import LRUCache
+from repro.system import build_system
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    """A tiny cars-only build; tests that mutate copy state carefully."""
+    return build_system(
+        ["cars"],
+        ads_per_domain=60,
+        sessions_per_domain=80,
+        corpus_documents=80,
+    )
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b, the least recently used
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_pop_where(self):
+        cache = LRUCache(8)
+        for index in range(5):
+            cache.put(index, index * 10)
+        dropped = cache.pop_where(lambda key, value: key % 2 == 0)
+        assert dropped == 3
+        assert len(cache) == 2
+
+    def test_concurrent_hammer_stays_bounded(self):
+        cache = LRUCache(32)
+        errors: list[Exception] = []
+
+        def worker(offset: int) -> None:
+            try:
+                for index in range(500):
+                    cache.put((offset, index % 64), index)
+                    cache.get((offset, (index * 7) % 64))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(offset,)) for offset in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+
+
+class TestPlanCache:
+    def test_hit_returns_same_parsed_statement(self):
+        cache = PlanCache(capacity=4)
+        sql = "SELECT * FROM car_ads WHERE make = 'honda' LIMIT 5"
+        first = cache.get(sql)
+        second = cache.get(sql)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction(self):
+        cache = PlanCache(capacity=2)
+        statements = [f"SELECT * FROM t WHERE price < {n}" for n in range(3)]
+        for sql in statements:
+            cache.get(sql)
+        assert len(cache) == 2
+        assert statements[0] not in cache  # oldest evicted
+        assert statements[1] in cache and statements[2] in cache
+        assert cache.evictions == 1
+
+    def test_parse_errors_are_not_cached(self):
+        cache = PlanCache(capacity=2)
+        with pytest.raises(Exception):
+            cache.get("SELECT FROM WHERE")
+        assert len(cache) == 0
+
+    def test_executor_routes_execute_sql_through_cache(self, car_database):
+        cache = PlanCache(capacity=8)
+        executor = SQLExecutor(car_database, plan_cache=cache)
+        sql = "SELECT * FROM car_ads WHERE make = 'honda'"
+        first = executor.execute_sql(sql)
+        second = executor.execute_sql(sql)
+        assert cache.hits == 1 and cache.misses == 1
+        assert [r.record_id for r in first.records] == [
+            r.record_id for r in second.records
+        ]
+
+
+def _signature(result):
+    return [
+        (a.record.record_id, a.exact, a.score, a.similarity_kind)
+        for a in result.answers
+    ]
+
+
+class TestAnswerCache:
+    QUESTION = "honda accord blue less than 15000 dollars"
+
+    def test_repeat_is_served_from_cache(self, small_system):
+        service = AnswerService(small_system.cqads, cache=AnswerCache(16))
+        first = service.answer(AnswerRequest(question=self.QUESTION, domain="cars"))
+        second = service.answer(
+            AnswerRequest(question=self.QUESTION, domain="cars")
+        )
+        assert service.cache.hits == 1 and service.cache.misses == 1
+        assert _signature(first) == _signature(second)
+
+    def test_normalized_question_hits_and_keeps_raw_text(self, small_system):
+        service = AnswerService(small_system.cqads, cache=AnswerCache(16))
+        service.answer(AnswerRequest(question=self.QUESTION, domain="cars"))
+        variant = "  HONDA   accord blue less than 15000 dollars "
+        result = service.answer(AnswerRequest(question=variant, domain="cars"))
+        assert service.cache.hits == 1
+        assert result.question == variant  # raw text restored on hits
+
+    def test_use_cache_false_bypasses(self, small_system):
+        service = AnswerService(small_system.cqads, cache=AnswerCache(16))
+        request = AnswerRequest(question=self.QUESTION, domain="cars")
+        service.answer(request.with_options(use_cache=False))
+        assert len(service.cache) == 0
+        assert service.cache.hits == 0 and service.cache.misses == 0
+
+    def test_options_change_misses(self, small_system):
+        service = AnswerService(small_system.cqads, cache=AnswerCache(16))
+        request = AnswerRequest(question=self.QUESTION, domain="cars")
+        service.answer(request)
+        service.answer(request.with_options(max_answers=5))
+        assert service.cache.hits == 0
+        assert len(service.cache) == 2
+
+    def test_invalidation_after_table_mutation(self, small_system):
+        cqads = small_system.cqads
+        service = AnswerService(cqads, cache=AnswerCache(16))
+        request = AnswerRequest(question=self.QUESTION, domain="cars")
+        stale = service.answer(request)
+        table_name = cqads.domain("cars").schema.table_name
+        table = cqads.database.table(table_name)
+        donor = next(iter(table))
+        inserted = table.insert(dict(donor))
+        try:
+            # Without invalidation the cache keeps serving the old pool.
+            assert _signature(service.answer(request)) == _signature(stale)
+            # The hook accepts the *table* name (what db-layer callers
+            # hold); dropping the domain's entries refreshes the answer.
+            dropped = service.invalidate_cache(table_name)
+            assert dropped == 1
+            fresh = service.answer(request)
+            uncached = AnswerService(cqads).answer(request)
+            assert _signature(fresh) == _signature(uncached)
+        finally:
+            table.delete(inserted.record_id)
+            service.invalidate_cache()
+
+    def test_invalidate_all(self, small_system):
+        service = AnswerService(small_system.cqads, cache=AnswerCache(16))
+        service.answer(AnswerRequest(question=self.QUESTION, domain="cars"))
+        service.answer(AnswerRequest(question="red honda civic", domain="cars"))
+        assert service.invalidate_cache() == 2
+        assert len(service.cache) == 0
+
+    def test_concurrent_batches_on_warm_cache(self, small_system):
+        service = AnswerService(small_system.cqads, cache=AnswerCache(64))
+        questions = [
+            "honda accord blue",
+            "red honda civic",
+            "toyota under 10000 dollars",
+            "cheapest honda",
+        ]
+        requests = [
+            AnswerRequest(question=text, domain="cars") for text in questions
+        ]
+        warm = {
+            request.question: _signature(service.answer(request))
+            for request in requests
+        }
+        errors: list[Exception] = []
+
+        def worker() -> None:
+            try:
+                results = service.answer_batch(requests * 5, workers=4)
+                for request, result in zip(requests * 5, results):
+                    assert _signature(result) == warm[request.question]
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.cache.hits > 0
+        assert len(service.cache) == len(questions)

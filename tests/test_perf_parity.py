@@ -1,0 +1,137 @@
+"""Parity: the shared-subplan relaxation engine vs the legacy path.
+
+The acceptance bar for the perf subsystem is *bit-identical* answers:
+same records, same scores, same ordering, across every question shape
+the generator can produce.  Two layers are proved here:
+
+* **engine level** — ``partial_answers(strategy="legacy")`` vs
+  ``strategy="shared"`` on 100 generated questions per domain, all
+  eight domains, driven by the intended interpretations (so Boolean
+  trees, superlatives, negations, "any" units and the budget cap all
+  get exercised);
+* **pipeline level** — full ``AnswerService.answer`` runs (classify →
+  tag → interpret → execute → relax) with the engine flipped between
+  strategies, comparing the complete result surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.requests import AnswerRequest
+from repro.datagen.questions import make_generator
+from repro.datagen.vocab import DOMAIN_NAMES
+from repro.perf.subplan import drop_intersections
+from repro.qa.sql_generation import evaluate_interpretation
+from repro.system import build_system
+
+QUESTIONS_PER_DOMAIN = 100
+PIPELINE_QUESTIONS_PER_DOMAIN = 20
+
+
+@pytest.fixture(scope="module")
+def parity_system():
+    """All eight domains, small scale (parity is scale-independent)."""
+    return build_system(
+        ads_per_domain=120,
+        sessions_per_domain=150,
+        corpus_documents=150,
+        train_classifier=False,
+    )
+
+
+def _answer_signature(answers):
+    return [
+        (a.record.record_id, a.exact, a.score, a.similarity_kind) for a in answers
+    ]
+
+
+def _result_signature(result):
+    return (
+        result.domain,
+        result.sql,
+        result.message,
+        _answer_signature(result.answers),
+        _answer_signature(result.ranked_pool),
+    )
+
+
+@pytest.mark.parametrize("domain", DOMAIN_NAMES)
+def test_engine_parity_per_domain(parity_system, domain):
+    """legacy and shared produce identical scored partial answers."""
+    cqads = parity_system.cqads
+    generator = make_generator(parity_system.domain(domain).dataset, seed=97)
+    compared = 0
+    nonempty = 0
+    for _ in range(QUESTIONS_PER_DOMAIN):
+        question = generator.generate()
+        interpretation = question.interpretation
+        exact = evaluate_interpretation(
+            cqads.database, cqads.domain(domain), interpretation
+        )
+        exclude = {record.record_id for record in exact}
+        legacy = cqads.partial_answers(
+            domain, interpretation, exclude, strategy="legacy"
+        )
+        shared = cqads.partial_answers(
+            domain, interpretation, exclude, strategy="shared"
+        )
+        assert _answer_signature(legacy) == _answer_signature(shared), (
+            f"divergence on {question.kind!r}: {question.text!r}"
+        )
+        compared += 1
+        nonempty += bool(shared)
+    assert compared == QUESTIONS_PER_DOMAIN
+    # The battery must actually exercise the relaxation machinery.
+    assert nonempty > 0
+
+
+@pytest.mark.parametrize("domain", DOMAIN_NAMES)
+def test_pipeline_parity_per_domain(parity_system, domain):
+    """End-to-end answers are bit-identical under either strategy."""
+    cqads = parity_system.cqads
+    service = parity_system.service()
+    generator = make_generator(
+        parity_system.domain(domain).dataset, noise_rate=0.3, seed=41
+    )
+    questions = [
+        generator.generate().text for _ in range(PIPELINE_QUESTIONS_PER_DOMAIN)
+    ]
+    original = cqads.relaxation_strategy
+    try:
+        cqads.relaxation_strategy = "legacy"
+        legacy = [
+            service.answer(AnswerRequest(question=text, domain=domain))
+            for text in questions
+        ]
+        cqads.relaxation_strategy = "shared"
+        shared = [
+            service.answer(AnswerRequest(question=text, domain=domain))
+            for text in questions
+        ]
+    finally:
+        cqads.relaxation_strategy = original
+    for text, legacy_result, shared_result in zip(questions, legacy, shared):
+        assert _result_signature(legacy_result) == _result_signature(
+            shared_result
+        ), f"pipeline divergence on {text!r}"
+
+
+class TestDropIntersections:
+    def test_quadratic_equivalence(self):
+        sets = [{1, 2, 3, 4}, {2, 3, 4, 5}, {3, 4, 5, 6}, {1, 3, 4, 6}]
+        pools = drop_intersections(sets)
+        for index, pool in enumerate(pools):
+            expected = None
+            for other, ids in enumerate(sets):
+                if other == index:
+                    continue
+                expected = set(ids) if expected is None else expected & ids
+            assert pool == expected
+
+    def test_two_sets_swap(self):
+        assert drop_intersections([{1, 2}, {2, 3}]) == [{2, 3}, {1, 2}]
+
+    def test_empty_and_single(self):
+        assert drop_intersections([]) == []
+        assert drop_intersections([{1, 2}]) == [set()]

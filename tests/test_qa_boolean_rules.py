@@ -47,6 +47,21 @@ class TestRule1:
         merged = merge_type_iii("price", [c3(ConditionOp.LT, 2000, negated=True)])
         assert merged == [c3(ConditionOp.GE, 2000)]
 
+    def test_rule_1a_negated_between_stays_excluded_range(self):
+        # "not between 2000 and 5000" has no single-comparison
+        # complement: it survives as its own negated ANDed leaf
+        # (regression: this used to crash constructing NE with a tuple).
+        excluded = c3(ConditionOp.BETWEEN, (2000.0, 5000.0), negated=True)
+        merged = merge_type_iii("price", [excluded])
+        assert merged == [excluded]
+
+    def test_rule_1a_negated_between_combines_with_bounds(self):
+        excluded = c3(ConditionOp.BETWEEN, (2000.0, 5000.0), negated=True)
+        merged = merge_type_iii(
+            "price", [c3(ConditionOp.LT, 9000), excluded]
+        )
+        assert merged == [c3(ConditionOp.LT, 9000), excluded]
+
     def test_rule_1b_two_less_thans_keep_lower(self):
         merged = merge_type_iii(
             "price", [c3(ConditionOp.LT, 7000), c3(ConditionOp.LT, 5000)]

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.db.schema import AttributeType
 from repro.db.sql.parser import parse_select

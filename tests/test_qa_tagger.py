@@ -7,7 +7,7 @@ import pytest
 from repro.db.schema import AttributeType
 from repro.qa.conditions import Condition, ConditionOp, Superlative
 from repro.qa.domain import AdsDomain
-from repro.qa.tagger import IncompleteNumeric, Marker, QuestionTagger
+from repro.qa.tagger import Marker, QuestionTagger
 
 TI = AttributeType.TYPE_I
 TII = AttributeType.TYPE_II

@@ -199,3 +199,83 @@ class TestExecutorErrors:
     def test_syntax_error_propagates(self, run):
         with pytest.raises(SQLSyntaxError):
             run("SELEC * FROM car_ads")
+
+
+class TestLazyComplements:
+    """The lazy-complement / selectivity-ordered evaluation must be a
+    pure set-algebra rewrite: every query matches a brute-force scan."""
+
+    def _brute(self, car_database, predicate):
+        table = car_database.table("car_ads")
+        return {r.record_id for r in table if predicate(r)}
+
+    def test_negation_inside_and(self, car_database, run):
+        result = run(
+            "SELECT * FROM car_ads WHERE make != 'honda' AND price < 10000"
+        )
+        expected = self._brute(
+            car_database,
+            lambda r: r["make"] != "honda" and r["price"] < 10000,
+        )
+        assert set(result.record_ids()) == expected
+
+    def test_de_morgan_or(self, car_database, run):
+        result = run(
+            "SELECT * FROM car_ads WHERE NOT (color = 'blue' OR make = 'honda')"
+        )
+        expected = self._brute(
+            car_database,
+            lambda r: not (r["color"] == "blue" or r["make"] == "honda"),
+        )
+        assert set(result.record_ids()) == expected
+
+    def test_double_negation(self, run):
+        direct = run("SELECT * FROM car_ads WHERE make = 'honda'")
+        doubled = run("SELECT * FROM car_ads WHERE NOT (NOT (make = 'honda'))")
+        assert direct.record_ids() == doubled.record_ids()
+
+    def test_union_of_complements(self, car_database, run):
+        result = run(
+            "SELECT * FROM car_ads WHERE color != 'blue' OR make != 'honda'"
+        )
+        expected = self._brute(
+            car_database,
+            lambda r: r["color"] != "blue" or r["make"] != "honda",
+        )
+        assert set(result.record_ids()) == expected
+
+    def test_numeric_not_equal_keeps_seed_semantics(self, car_database):
+        # The seed's numeric != is a plain complement (NULL rows pass,
+        # unlike the categorical branch); the lazy rewrite keeps that.
+        table = car_database.table("car_ads")
+        record = table.insert({"make": "kia", "model": "rio"})
+        result = execute(car_database, "SELECT * FROM car_ads WHERE price != 9000")
+        assert record.record_id in result.record_ids()
+
+    def test_conjunction_with_empty_leaf_short_circuits_to_empty(self, run):
+        result = run(
+            "SELECT * FROM car_ads WHERE make = 'nonexistent' "
+            "AND model LIKE '%cor%' AND price < 999999"
+        )
+        assert len(result) == 0
+
+    def test_complement_only_conjunction(self, car_database, run):
+        result = run(
+            "SELECT * FROM car_ads WHERE make != 'honda' AND make != 'toyota'"
+        )
+        expected = self._brute(
+            car_database,
+            lambda r: r["make"] not in ("honda", "toyota"),
+        )
+        assert set(result.record_ids()) == expected
+
+    def test_short_circuit_still_raises_on_invalid_skipped_leaf(self, run):
+        # An empty cheap leaf must not swallow errors in the leaves the
+        # short-circuit skips: malformed queries raise deterministically.
+        with pytest.raises(Exception):
+            run("SELECT * FROM car_ads WHERE make = 'nonexistent' AND nosuch < 5")
+        with pytest.raises(SQLExecutionError):
+            run(
+                "SELECT * FROM car_ads WHERE make = 'nonexistent' "
+                "AND price = 'cheap'"
+            )

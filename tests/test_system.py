@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.evaluation import experiments as exp
 from repro.system import build_system

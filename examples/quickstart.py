@@ -11,9 +11,14 @@ still works and returns bit-identical answers — it is a thin shim over
 the same pipeline — but new code should prefer this surface.
 
 Performance note: ``.answer_cache(1024)`` on the builder memoizes
-repeated questions, and the relaxation/execution layers share subplans
-and plans automatically — see ``PERFORMANCE.md`` for the algorithms,
-knobs and the cache-invalidation contract.
+repeated questions, and the relaxation/ranking/execution layers share
+subplans, ranking fragments and plans automatically.  Every cache is
+versioned by the tables' **mutation epochs**: inserting, deleting or
+updating ads refreshes cached answers by itself — no manual
+``invalidate_cache`` call is required after mutations (the method
+survives as an override).  See ``PERFORMANCE.md`` for the algorithms
+and knobs, including ``AnswerOptions(top_k=...)`` to bound the ranked
+pool with the columnar top-k engine.
 
 Run:  python examples/quickstart.py
 """
@@ -112,6 +117,25 @@ def main() -> None:
             break
         offset = window.next_offset
     print(f"   walked {shown}/{window.total} ranked answers")
+
+    # Live data: mutations bump the table's epoch, which refreshes the
+    # answer cache, the ranking column store and the fragment cache by
+    # themselves — no invalidate_cache call needed.
+    print("=" * 72)
+    question = "honda accord blue less than 15000 dollars"
+    before = service.ask(question, domain="cars")
+    table = service.cqads.database.table("car_ads")
+    bargain = table.insert(
+        {"make": "honda", "model": "accord", "color": "blue", "price": 14000}
+    )
+    after = service.ask(question, domain="cars")  # cache already refreshed
+    print(f"Q: {question}")
+    print(f"   answers before insert: {len(before.answers)}, "
+          f"after: {len(after.answers)} "
+          f"(new ad #{bargain.record_id} is "
+          f"{'in' if any(a.record.record_id == bargain.record_id for a in after.answers) else 'NOT in'}"
+          f" the refreshed answers)")
+    table.delete(bargain.record_id)  # caches refresh again automatically
 
 
 if __name__ == "__main__":

@@ -56,6 +56,7 @@ class SystemBuilder:
         self._train_classifier = True
         self._lazy = False
         self._answer_cache_capacity: int | None = None
+        self._batch_workers = 4
         self._cqads_options: dict[str, object] = {}
 
     # -- domains and scale ---------------------------------------------
@@ -116,10 +117,17 @@ class SystemBuilder:
     def answer_defaults(self, **cqads_options) -> "SystemBuilder":
         """Engine-level answering defaults (``correct_spelling``,
         ``relax_partial``, ``ordered_evaluation``,
-        ``partial_pool_per_query``, ``relaxation_strategy``) — still
-        overridable per request where an
+        ``partial_pool_per_query``, ``relaxation_strategy``,
+        ``ranking_engine``, ``ranking_top_k``, ``fragment_cache``) —
+        still overridable per request where an
         :class:`~repro.api.requests.AnswerOptions` field exists."""
         self._cqads_options.update(cqads_options)
+        return self
+
+    def batch_workers(self, count: int) -> "SystemBuilder":
+        """Size of the service's persistent batch thread pool
+        (:meth:`~repro.api.service.AnswerService.answer_batch`)."""
+        self._batch_workers = count
         return self
 
     def answer_cache(self, capacity: int | None = 1024) -> "SystemBuilder":
@@ -171,4 +179,6 @@ class SystemBuilder:
             if self._answer_cache_capacity is not None
             else None
         )
-        return AnswerService(self.build().cqads, cache=cache)
+        return AnswerService(
+            self.build().cqads, cache=cache, max_workers=self._batch_workers
+        )

@@ -48,6 +48,16 @@ class AnswerOptions:
         Candidate cap per relaxed N-1 query.  When unset it follows the
         engine, or ``3 * max_answers`` when ``max_answers`` itself is
         overridden (the engine's own widening rule).
+    top_k:
+        Bound on the *ranked* partial pool: the columnar ranking
+        engine then selects the best ``top_k`` with a bounded heap
+        instead of sorting every candidate.  The bounded result is
+        identical to the full ranking truncated (ties included), so
+        set it to the presentation cap plus the cursor window you
+        intend to page through (e.g. ``30 + 60``); ``ranked_pool`` —
+        and therefore pagination — stops at ``top_k`` entries.  When
+        unset it follows the engine's ``ranking_top_k`` (default:
+        unbounded, preserving full pagination).
     explain:
         Attach a per-stage :class:`~repro.api.stages.StageTrace` list to
         the result (timings are always recorded; the trace adds
@@ -65,6 +75,7 @@ class AnswerOptions:
     relax_partial: bool | None = None
     ordered_evaluation: bool | None = None
     partial_pool_per_query: int | None = None
+    top_k: int | None = None
     explain: bool = False
     use_cache: bool | None = None
 
@@ -113,6 +124,7 @@ class ResolvedOptions:
     partial_pool_per_query: int | None
     explain: bool
     use_cache: bool = True
+    top_k: int | None = None
 
     def fingerprint(self) -> tuple:
         """The answer-cache key component: every resolved knob that can
@@ -125,6 +137,7 @@ class ResolvedOptions:
             self.ordered_evaluation,
             self.partial_pool_per_query,
             self.explain,
+            self.top_k,
         )
 
     @classmethod
@@ -141,6 +154,8 @@ class ResolvedOptions:
                 "partial_pool_per_query must be positive, got "
                 f"{options.partial_pool_per_query}"
             )
+        if options.top_k is not None and options.top_k < 1:
+            raise ValueError(f"top_k must be positive, got {options.top_k}")
         max_answers = (
             options.max_answers
             if options.max_answers is not None
@@ -176,4 +191,9 @@ class ResolvedOptions:
             partial_pool_per_query=pool,
             explain=options.explain,
             use_cache=options.use_cache if options.use_cache is not None else True,
+            top_k=(
+                options.top_k
+                if options.top_k is not None
+                else engine.ranking_top_k
+            ),
         )

@@ -16,17 +16,26 @@ With a :class:`~repro.perf.answer_cache.AnswerCache` attached
 argument), repeated questions are served from memory: keys combine the
 requested domain, the normalized question text and the resolved option
 fingerprint, so any knob that could change the answer misses the
-cache.  The cache never watches the database — after mutating a
-backing table, call :meth:`AnswerService.invalidate_cache` (the
-explicit invalidation contract; see ``PERFORMANCE.md``).
+cache.  The cache invalidates itself: the service subscribes to the
+database's mutation epochs, so inserting into, deleting from or
+updating a backing table drops the affected domain's entries before
+the mutating call returns.  :meth:`AnswerService.invalidate_cache`
+remains as a manual override but is no longer required (see
+``PERFORMANCE.md``).
+
+Batches run on a **persistent** thread pool created lazily and sized
+by ``max_workers``; call :meth:`close` (or use the service as a
+context manager) to release it and unsubscribe the mutation listener.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Hashable, Iterable, Sequence
 
+from repro.db.table import MutationEvent
 from repro.perf.answer_cache import AnswerCache
 from repro.qa.pipeline import CQAds, QuestionResult
 
@@ -45,12 +54,105 @@ class AnswerService:
         cqads: CQAds,
         pipeline: QueryPipeline | None = None,
         cache: AnswerCache | int | None = None,
+        max_workers: int = 4,
     ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.cqads = cqads
         self.pipeline = pipeline if pipeline is not None else cqads.pipeline()
         if isinstance(cache, int):
             cache = AnswerCache(cache)
         self.cache = cache
+        self.max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_size = 0
+        self._retired_executors: list[ThreadPoolExecutor] = []
+        self._executor_lock = threading.Lock()
+        self._closed = False
+        self._subscribed = False
+        #: Monotonic mutation generations, embedded in every cache key.
+        #: A result computed while a mutation lands is stored under the
+        #: old generation and can never be looked up again, so the
+        #: store-after-invalidate race cannot resurrect stale answers.
+        #: ``_generation`` versions domain-less (classified) requests —
+        #: any mutation could affect whichever domain they resolve to —
+        #: while explicitly-routed requests use their domain's own
+        #: counter, preserving per-domain invalidation.
+        self._generation = 0
+        self._domain_generations: dict[str, int] = {}
+        if cache is not None:
+            cqads.database.add_listener(self._on_table_mutation)
+            self._subscribed = True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the batch thread pool and the mutation listener.
+
+        Idempotent.  Single-request answering keeps working after
+        close; only new *parallel* batches are refused.
+        """
+        with self._executor_lock:
+            self._closed = True
+            executors = self._retired_executors + (
+                [self._executor] if self._executor is not None else []
+            )
+            self._executor = None
+            self._retired_executors = []
+            self._executor_size = 0
+        for executor in executors:
+            executor.shutdown(wait=True)
+        if self._subscribed:
+            self.cqads.database.remove_listener(self._on_table_mutation)
+            self._subscribed = False
+
+    def __enter__(self) -> "AnswerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool(self, size: int) -> ThreadPoolExecutor:
+        """The persistent batch executor, grown if *size* exceeds it."""
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("AnswerService is closed")
+            if self._executor is not None and size > self._executor_size:
+                # A caller asked for more parallelism than the pool
+                # has.  The old executor is *retired*, not shut down:
+                # a concurrent batch may already hold a reference and
+                # be about to submit to it — shutting it down here
+                # would raise under its feet.  close() reaps them.
+                self._retired_executors.append(self._executor)
+                self._executor = None
+            if self._executor is None:
+                self._executor_size = max(size, self.max_workers, self._executor_size)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._executor_size,
+                    thread_name_prefix="answer-service",
+                )
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # mutation-epoch listener
+    # ------------------------------------------------------------------
+    def _on_table_mutation(self, event: MutationEvent) -> None:
+        cache = self.cache
+        if cache is None:
+            return
+        # The generation bumps make the outstanding cache keys
+        # unreachable (results still in flight store under the old
+        # generation); the invalidate reclaims the memory eagerly.
+        self._generation += 1
+        domain = self.cqads.registered_domain_for_table(event.table.name)
+        if domain is not None:
+            self._domain_generations[domain] = (
+                self._domain_generations.get(domain, 0) + 1
+            )
+        # An unmapped table (e.g. one whose domain is still being
+        # provisioned) conservatively clears everything.
+        cache.invalidate(domain)
 
     # ------------------------------------------------------------------
     def answer(self, request: AnswerRequest | str) -> QuestionResult:
@@ -89,17 +191,33 @@ class AnswerService:
     def _cache_key(
         self, request: AnswerRequest, options: ResolvedOptions
     ) -> Hashable:
+        """The cache key — read *before* the pipeline runs.
+
+        The leading mutation generation versions the entry: a mutation
+        landing while the pipeline computes bumps the generation, so
+        the (now possibly stale) result is stored under a key no
+        future lookup can produce.  Explicitly-routed requests carry
+        their domain's generation (other domains' mutations leave them
+        reachable); classified requests carry the global one.
+        """
+        if request.domain is None:
+            generation = self._generation
+        else:
+            generation = self._domain_generations.get(request.domain, 0)
         return (
+            generation,
             request.domain,
             self._normalize_question(request.question),
             options.fingerprint(),
         )
 
     def invalidate_cache(self, domain: str | None = None) -> int:
-        """Drop cached answers — all of them, or one domain's.
+        """Manually drop cached answers — all of them, or one domain's.
 
-        This is the mutation hook: call it after inserting into or
-        deleting from a backing table.  *domain* accepts either a
+        **No longer required after mutations**: the service listens to
+        the database's mutation epochs and invalidates automatically.
+        Kept as a compatible override for callers that want to force a
+        refresh for other reasons.  *domain* accepts either a
         registered domain name or its table name; ``None`` clears
         everything.  Returns the number of entries dropped (0 when the
         service has no cache).
@@ -107,14 +225,11 @@ class AnswerService:
         if self.cache is None:
             return 0
         if domain is not None:
-            # Accept a table name for convenience: invalidating "after
-            # a table mutation" is the contract, and callers touching
+            # Accept a table name for convenience — callers touching
             # the Database layer hold table names, not domain names.
-            for name in self.cqads.domains():
-                context = self.cqads.context(name)
-                if context.domain.schema.table_name == domain:
-                    domain = name
-                    break
+            mapped = self.cqads.registered_domain_for_table(domain)
+            if mapped is not None:
+                domain = mapped
         return self.cache.invalidate(domain)
 
     def ask(
@@ -142,24 +257,28 @@ class AnswerService:
     def answer_batch(
         self,
         requests: Iterable[AnswerRequest | str],
-        workers: int = 4,
+        workers: int | None = None,
     ) -> list[QuestionResult]:
         """Answer *requests*, returning results in input order.
 
         The pipeline only reads the provisioned system, so requests fan
-        out over a thread pool.  Requests that compare equal (same
-        question, domain and options — both dataclasses are frozen) are
-        answered once and share the same result object, which is where
-        most of the batch win comes from on realistic workloads where
-        popular questions repeat.
+        out over the service's **persistent** thread pool (created
+        lazily, sized by the constructor's ``max_workers``, reused
+        across batches — see :meth:`close`).  ``workers`` defaults to
+        ``max_workers``; pass ``1`` to force a serial batch, or a
+        larger value to grow the pool for this and later batches.
+        Requests that compare equal (same question, domain and options
+        — both dataclasses are frozen) are answered once and share the
+        same result object, which is where most of the batch win comes
+        from on realistic workloads where popular questions repeat.
         """
         items = [AnswerRequest.of(item) for item in requests]
         order = list(dict.fromkeys(items))
-        if workers <= 1 or len(order) <= 1:
+        effective = self.max_workers if workers is None else workers
+        if effective <= 1 or len(order) <= 1:
             results = [self.answer(request) for request in order]
         else:
-            with ThreadPoolExecutor(max_workers=workers) as executor:
-                results = list(executor.map(self.answer, order))
+            results = list(self._pool(effective).map(self.answer, order))
         by_request = dict(zip(order, results))
         return [by_request[request] for request in items]
 

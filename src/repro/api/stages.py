@@ -235,8 +235,12 @@ class RelaxStage:
             exclude,
             pool_cap=ctx.options.partial_pool_per_query,
             ordered=ctx.options.ordered_evaluation,
+            top_k=ctx.options.top_k,
         )
-        return f"{len(ctx.partial)} ranked partial candidates"
+        detail = f"{len(ctx.partial)} ranked partial candidates"
+        if ctx.options.top_k is not None:
+            detail += f" (top_k={ctx.options.top_k})"
+        return detail
 
 
 def default_stages() -> list[PipelineStage]:

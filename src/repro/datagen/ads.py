@@ -210,7 +210,10 @@ def build_dataset(
     generator = AdsGenerator(spec, rng)
     ads = generator.generate_many(ads_per_domain)
     table = database.create_table(spec.schema)
-    records = [table.insert(ad.values) for ad in ads]
+    # insert_many notifies mutation listeners once for the whole seed
+    # batch — on a warm system (lazy provisioning) per-row inserts
+    # would run every cache-invalidation sweep per ad.
+    records = table.insert_many(ad.values for ad in ads)
     dataset = DomainDataset(spec=spec, table=table, ads=ads, records=records)
     dataset.compute_value_ranges()
     return dataset

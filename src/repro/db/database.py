@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.db.schema import TableSchema
-from repro.db.table import Table
+from repro.db.table import MutationEvent, Table
 from repro.errors import UnknownTableError
 
 __all__ = ["Database"]
@@ -19,14 +19,46 @@ class Database:
     table names against.  Names are case-insensitive, and spaces are
     treated as underscores so the paper's ``Car Ads`` example resolves
     to a ``car_ads`` table.
+
+    Catalog-level mutation listeners (:meth:`add_listener`) receive
+    every table's :class:`~repro.db.table.MutationEvent`, including
+    tables created after subscription — this is what the fragment,
+    plan and answer caches hang their auto-invalidation on.
     """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        #: Catalog-level listeners, attached to every current and
+        #: future table.  The default plan cache's hygiene hook is
+        #: always present: plans hold no table data (invalidation is
+        #: never *required*), but dropping statements that read a
+        #: mutated table keeps the contract uniform across caches.
+        self._listeners: list[Callable[[MutationEvent], None]] = [
+            _drop_default_plans
+        ]
 
     @staticmethod
     def _canonical(name: str) -> str:
         return name.strip().lower().replace(" ", "_")
+
+    def add_listener(self, listener: Callable[[MutationEvent], None]) -> None:
+        """Subscribe *listener* to mutations of every table.
+
+        Tables created after this call are covered too; listeners run
+        synchronously on the mutating thread.
+        """
+        self._listeners.append(listener)
+        for table in self._tables.values():
+            table.add_listener(listener)
+
+    def remove_listener(self, listener: Callable[[MutationEvent], None]) -> None:
+        """Unsubscribe *listener* everywhere; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+        for table in self._tables.values():
+            table.remove_listener(listener)
 
     def create_table(self, schema: TableSchema, substring_gram: int = 3) -> Table:
         """Create and register a table for *schema*; name must be new."""
@@ -34,6 +66,8 @@ class Database:
         if name in self._tables:
             raise ValueError(f"table {name!r} already exists")
         table = Table(schema, substring_gram=substring_gram)
+        for listener in self._listeners:
+            table.add_listener(listener)
         self._tables[name] = table
         return table
 
@@ -61,3 +95,14 @@ class Database:
 
     def __len__(self) -> int:
         return len(self._tables)
+
+
+def _drop_default_plans(event: MutationEvent) -> None:
+    """Drop shared-plan-cache statements that read the mutated table.
+
+    Imported lazily so the catalog does not pull the SQL layer at
+    module load (the executor imports :mod:`repro.db.database`).
+    """
+    from repro.db.sql.plan_cache import DEFAULT_PLAN_CACHE
+
+    DEFAULT_PLAN_CACHE.invalidate_table(event.table.name)

@@ -61,6 +61,23 @@ class PlanCache:
         self._plans.put(sql, plan)
         return plan
 
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop cached plans whose FROM clause reads *table_name*.
+
+        Plans hold no table data — the cache keys on SQL text only —
+        so this is hygiene, not a correctness requirement; it exists
+        so every cache in the system follows the same mutation-epoch
+        auto-invalidation contract (``Database`` calls it for the
+        shared :data:`DEFAULT_PLAN_CACHE` on every table mutation).
+        Returns the number of plans dropped.
+        """
+        canonical = table_name.strip().lower().replace(" ", "_")
+        return self._plans.pop_where(
+            lambda _key, plan: (
+                plan.table.strip().lower().replace(" ", "_") == canonical  # type: ignore[union-attr]
+            )
+        )
+
     def clear(self) -> None:
         self._plans.clear()
 

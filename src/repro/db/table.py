@@ -11,17 +11,41 @@ index families consistent with them (Section 4.1.1 / 4.5 of the paper):
 
 Records are plain dicts validated by the schema; each gets a stable
 integer id on insert.
+
+Every mutation (insert/delete/update) bumps the table's monotonically
+increasing **epoch** and notifies registered listeners with a
+:class:`MutationEvent`.  Epochs are how the performance subsystem
+versions its caches (column stores, fragment cache, answer cache):
+a cache entry keyed on the epoch it was computed at can never be
+served stale, and listeners let caches drop dead entries eagerly —
+see ``PERFORMANCE.md`` for the auto-invalidation contract.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
 from repro.db.indexes import HashIndex, SortedIndex, SubstringIndex
 from repro.db.schema import AttributeType, TableSchema
 from repro.errors import SchemaError
 
-__all__ = ["Record", "Table"]
+__all__ = ["MutationEvent", "Record", "Table"]
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One table mutation, as delivered to epoch listeners.
+
+    ``kind`` is ``"insert"``, ``"delete"`` or ``"update"``; ``epoch``
+    is the table's epoch *after* the mutation.  Listeners run
+    synchronously on the mutating thread, after indexes are consistent.
+    """
+
+    table: "Table"
+    kind: str
+    record_id: int
+    epoch: int
 
 
 class Record(dict):
@@ -45,6 +69,9 @@ class Table:
         self.name = schema.table_name
         self._records: dict[int, Record] = {}
         self._next_id = 1
+        self._epoch = 0
+        self._listeners: list[Callable[[MutationEvent], None]] = []
+        self._suppressed_notifications = 0
         self._hash_indexes: dict[str, HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
         self._substring_indexes: dict[str, SubstringIndex] = {}
@@ -62,6 +89,41 @@ class Table:
                 )
 
     # ------------------------------------------------------------------
+    # epoch and listeners
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonically increasing mutation counter (never reused).
+
+        Any insert, delete or update bumps it, so a cache keyed on
+        ``(table, epoch)`` can never serve data from a different table
+        state.
+        """
+        return self._epoch
+
+    def add_listener(self, listener: Callable[[MutationEvent], None]) -> None:
+        """Call *listener* after every mutation of this table."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[MutationEvent], None]) -> None:
+        """Detach *listener*; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _bump(self, kind: str, record_id: int) -> None:
+        self._epoch += 1
+        self._notify(kind, record_id)
+
+    def _notify(self, kind: str, record_id: int) -> None:
+        if self._suppressed_notifications or not self._listeners:
+            return
+        event = MutationEvent(self, kind, record_id, self._epoch)
+        for listener in list(self._listeners):
+            listener(event)
+
+    # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def insert(self, values: dict[str, object]) -> Record:
@@ -71,10 +133,28 @@ class Table:
         self._next_id += 1
         self._records[record.record_id] = record
         self._index_record(record, add=True)
+        self._bump("insert", record.record_id)
         return record
 
     def insert_many(self, rows: Iterable[dict[str, object]]) -> list[Record]:
-        return [self.insert(row) for row in rows]
+        """Insert *rows*, notifying listeners **once** for the batch.
+
+        The epoch still advances per row (versioned caches see every
+        state), but cache-invalidation listeners — each an O(cache)
+        sweep — run once instead of once per row, so bulk loads on a
+        warm system stay linear.  The single event carries the last
+        inserted id and the final epoch.
+        """
+        inserted: list[Record] = []
+        self._suppressed_notifications += 1
+        try:
+            for row in rows:
+                inserted.append(self.insert(row))
+        finally:
+            self._suppressed_notifications -= 1
+            if inserted:
+                self._notify("insert", inserted[-1].record_id)
+        return inserted
 
     def delete(self, record_id: int) -> None:
         """Remove the record with *record_id*; raise if absent."""
@@ -84,6 +164,30 @@ class Table:
                 f"table {self.name!r} has no record #{record_id} to delete"
             )
         self._index_record(record, add=False)
+        self._bump("delete", record_id)
+
+    def update(self, record_id: int, values: dict[str, object]) -> Record:
+        """Merge *values* into an existing record, revalidate, reindex.
+
+        The record keeps its id and identity (it is mutated in place),
+        so references held elsewhere observe the new values.  The
+        epoch bump tells every epoch-keyed cache that per-record
+        memoizations for this table are stale.
+        """
+        record = self._records.get(record_id)
+        if record is None:
+            raise SchemaError(
+                f"table {self.name!r} has no record #{record_id} to update"
+            )
+        merged = dict(record)
+        merged.update(values)
+        normalized = self.schema.validate_record(merged)
+        self._index_record(record, add=False)
+        record.clear()
+        record.update(normalized)
+        self._index_record(record, add=True)
+        self._bump("update", record_id)
+        return record
 
     def _index_record(self, record: Record, add: bool) -> None:
         for column_name, value in record.items():
@@ -114,6 +218,17 @@ class Table:
 
     def get(self, record_id: int) -> Record | None:
         return self._records.get(record_id)
+
+    def snapshot(self) -> list[Record]:
+        """A point-in-time list of the records (insertion order).
+
+        ``list(dict.values())`` copies in one C-level step under the
+        GIL, so — unlike plain iteration — a concurrent insert/delete
+        cannot raise "dictionary changed size during iteration".
+        Readers that scan while another thread mutates (the column
+        store rebuild) use this instead of ``__iter__``.
+        """
+        return list(self._records.values())
 
     def fetch(self, record_ids: Iterable[int]) -> list[Record]:
         """Records for *record_ids*, sorted by id for determinism."""

@@ -8,24 +8,35 @@ invalidation contracts):
   engine: each relaxation unit's id-set is evaluated once and every
   relaxed pool is derived by set intersection, replacing the legacy
   N×(N-1) per-drop predicate evaluations with N;
+* :mod:`repro.perf.colrank` — the columnar top-k ranking engine:
+  per-table-epoch column stores, slot-wise scoring with distinct-value
+  memos, bounded-heap selection — bit-identical to the legacy ranker;
+* :mod:`repro.perf.fragment_cache` — cross-question memoization of
+  relaxation-unit id-sets, keyed on the table's mutation epoch so
+  entries can never be served stale;
 * :mod:`repro.perf.lru` — the generic bounded, thread-safe LRU the
   caches are built on (stdlib-only, importable from any layer —
   :mod:`repro.db.sql.plan_cache` builds on it);
 * :mod:`repro.perf.answer_cache` — memoized full question results for
-  :class:`repro.api.service.AnswerService`, with per-domain
-  invalidation for database mutations.
+  :class:`repro.api.service.AnswerService`, auto-invalidated from the
+  database's mutation epochs.
 
-The subplan names are re-exported lazily (PEP 562): ``subplan``
-reaches back into :mod:`repro.qa`, so importing it eagerly here would
-cycle when the db layer pulls :mod:`repro.perf.lru`.
+The subplan and colrank names are re-exported lazily (PEP 562): both
+reach back into higher layers (:mod:`repro.qa` / :mod:`repro.ranking`),
+so importing them eagerly here would cycle when the db layer pulls
+:mod:`repro.perf.lru`.
 """
 
 from repro.perf.answer_cache import AnswerCache
+from repro.perf.fragment_cache import FragmentCache
 from repro.perf.lru import LRUCache
 
 __all__ = [
     "AnswerCache",
+    "ColumnStore",
+    "FragmentCache",
     "LRUCache",
+    "columnar_rank_units",
     "drop_intersections",
     "shared_partial_candidates",
     "unit_expression",
@@ -37,10 +48,16 @@ _SUBPLAN_EXPORTS = frozenset(
      "unit_id_sets")
 )
 
+_COLRANK_EXPORTS = frozenset(("ColumnStore", "columnar_rank_units"))
+
 
 def __getattr__(name: str):
     if name in _SUBPLAN_EXPORTS:
         from repro.perf import subplan
 
         return getattr(subplan, name)
+    if name in _COLRANK_EXPORTS:
+        from repro.perf import colrank
+
+        return getattr(colrank, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

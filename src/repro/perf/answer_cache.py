@@ -6,22 +6,25 @@ deterministic — same engine state, same question, same options, same
 answer — so :class:`~repro.api.service.AnswerService` can serve repeats
 straight from memory.
 
-Keys are built by the service from three parts:
+Keys are built by the service from four parts:
 
+* the service's mutation **generation** (bumped by every database
+  mutation, so entries computed against an older table state become
+  unreachable even if they are stored after the invalidation sweep);
 * the requested domain (or ``None`` when the Section 3 classifier
   routes the question — classification is deterministic too);
 * the *normalized* question text (lowercased, whitespace collapsed —
   the tokenizer lowercases and splits on whitespace, so normalization
   never changes the answer);
 * the resolved options fingerprint (answer cap, spelling, relaxation,
-  evaluation order, pool cap, explain).
+  evaluation order, pool cap, top-k, explain).
 
-**Invalidation contract** (see ``PERFORMANCE.md``): the cache never
-observes the database, so any mutation of a backing table must be
-followed by :meth:`AnswerCache.invalidate` (or
-:meth:`repro.api.service.AnswerService.invalidate_cache`) for the
-affected domain — or ``None`` to drop everything.  Until then, reads
-may return answers reflecting the pre-mutation state.
+**Invalidation is automatic** (see ``PERFORMANCE.md``):
+:class:`repro.api.service.AnswerService` subscribes to the database's
+mutation epochs and both bumps its generation and calls
+:meth:`AnswerCache.invalidate` for the affected domain before the
+mutating call returns.  Manual invalidation remains available as an
+override.
 """
 
 from __future__ import annotations
@@ -79,13 +82,14 @@ class AnswerCache:
         """Drop entries for *domain* (all entries when ``None``).
 
         Matches both the resolved domain recorded at store time and the
-        key's requested domain, so classified and explicitly-routed
-        requests are both covered.  Returns the number of entries
-        dropped.
+        key's requested domain (the second component of the service's
+        ``(generation, domain, question, fingerprint)`` key), so
+        classified and explicitly-routed requests are both covered.
+        Returns the number of entries dropped.
         """
         if domain is None:
             return self._entries.clear()
         return self._entries.pop_where(
             lambda key, entry: entry[0] == domain  # type: ignore[index]
-            or (isinstance(key, tuple) and len(key) > 0 and key[0] == domain)
+            or (isinstance(key, tuple) and len(key) > 1 and key[1] == domain)
         )

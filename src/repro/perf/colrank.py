@@ -1,0 +1,501 @@
+"""The columnar top-k ranking engine (Eq. 5, fast path).
+
+The legacy :class:`~repro.ranking.rank_sim.RankSimRanker` walks every
+pooled record with nested per-record/per-condition Python loops — a
+dict lookup, a string lowering and a method-call chain per check — and
+then fully sorts the pool even though the pipeline presents at most 30
+answers.  This module restructures that work around the table, not the
+record:
+
+* :class:`ColumnStore` materializes, once per **table epoch**,
+  contiguous per-column arrays: stored categorical strings, parsed
+  floats for numeric columns, and the Type I key tuple per row.  A
+  mutation bumps the epoch (see :mod:`repro.db.table`) and the next
+  ranking call rebuilds the store — no manual invalidation.
+* :func:`columnar_rank_units` scores a pool **by column**: each scoring
+  slot (a condition, or a whole "any" unit) produces a satisfied/
+  contribution array over the pool in one tight loop, with per-distinct
+  -value memos cached on the store so repeated criteria across
+  questions ("make = toyota", "price < 10000") are evaluated once per
+  table state.  Scores accumulate slot-by-slot in the legacy addition
+  order, so every float is bit-identical to the per-record path.
+* selection is a bounded heap (``heapq.nsmallest`` on the legacy
+  ``(-score, record_id)`` key — documented to equal the full sort
+  truncated), and :class:`~repro.ranking.rank_sim.ScoredRecord`
+  objects are only constructed for the rows actually returned.
+
+Parity is structural: satisfaction uses the same comparisons, failure
+similarities call the same ``TIMatrix``/``WSMatrix``/``Num_Sim`` code,
+and anything the planner does not recognize (a condition on an
+unknown column, a mixed-type "any" unit from hand-built inputs, a
+record outside the store) returns ``None`` so the caller falls back to
+the legacy engine wholesale.  ``tests/test_ranking_parity.py`` holds
+the bit-identical guarantee across a generated question battery.
+
+One deliberate divergence: a stored non-numeric value in a numeric
+comparison is treated as NULL throughout (contribution 0.0), where the
+legacy failure path would raise ``ValueError``; schema validation
+makes such values unstorable, so the case is unreachable from tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.db.schema import AttributeType
+from repro.db.table import Record, Table
+from repro.qa.conditions import Condition, ConditionOp
+from repro.ranking.num_sim import condition_num_sim
+from repro.ranking.rank_sim import (
+    Key,
+    RankingResources,
+    ScoredRecord,
+    ScoringUnit,
+)
+
+__all__ = ["ColumnStore", "columnar_rank_units"]
+
+#: Failure-similarity labels by attribute type (Table 2's right-most
+#: column); negated conditions always label "negation".
+_KIND_BY_TYPE = {
+    AttributeType.TYPE_I: "TI_Sim",
+    AttributeType.TYPE_II: "Feat_Sim",
+    AttributeType.TYPE_III: "Num_Sim",
+}
+
+
+class ColumnStore:
+    """A columnar image of one table at one epoch.
+
+    Rows are ordered by ``record_id``; ``row_of`` maps an id to its
+    row.  ``categorical[column][row]`` is the stored string (``None``
+    when absent), ``numeric[column][row]`` the parsed float (``None``
+    when absent or unparseable), ``keys[row]`` the Type I key tuple —
+    the same tuple :meth:`RankingResources.record_key` builds.
+
+    ``_slot_memo`` caches, per condition (and per Type I constraint
+    fingerprint), the distinct-value → ``(satisfied, contribution)``
+    mapping, so the expensive similarity machinery runs once per
+    distinct stored value per criterion, across every question asked
+    against this epoch.
+    """
+
+    def __init__(self, table: Table, type_i_columns: Sequence[str]) -> None:
+        # Epoch read first: if a mutation lands mid-build, the store is
+        # tagged with the older epoch and the next access rebuilds it.
+        # snapshot() copies the record list atomically, so a concurrent
+        # insert/delete cannot crash the scan.
+        self.epoch = table.epoch
+        self.table_name = table.name
+        records = sorted(table.snapshot(), key=lambda record: record.record_id)
+        self.records = records
+        self.row_of = {
+            record.record_id: row for row, record in enumerate(records)
+        }
+        self.type_i_columns = list(type_i_columns)
+        self._type_i_index = {
+            column: index for index, column in enumerate(self.type_i_columns)
+        }
+        self.keys: list[Key] = [
+            tuple(
+                str(record.get(column, "") or "")
+                for column in self.type_i_columns
+            )
+            for record in records
+        ]
+        self.categorical: dict[str, list[str | None]] = {}
+        self.numeric: dict[str, list[float | None]] = {}
+        for column in table.schema.columns:
+            name = column.name
+            if column.is_numeric:
+                parsed: list[float | None] = []
+                for record in records:
+                    value = record.get(name)
+                    if value is None:
+                        parsed.append(None)
+                    else:
+                        try:
+                            parsed.append(float(value))  # type: ignore[arg-type]
+                        except (TypeError, ValueError):
+                            parsed.append(None)
+                self.numeric[name] = parsed
+            else:
+                self.categorical[name] = [
+                    None if value is None else str(value)
+                    for value in (record.get(name) for record in records)
+                ]
+        self._slot_memo: dict[object, dict] = {}
+
+    #: Distinct scoring slots memoized per store before the memo map is
+    #: reset.  A slot's inner dict is bounded by the column's distinct
+    #: values, but arbitrary user-supplied criteria could otherwise
+    #: grow the outer map forever on a never-mutated table.
+    MAX_SLOT_MEMOS = 512
+
+    def memo(self, memo_key: object) -> dict:
+        """The distinct-value memo for one scoring slot."""
+        memo = self._slot_memo.get(memo_key)
+        if memo is None:
+            if len(self._slot_memo) >= self.MAX_SLOT_MEMOS:
+                self._slot_memo = {}  # cheap reset; memos rebuild on use
+            memo = self._slot_memo[memo_key] = {}
+        return memo
+
+
+# ----------------------------------------------------------------------
+# planning: which shapes the columnar evaluators cover
+# ----------------------------------------------------------------------
+def _is_numeric_style(condition: Condition) -> bool:
+    """Mirror of the legacy satisfaction dispatch: numeric comparison
+    when the target is a number or a BETWEEN range, string otherwise."""
+    return condition.op is ConditionOp.BETWEEN or isinstance(
+        condition.value, (int, float)
+    )
+
+
+def _condition_supported(store: ColumnStore, condition: Condition) -> bool:
+    if _is_numeric_style(condition):
+        # Numeric comparisons need the parsed-float column; the failed
+        # similarity is Num_Sim (Type III) or zero (negation).
+        return condition.column in store.numeric and (
+            condition.negated
+            or condition.attribute_type is AttributeType.TYPE_III
+        )
+    if condition.column not in store.categorical:
+        return False
+    if condition.negated:
+        return True  # violated negations contribute 0.0, any type
+    if condition.attribute_type is AttributeType.TYPE_I:
+        return condition.column in store._type_i_index
+    # Type II string similarity; a Type III condition with a string
+    # target would send a non-float into Num_Sim — legacy territory.
+    return condition.attribute_type is AttributeType.TYPE_II
+
+
+def _supports(store: ColumnStore, units: Sequence[ScoringUnit]) -> bool:
+    for unit in units:
+        if unit.mode == "any" and len(unit.conditions) > 1:
+            # Multi-branch "any" units must be homogeneous Num_Sim
+            # branches (what relaxation_units produces) so the failed
+            # kind is statically "Num_Sim"; exotic hand-built mixes
+            # keep their legacy best-kind bookkeeping.
+            if not all(
+                condition.attribute_type is AttributeType.TYPE_III
+                and not condition.negated
+                and _is_numeric_style(condition)
+                for condition in unit.conditions
+            ):
+                return False
+        for condition in unit.conditions:
+            if not _condition_supported(store, condition):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# per-slot evaluation: one (satisfied, contribution) pair per pool row
+# ----------------------------------------------------------------------
+def _condition_arrays(
+    store: ColumnStore,
+    resources: RankingResources,
+    condition: Condition,
+    rows: list[int],
+    type_i_fp: tuple,
+    query_keys: list[Key],
+) -> tuple[list[bool], list[float]]:
+    if _is_numeric_style(condition):
+        return _numeric_arrays(store, resources, condition, rows)
+    if condition.attribute_type is AttributeType.TYPE_I and not condition.negated:
+        return _type_i_arrays(
+            store, resources, condition, rows, type_i_fp, query_keys
+        )
+    return _categorical_arrays(store, resources, condition, rows)
+
+
+def _categorical_arrays(
+    store: ColumnStore,
+    resources: RankingResources,
+    condition: Condition,
+    rows: list[int],
+) -> tuple[list[bool], list[float]]:
+    """Type II similarity slots and violated-negation slots."""
+    memo = store.memo(condition)
+    memo_get = memo.get
+    column = store.categorical[condition.column]
+    target = str(condition.value).lower()
+    target_raw = str(condition.value)
+    negated = condition.negated
+    is_ne = condition.op is ConditionOp.NE
+    type_ii = condition.attribute_type is AttributeType.TYPE_II
+    value_similarity = resources.ws_matrix.value_similarity
+    sat_out: list[bool] = []
+    contrib_out: list[float] = []
+    for row in rows:
+        value = column[row]
+        entry = memo_get(value)
+        if entry is None:
+            if value is None:
+                sat = negated
+            else:
+                text = value.lower()
+                matches = (text != target) if is_ne else (text == target)
+                sat = matches != negated
+            if sat:
+                contrib = 1.0
+            elif negated or not type_ii or value is None:
+                contrib = 0.0
+            else:
+                contrib = value_similarity(target_raw, value)
+            entry = memo[value] = (sat, contrib)
+        sat_out.append(entry[0])
+        contrib_out.append(entry[1])
+    return sat_out, contrib_out
+
+
+def _type_i_arrays(
+    store: ColumnStore,
+    resources: RankingResources,
+    condition: Condition,
+    rows: list[int],
+    type_i_fp: tuple,
+    query_keys: list[Key],
+) -> tuple[list[bool], list[float]]:
+    """Type I slots: satisfaction from the key column, TI_Sim failure
+    similarity from the whole key — one memo entry per distinct key."""
+    memo = store.memo((condition, type_i_fp))
+    memo_get = memo.get
+    keys = store.keys
+    index = store._type_i_index[condition.column]
+    target = str(condition.value).lower()
+    is_ne = condition.op is ConditionOp.NE
+    normalized = resources.ti_matrix.normalized
+    sat_out: list[bool] = []
+    contrib_out: list[float] = []
+    for row in rows:
+        key = keys[row]
+        entry = memo_get(key)
+        if entry is None:
+            raw = key[index]
+            # "" in the key means the value was absent: a missing value
+            # fails a positive condition (this path is never negated).
+            if raw == "":
+                sat = False
+            else:
+                text = raw.lower()
+                sat = (text != target) if is_ne else (text == target)
+            if sat:
+                contrib = 1.0
+            elif not query_keys:
+                contrib = 0.0
+            else:
+                contrib = max(
+                    normalized(query_key, key) for query_key in query_keys
+                )
+            entry = memo[key] = (sat, contrib)
+        sat_out.append(entry[0])
+        contrib_out.append(entry[1])
+    return sat_out, contrib_out
+
+
+def _numeric_arrays(
+    store: ColumnStore,
+    resources: RankingResources,
+    condition: Condition,
+    rows: list[int],
+) -> tuple[list[bool], list[float]]:
+    """Type III slots over the pre-parsed float column."""
+    column = store.numeric[condition.column]
+    negated = condition.negated
+    op = condition.op
+    value_range = resources.value_ranges.get(condition.column, 0.0)
+    sat_out: list[bool] = []
+    contrib_out: list[float] = []
+    if op is ConditionOp.BETWEEN:
+        low, high = condition.value  # type: ignore[misc]
+        low_f, high_f = float(low), float(high)
+        for row in rows:
+            number = column[row]
+            if number is None:
+                sat = negated
+            else:
+                sat = (low_f <= number <= high_f) != negated
+            if sat:
+                contrib = 1.0
+            elif negated or number is None:
+                contrib = 0.0
+            else:
+                contrib = condition_num_sim(condition, number, value_range)
+            sat_out.append(sat)
+            contrib_out.append(contrib)
+        return sat_out, contrib_out
+    target = float(condition.value)  # type: ignore[arg-type]
+    for row in rows:
+        number = column[row]
+        if number is None:
+            sat = negated
+        else:
+            if op is ConditionOp.EQ:
+                raw_sat = number == target
+            elif op is ConditionOp.NE:
+                raw_sat = number != target
+            elif op is ConditionOp.LT:
+                raw_sat = number < target
+            elif op is ConditionOp.LE:
+                raw_sat = number <= target
+            elif op is ConditionOp.GT:
+                raw_sat = number > target
+            else:
+                raw_sat = number >= target
+            sat = raw_sat != negated
+        if sat:
+            contrib = 1.0
+        elif negated or number is None:
+            contrib = 0.0
+        else:
+            contrib = condition_num_sim(condition, number, value_range)
+        sat_out.append(sat)
+        contrib_out.append(contrib)
+    return sat_out, contrib_out
+
+
+def _any_unit_arrays(
+    store: ColumnStore,
+    resources: RankingResources,
+    unit: ScoringUnit,
+    rows: list[int],
+    type_i_fp: tuple,
+    query_keys: list[Key],
+) -> tuple[list[bool], list[float]]:
+    """A multi-branch "any" unit: satisfied when any branch is, else
+    the best branch similarity carries the unit (Section 4.2.2)."""
+    branches = [
+        _condition_arrays(store, resources, condition, rows, type_i_fp, query_keys)
+        for condition in unit.conditions
+    ]
+    sat_out: list[bool] = []
+    contrib_out: list[float] = []
+    for i in range(len(rows)):
+        if any(branch_sat[i] for branch_sat, _ in branches):
+            sat_out.append(True)
+            contrib_out.append(1.0)
+            continue
+        # All branches failed, so each branch array holds its failure
+        # similarity at this row; similarities are non-negative, so the
+        # legacy ">= best" running max is a plain max.
+        best = 0.0
+        for _, branch_contrib in branches:
+            value = branch_contrib[i]
+            if value >= best:
+                best = value
+        sat_out.append(False)
+        contrib_out.append(best)
+    return sat_out, contrib_out
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def columnar_rank_units(
+    resources: RankingResources,
+    records: list[Record],
+    units: Sequence[ScoringUnit],
+    top_k: int | None,
+) -> list[ScoredRecord] | None:
+    """Rank *records* columnar-ly; ``None`` means "use the legacy path".
+
+    Returns exactly what the legacy ``rank_units`` (full sort, then
+    ``[:top_k]``) returns: same records, same float scores, same failed
+    tuples, same kinds, same order.
+    """
+    store = resources.column_store()
+    if store is None:
+        return None
+    if not records:
+        return []
+    if not _supports(store, units):
+        return None
+    try:
+        rows = [store.row_of[record.record_id] for record in records]
+    except KeyError:
+        return None  # a record outside the store (foreign table?)
+
+    type_i_values = {
+        condition.column: str(condition.value)
+        for unit in units
+        for condition in unit.conditions
+        if condition.attribute_type is AttributeType.TYPE_I
+        and not condition.negated
+    }
+    type_i_fp = tuple(sorted(type_i_values.items()))
+    query_keys = resources.query_keys(type_i_values)
+
+    # Phase 1 — slot arrays, in the legacy slot order: each condition
+    # of an "all" unit is its own slot, a multi-branch "any" unit is
+    # one slot.  Accumulating slot-by-slot reproduces the legacy
+    # per-record addition order, so scores are bit-identical.
+    count = len(records)
+    scores = [0.0] * count
+    slots: list[tuple[tuple[Condition, ...], str, list[bool]]] = []
+    for unit in units:
+        if unit.mode == "any" and len(unit.conditions) > 1:
+            sat, contrib = _any_unit_arrays(
+                store, resources, unit, rows, type_i_fp, query_keys
+            )
+            # _supports() guaranteed homogeneous Type III branches, so
+            # the legacy best-kind bookkeeping always lands on Num_Sim.
+            slot_list = [(unit.conditions, "Num_Sim", sat, contrib)]
+        else:
+            slot_list = []
+            for condition in unit.conditions:
+                sat, contrib = _condition_arrays(
+                    store, resources, condition, rows, type_i_fp, query_keys
+                )
+                kind = (
+                    "negation"
+                    if condition.negated
+                    else _KIND_BY_TYPE[condition.attribute_type]
+                )
+                slot_list.append(((condition,), kind, sat, contrib))
+        for conditions, kind, sat, contrib in slot_list:
+            slots.append((conditions, kind, sat))
+            for i, value in enumerate(contrib):
+                scores[i] += value
+
+    # Phase 2 — bounded selection on the legacy sort key.  nsmallest
+    # is documented as sorted(...)[:k], ties (equal scores) included.
+    record_ids = [record.record_id for record in records]
+
+    def sort_key(index: int) -> tuple[float, int]:
+        return (-scores[index], record_ids[index])
+
+    if top_k is None:
+        order = sorted(range(count), key=sort_key)
+    else:
+        order = heapq.nsmallest(top_k, range(count), key=sort_key)
+
+    # Phase 3 — materialize ScoredRecords only for the emitted rows.
+    results: list[ScoredRecord] = []
+    for index in order:
+        failed: list[Condition] = []
+        kinds: set[str] = set()
+        for conditions, kind, sat in slots:
+            if sat[index]:
+                continue
+            failed.extend(conditions)
+            kinds.add(kind)
+        if not failed:
+            kind = "exact"
+        elif len(kinds) == 1:
+            kind = next(iter(kinds))
+        else:
+            kind = "mixed"
+        results.append(
+            ScoredRecord(
+                record=records[index],
+                score=scores[index],
+                failed=tuple(failed),
+                similarity_kind=kind,
+            )
+        )
+    return results

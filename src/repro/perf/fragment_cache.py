@@ -1,0 +1,92 @@
+"""Cross-question fragment cache: relaxation-unit id-sets by epoch.
+
+The shared-subplan engine (:mod:`repro.perf.subplan`) evaluates each
+relaxation unit's WHERE fragment once *per question*.  Real workloads
+repeat criteria across different questions — "price < 10000" and
+"make = toyota" appear in thousands of distinct queries — so this
+cache memoizes the id-sets themselves, keyed on::
+
+    (table name, table epoch, scoring unit)
+
+:class:`~repro.ranking.rank_sim.ScoringUnit` is a frozen dataclass of
+frozen :class:`~repro.qa.conditions.Condition` tuples, so the unit is
+its own fingerprint: two questions that constrain the same column the
+same way hit the same entry.
+
+**Invalidation is by versioning, not by hand.**  Every table mutation
+bumps the table's epoch (:mod:`repro.db.table`), so entries computed
+against an older state can never be looked up again — a stale hit is
+structurally impossible.  :class:`~repro.qa.pipeline.CQAds`
+additionally subscribes a database mutation listener that drops the
+dead generation eagerly (:meth:`FragmentCache.invalidate`), keeping
+the LRU full of live entries instead of unreachable ones.
+
+Cached id-sets are shared between the cache and every consumer;
+callers must treat them as immutable (the subplan engine only ever
+intersects them into fresh sets).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.perf.lru import LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.ranking.rank_sim import ScoringUnit
+
+__all__ = ["FragmentCache"]
+
+#: Generous default: a unit id-set is a few KB at paper scale, and
+#: distinct criteria per domain number in the hundreds.
+DEFAULT_CAPACITY = 4096
+
+
+class FragmentCache:
+    """Bounded LRU of ``(table, epoch, unit) -> id-set``."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._entries = LRUCache(capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._entries.capacity
+
+    @property
+    def hits(self) -> int:
+        return self._entries.hits
+
+    @property
+    def misses(self) -> int:
+        return self._entries.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._entries.evictions
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(
+        self, table_name: str, epoch: int, unit: "ScoringUnit"
+    ) -> set[int] | None:
+        """The cached id-set for *unit* at *epoch*, or ``None``."""
+        return self._entries.get((table_name, epoch, unit))  # type: ignore[return-value]
+
+    def put(
+        self, table_name: str, epoch: int, unit: "ScoringUnit", ids: set[int]
+    ) -> None:
+        self._entries.put((table_name, epoch, unit), ids)
+
+    def invalidate(self, table_name: str | None = None) -> int:
+        """Drop entries for *table_name* (all tables when ``None``).
+
+        Epoch keying already guarantees stale entries are unreachable;
+        this reclaims their memory eagerly.  Returns the number of
+        entries dropped.
+        """
+        if table_name is None:
+            return self._entries.clear()
+        return self._entries.pop_where(lambda key, _value: key[0] == table_name)  # type: ignore[index]

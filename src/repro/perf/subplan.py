@@ -34,7 +34,7 @@ the bit-identical guarantee against the legacy path.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.db.database import Database
 from repro.db.sql.builder import QueryBuilder
@@ -48,6 +48,9 @@ from repro.qa.sql_generation import (
     generate_sql,
 )
 from repro.ranking.rank_sim import ScoringUnit
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.perf.fragment_cache import FragmentCache
 
 __all__ = [
     "unit_expression",
@@ -73,15 +76,35 @@ def unit_expression(builder: QueryBuilder, unit: ScoringUnit):
 
 
 def unit_id_sets(
-    executor: SQLExecutor, table: Table, units: Sequence[ScoringUnit]
+    executor: SQLExecutor,
+    table: Table,
+    units: Sequence[ScoringUnit],
+    fragment_cache: "FragmentCache | None" = None,
 ) -> list[set[int]]:
-    """Each unit's matching id-set, evaluated once against *table*."""
+    """Each unit's matching id-set, evaluated once against *table*.
+
+    With a :class:`~repro.perf.fragment_cache.FragmentCache`, id-sets
+    are memoized across questions keyed on the table's mutation epoch,
+    so a criterion repeated by a later question ("price < 10000") is
+    never re-evaluated until the table changes.  Cached sets are
+    shared — neither this module nor its callers may mutate them.
+    """
     builder = QueryBuilder(table.name)
+    epoch = table.epoch
     sets: list[set[int]] = []
     for unit in units:
-        expression = unit_expression(builder, unit)
-        assert expression is not None  # units always carry >= 1 condition
-        sets.append(executor.eval_where(table, expression))
+        ids = (
+            fragment_cache.get(table.name, epoch, unit)
+            if fragment_cache is not None
+            else None
+        )
+        if ids is None:
+            expression = unit_expression(builder, unit)
+            assert expression is not None  # units always carry >= 1 condition
+            ids = executor.eval_where(table, expression)
+            if fragment_cache is not None:
+                fragment_cache.put(table.name, epoch, unit, ids)
+        sets.append(ids)
     return sets
 
 
@@ -132,6 +155,7 @@ def shared_partial_candidates(
     interpretation: Interpretation,
     exclude: set[int],
     pool_cap: int | None,
+    fragment_cache: "FragmentCache | None" = None,
 ) -> dict[int, Record]:
     """The N-1 candidate pool via shared subplans.
 
@@ -139,10 +163,14 @@ def shared_partial_candidates(
     same insertion order) the legacy per-drop evaluation produced: the
     drops run in unit order, every pool is finalized with the
     executor's own ordering code, and earlier drops win ties.
+    ``fragment_cache`` short-circuits unit evaluation across questions
+    (see :func:`unit_id_sets`).
     """
     table = database.table(domain.schema.table_name)
     executor = SQLExecutor(database)
-    pools = drop_intersections(unit_id_sets(executor, table, units))
+    pools = drop_intersections(
+        unit_id_sets(executor, table, units, fragment_cache)
+    )
     budget = pool_cap + len(exclude) if pool_cap is not None else None
     superlative = interpretation.superlative
     order_statement = None

@@ -30,8 +30,9 @@ from repro.classify.naive_bayes import (
 )
 from repro.db.database import Database
 from repro.db.schema import AttributeType
-from repro.db.table import Record
+from repro.db.table import MutationEvent, Record
 from repro.errors import ClassificationError
+from repro.perf.fragment_cache import DEFAULT_CAPACITY, FragmentCache
 from repro.qa.conditions import (
     BooleanOperator,
     Condition,
@@ -163,12 +164,32 @@ class CQAds:
         candidate pools (``tests/test_perf_parity.py``); the legacy
         path is kept as the parity oracle and for the
         ``bench_relaxation_sharing`` comparison.
+    ranking_engine:
+        ``"columnar"`` (default) scores partial candidates through the
+        per-epoch column store with bounded top-k selection
+        (:mod:`repro.perf.colrank`); ``"legacy"`` keeps the per-record
+        scoring and full sort as the parity oracle.  Bit-identical
+        output (``tests/test_ranking_parity.py``).
+    ranking_top_k:
+        Default bound on the ranked partial pool (``None`` keeps the
+        full ranking so cursor pagination can walk everything).  A
+        sensible bound is the presentation cap plus the cursor window
+        you expect to serve; per-request ``AnswerOptions.top_k``
+        overrides it.
+    fragment_cache:
+        Cross-question memoization of relaxation-unit id-sets
+        (:mod:`repro.perf.fragment_cache`), keyed on each table's
+        mutation epoch and auto-invalidated from the database's
+        mutation listeners.  Pass a capacity, a prebuilt
+        :class:`~repro.perf.fragment_cache.FragmentCache`, or ``None``
+        to disable.
 
     All of these are *defaults*: :class:`repro.api.requests.AnswerOptions`
     can override any of them for a single request.
     """
 
     RELAXATION_STRATEGIES = ("shared", "legacy")
+    RANKING_ENGINES = ("columnar", "legacy")
 
     def __init__(
         self,
@@ -180,11 +201,23 @@ class CQAds:
         ordered_evaluation: bool = True,
         partial_pool_per_query: int | None = None,
         relaxation_strategy: str = "shared",
+        ranking_engine: str = "columnar",
+        ranking_top_k: int | None = None,
+        fragment_cache: FragmentCache | int | None = DEFAULT_CAPACITY,
     ) -> None:
         if relaxation_strategy not in self.RELAXATION_STRATEGIES:
             raise ValueError(
                 f"relaxation_strategy must be one of "
                 f"{self.RELAXATION_STRATEGIES}, got {relaxation_strategy!r}"
+            )
+        if ranking_engine not in self.RANKING_ENGINES:
+            raise ValueError(
+                f"ranking_engine must be one of {self.RANKING_ENGINES}, "
+                f"got {ranking_engine!r}"
+            )
+        if ranking_top_k is not None and ranking_top_k < 1:
+            raise ValueError(
+                f"ranking_top_k must be positive, got {ranking_top_k}"
             )
         self.database = database
         self.max_answers = max_answers
@@ -193,6 +226,15 @@ class CQAds:
         self.relax_partial = relax_partial
         self.ordered_evaluation = ordered_evaluation
         self.relaxation_strategy = relaxation_strategy
+        self.ranking_engine = ranking_engine
+        self.ranking_top_k = ranking_top_k
+        if isinstance(fragment_cache, int):
+            fragment_cache = FragmentCache(fragment_cache)
+        self.fragment_cache = fragment_cache
+        if fragment_cache is not None:
+            # Epoch keying already makes stale hits impossible; the
+            # listener reclaims the dead generation's memory eagerly.
+            database.add_listener(self._on_table_mutation)
         # Each N-1 query contributes at most this many candidates —
         # the paper's per-query retrieval cap ("up to 30 (in)exact
         # matched records"), widened 3x so the ranker has slack.
@@ -217,6 +259,27 @@ class CQAds:
         self._train_lock = threading.Lock()
         self._default_pipeline: "QueryPipeline | None" = None
 
+    def _on_table_mutation(self, event: MutationEvent) -> None:
+        if self.fragment_cache is not None:
+            self.fragment_cache.invalidate(event.table.name)
+
+    def close(self) -> None:
+        """Detach this engine's mutation listeners from the catalog.
+
+        Call when discarding an engine whose :class:`Database` lives
+        on (e.g. rebuilding engines over a shared catalog): otherwise
+        the catalog keeps the engine — its fragment cache, column
+        stores and ranking memos — reachable and keeps running its
+        invalidation sweeps on every mutation.  Idempotent, and the
+        engine remains usable afterwards: epoch keying keeps the
+        fragment cache correct while detached, and :meth:`context`
+        lazily re-attaches each domain's resources on next use.
+        """
+        self.database.remove_listener(self._on_table_mutation)
+        for context in self._contexts.values():
+            if context.resources is not None:
+                context.resources.detach_table()
+
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
@@ -229,15 +292,35 @@ class CQAds:
         """Register a domain (Section 4.6's "adding a new ads domain").
 
         ``training_texts`` (typically the domain's ad texts) feed the
-        classifier; ``resources`` enable partial-match ranking.
+        classifier; ``resources`` enable partial-match ranking.  When
+        the domain's table already exists in the database, the
+        resources are bound to it so the columnar ranking engine can
+        build its per-epoch column store (no table, no columnar path —
+        the ranker falls back to the legacy scorer).
         """
         tagger = QuestionTagger(domain, correct_spelling=self.correct_spelling)
+        if resources is not None and self.database.has_table(
+            domain.schema.table_name
+        ):
+            resources.attach_table(self.database.table(domain.schema.table_name))
         self._contexts[domain.name] = _DomainContext(
             domain=domain, tagger=tagger, resources=resources
         )
         for text in training_texts or []:
             self.classifier.add_document(domain.name, text)
         self._classifier_trained = False
+
+    def registered_domain_for_table(self, table_name: str) -> str | None:
+        """The registered domain whose table is *table_name*, if any.
+
+        Looks only at already-registered domains (never triggers lazy
+        provisioning) — this is what mutation listeners use to map a
+        table event back to a domain.
+        """
+        for name, context in self._contexts.items():
+            if context.domain.schema.table_name == table_name:
+                return name
+        return None
 
     def domains(self) -> list[str]:
         return sorted(self._contexts.keys())
@@ -258,16 +341,29 @@ class CQAds:
         """The registered context for *name* (stages' entry point).
 
         With a ``domain_loader`` attached (lazy builds), an unknown
-        name is provisioned on first use before failing.
+        name is provisioned on first use before failing.  Resources
+        registered before their table existed are bound to it here, on
+        first use, so the columnar engine and the update-invalidation
+        listener work regardless of registration order.
         """
         self._maybe_load(name)
         try:
-            return self._contexts[name]
+            context = self._contexts[name]
         except KeyError:
             raise ClassificationError(
                 f"domain {name!r} is not registered; known domains: "
                 f"{self.domains()}"
             ) from None
+        resources = context.resources
+        if (
+            resources is not None
+            and resources.table is None
+            and self.database.has_table(context.domain.schema.table_name)
+        ):
+            resources.attach_table(
+                self.database.table(context.domain.schema.table_name)
+            )
+        return context
 
     def train_classifier(self) -> None:
         self.classifier.train()
@@ -420,6 +516,7 @@ class CQAds:
                 interpretation,
                 exclude,
                 pool_cap,
+                fragment_cache=self.fragment_cache,
             )
         else:
             cap = pool_cap
@@ -453,18 +550,27 @@ class CQAds:
         pool_cap: int | None = None,
         ordered: bool | None = None,
         strategy: str | None = None,
+        top_k: int | None = None,
+        engine: str | None = None,
     ) -> list[Answer]:
-        """The full scored N-1 answer list (uncapped), best first.
+        """The scored N-1 answer list, best first.
 
         With ranking resources the pool is ordered by Eq. 5's Rank_Sim;
         without them the N-1 retrieval order (by record id) is kept and
-        answers are marked ``unranked``.
+        answers are marked ``unranked``.  ``top_k`` bounds the ranked
+        list (identical to the full ranking truncated — the columnar
+        engine selects it with a bounded heap instead of sorting
+        everything); ``engine`` overrides the engine's
+        ``ranking_engine`` per call.  Both default to the engine
+        settings, like the other knobs.
         """
         context = self.context(domain)
         ranker = context.ranker()
         units = self.relaxation_units(interpretation)
         if len(units) < 1:
             return []
+        if top_k is None:
+            top_k = self.ranking_top_k
         pool = self.partial_candidates(
             domain,
             interpretation,
@@ -476,11 +582,18 @@ class CQAds:
         if ranker is None:
             # No similarity resources: preserve N-1 retrieval order by id.
             pool.sort(key=lambda record: record.record_id)
+            if top_k is not None:
+                pool = pool[:top_k]
             return [
                 Answer(record=record, exact=False, score=0.0, similarity_kind="unranked")
                 for record in pool
             ]
-        scored = ranker.rank_units(pool, units)
+        scored = ranker.rank_units(
+            pool,
+            units,
+            top_k=top_k,
+            engine=engine if engine is not None else self.ranking_engine,
+        )
         return [
             Answer(
                 record=item.record,

@@ -17,13 +17,17 @@ ordering of the paper's Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.db.schema import AttributeType
-from repro.db.table import Record
+from repro.db.table import MutationEvent, Record, Table
 from repro.qa.conditions import Condition, ConditionOp
 from repro.ranking.num_sim import condition_num_sim
 from repro.ranking.ti_matrix import TIMatrix
 from repro.ranking.ws_matrix import WSMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycle
+    from repro.perf.colrank import ColumnStore
 
 __all__ = [
     "condition_satisfied",
@@ -131,6 +135,83 @@ class RankingResources:
     _lowered_values: dict[tuple[int, str], str] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: The backing table, attached by :meth:`attach_table` when the
+    #: domain is registered.  Enables the columnar ranking engine
+    #: (:mod:`repro.perf.colrank`): without a table, rankers fall back
+    #: to the per-record legacy path.
+    table: Table | None = None
+    _column_store: "ColumnStore | None" = field(
+        default=None, repr=False, compare=False
+    )
+    #: Cross-question memo of :meth:`query_keys` results, keyed by the
+    #: sorted Type I constraint items.  ``product_keys`` is static for
+    #: the life of the resources object, so entries never go stale.
+    _query_keys_memo: dict[tuple, list[Key]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def attach_table(self, table: Table) -> None:
+        """Bind these resources to their backing *table*.
+
+        Turns on the columnar engine (``column_store``) and subscribes
+        to the table's mutation epochs so the per-record caches cannot
+        serve values from before an update.
+        """
+        if self.table is table:
+            return
+        if self.table is not None:
+            self.table.remove_listener(self._on_mutation)
+        # Mutations that happened while detached (or against a previous
+        # table) fired no listener here — start the per-record memos
+        # clean so a re-attach can never resurrect pre-update values.
+        self._record_keys.clear()
+        self._lowered_values.clear()
+        self.table = table
+        table.add_listener(self._on_mutation)
+
+    def detach_table(self) -> None:
+        """Unsubscribe from the table and drop the column store.
+
+        Rankers fall back to the legacy engine until a re-attach
+        (:meth:`repro.qa.pipeline.CQAds.context` re-attaches lazily on
+        next use).  Idempotent.
+        """
+        if self.table is not None:
+            self.table.remove_listener(self._on_mutation)
+            self.table = None
+        self._column_store = None
+
+    def _on_mutation(self, event: MutationEvent) -> None:
+        # Inserts never touch existing ids and deletes merely leave
+        # dead entries, but an update changes the values behind a
+        # cached id — drop that record's memoizations.  The column
+        # store needs no action: it re-checks the epoch on access.
+        # The key snapshot (list()) guards against answer_batch
+        # threads growing the dict mid-iteration.
+        if event.kind == "update":
+            self._record_keys.pop(event.record_id, None)
+            for cache_key in list(self._lowered_values):
+                if cache_key[0] == event.record_id:
+                    self._lowered_values.pop(cache_key, None)
+
+    def column_store(self) -> "ColumnStore | None":
+        """The columnar image of the attached table at its current epoch.
+
+        Rebuilt lazily whenever the table's epoch has moved; ``None``
+        when no table is attached.  Racing rebuilds under
+        ``answer_batch`` concurrency each produce an equally valid
+        store, and the attribute write is atomic.
+        """
+        table = self.table
+        if table is None:
+            return None
+        store = self._column_store
+        if store is None or store.epoch != table.epoch:
+            from repro.perf.colrank import ColumnStore
+
+            store = ColumnStore(table, self.type_i_columns)
+            self._column_store = store
+        return store
 
     def record_key(self, record: Record) -> Key:
         key = self._record_keys.get(record.record_id)
@@ -162,17 +243,28 @@ class RankingResources:
 
         A question naming only a make matches every model of that make;
         the TI similarity of a record is the best over the candidates.
+        Results are memoized across questions (the key product for
+        "honda accord" is the same whoever asks); callers must treat
+        the returned list as read-only.
         """
+        fingerprint = tuple(sorted(type_i_values.items()))
+        cached = self._query_keys_memo.get(fingerprint)
+        if cached is not None:
+            return cached
         constraints = [
             (self.type_i_columns.index(column), value)
             for column, value in type_i_values.items()
             if column in self.type_i_columns
         ]
-        return [
+        keys = [
             key
             for key in self.product_keys
             if all(key[index] == value for index, value in constraints)
         ]
+        if len(self._query_keys_memo) >= 1024:
+            self._query_keys_memo = {}  # bound arbitrary user criteria
+        self._query_keys_memo[fingerprint] = keys
+        return keys
 
 
 @dataclass(frozen=True)
@@ -186,10 +278,53 @@ class ScoredRecord:
 
 
 class RankSimRanker:
-    """Scores and orders partially-matched records per Eq. 5."""
+    """Scores and orders partially-matched records per Eq. 5.
 
-    def __init__(self, resources: RankingResources) -> None:
+    Two engines produce bit-identical output
+    (``tests/test_ranking_parity.py``):
+
+    * ``"columnar"`` (default) — scores through the table's per-epoch
+      :class:`~repro.perf.colrank.ColumnStore` (array lookups instead
+      of per-record dict walking) and selects ``top_k`` with a bounded
+      heap instead of sorting the whole pool.  Falls back to the
+      legacy path automatically when no table is attached to the
+      resources or a condition shape is outside the columnar planner.
+    * ``"legacy"`` — the original per-record scoring and full sort,
+      kept as the parity oracle.
+    """
+
+    ENGINES = ("columnar", "legacy")
+
+    def __init__(
+        self, resources: RankingResources, engine: str = "columnar"
+    ) -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"engine must be one of {self.ENGINES}, got {engine!r}"
+            )
         self.resources = resources
+        self.engine = engine
+
+    def _resolve_engine(self, engine: str | None) -> str:
+        if engine is None:
+            return self.engine
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"engine must be one of {self.ENGINES}, got {engine!r}"
+            )
+        return engine
+
+    def _columnar(
+        self,
+        records: list[Record],
+        units: list[ScoringUnit],
+        top_k: int | None,
+    ) -> list[ScoredRecord] | None:
+        # Imported here: colrank needs ScoredRecord/ScoringUnit from
+        # this module, so a top-level import would cycle.
+        from repro.perf.colrank import columnar_rank_units
+
+        return columnar_rank_units(self.resources, records, units, top_k)
 
     # ------------------------------------------------------------------
     # cached condition checks
@@ -263,8 +398,20 @@ class RankSimRanker:
         records: list[Record],
         conditions: list[Condition],
         top_k: int | None = None,
+        engine: str | None = None,
     ) -> list[ScoredRecord]:
-        """Order *records* by descending Rank_Sim (ties by record id)."""
+        """Order *records* by descending Rank_Sim (ties by record id).
+
+        Per-condition scoring is the degenerate unit case (every
+        condition its own slot), so the columnar engine serves it too.
+        """
+        if self._resolve_engine(engine) == "columnar":
+            units = [
+                ScoringUnit(conditions=(condition,)) for condition in conditions
+            ]
+            selected = self._columnar(records, units, top_k)
+            if selected is not None:
+                return selected
         scored = [self.score(record, conditions) for record in records]
         scored.sort(key=lambda item: (-item.score, item.record.record_id))
         if top_k is not None:
@@ -350,8 +497,18 @@ class RankSimRanker:
         records: list[Record],
         units: list[ScoringUnit],
         top_k: int | None = None,
+        engine: str | None = None,
     ) -> list[ScoredRecord]:
-        """Order *records* by unit-based Rank_Sim."""
+        """Order *records* by unit-based Rank_Sim.
+
+        With ``top_k`` the columnar engine selects the best *top_k*
+        via a bounded heap (equivalent to the full sort truncated —
+        ties included); the legacy engine sorts everything and slices.
+        """
+        if self._resolve_engine(engine) == "columnar":
+            selected = self._columnar(records, units, top_k)
+            if selected is not None:
+                return selected
         query_keys = self._query_keys_for_units(units)
         # Pool records share a handful of distinct product identities;
         # memoize the TI-matrix lookup per identity.

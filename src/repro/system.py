@@ -111,15 +111,18 @@ class BuiltSystem:
             name for name in self.requested_domains if name not in self.domains
         )
 
-    def service(self, cache: int | None = None) -> "AnswerService":
+    def service(
+        self, cache: int | None = None, max_workers: int = 4
+    ) -> "AnswerService":
         """An :class:`~repro.api.service.AnswerService` over this system.
 
         ``cache`` attaches a bounded answer cache of that capacity
-        (see :meth:`repro.api.builder.SystemBuilder.answer_cache`).
+        (see :meth:`repro.api.builder.SystemBuilder.answer_cache`);
+        ``max_workers`` sizes the service's persistent batch pool.
         """
         from repro.api.service import AnswerService
 
-        return AnswerService(self.cqads, cache=cache)
+        return AnswerService(self.cqads, cache=cache, max_workers=max_workers)
 
 
 def _provision_domain(

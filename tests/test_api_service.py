@@ -362,3 +362,75 @@ class TestPluggableStages:
 
     def test_default_stage_names(self):
         assert QueryPipeline().stage_names() == STAGE_NAMES
+
+
+class TestServiceLifecycle:
+    """The persistent batch pool and the close()/context protocol."""
+
+    def test_batch_pool_is_created_lazily_and_reused(self, cars_system):
+        service = AnswerService(cars_system.cqads, max_workers=2)
+        try:
+            assert service._executor is None  # nothing until a batch runs
+            requests = [
+                AnswerRequest(question=q, domain="cars")
+                for q in (TABLE2_QUESTION, "honda", "toyota camry")
+            ]
+            service.answer_batch(requests)
+            pool = service._executor
+            assert pool is not None
+            service.answer_batch(requests)
+            assert service._executor is pool  # reused across batches
+        finally:
+            service.close()
+
+    def test_workers_request_can_grow_the_pool(self, cars_system):
+        service = AnswerService(cars_system.cqads, max_workers=2)
+        try:
+            requests = [
+                AnswerRequest(question=q, domain="cars")
+                for q in (TABLE2_QUESTION, "honda", "toyota camry")
+            ]
+            service.answer_batch(requests, workers=2)
+            assert service._executor_size == 2
+            first_pool = service._executor
+            service.answer_batch(requests, workers=6)
+            assert service._executor_size == 6
+            # The outgrown pool is retired, NOT shut down: a batch that
+            # grabbed it concurrently must still be able to submit.
+            assert service._retired_executors == [first_pool]
+            assert first_pool.submit(lambda: 41 + 1).result() == 42
+            service.answer_batch(requests, workers=3)  # never shrinks
+            assert service._executor_size == 6
+        finally:
+            service.close()
+        with pytest.raises(RuntimeError):
+            first_pool.submit(lambda: None)  # close() reaps retirees
+
+    def test_close_is_idempotent_and_serial_still_works(self, cars_system):
+        service = AnswerService(cars_system.cqads, max_workers=2)
+        service.answer_batch([TABLE2_QUESTION, "honda"])
+        service.close()
+        service.close()
+        assert service._executor is None
+        # Serial answering (and workers=1 batches) survive close().
+        result = service.answer(
+            AnswerRequest(question=TABLE2_QUESTION, domain="cars")
+        )
+        assert result.answers
+        service.answer_batch([TABLE2_QUESTION], workers=1)
+        with pytest.raises(RuntimeError):
+            service.answer_batch([TABLE2_QUESTION, "honda"], workers=4)
+
+    def test_context_manager_closes_and_unsubscribes(self, cars_system):
+        database = cars_system.cqads.database
+        with AnswerService(
+            cars_system.cqads, cache=8, max_workers=2
+        ) as service:
+            assert service._subscribed
+            service.answer_batch([TABLE2_QUESTION, "honda"])
+        assert service._executor is None
+        assert not service._subscribed
+
+    def test_rejects_nonpositive_workers(self, cars_system):
+        with pytest.raises(ValueError):
+            AnswerService(cars_system.cqads, max_workers=0)

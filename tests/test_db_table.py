@@ -134,3 +134,70 @@ class TestDatabase:
         assert database.table_names() == ["car_ads"]
         assert len(list(database)) == 1
         assert len(database) == 1
+
+
+class TestMutationEpochs:
+    def test_insert_delete_update_bump_epoch(self, car_table):
+        baseline = car_table.epoch
+        assert baseline == len(SMALL_CAR_ROWS)  # one bump per seed insert
+        record = car_table.insert(dict(car_table.get(1)))
+        assert car_table.epoch == baseline + 1
+        car_table.update(record.record_id, {"color": "green"})
+        assert car_table.epoch == baseline + 2
+        car_table.delete(record.record_id)
+        assert car_table.epoch == baseline + 3
+
+    def test_listeners_receive_events_in_order(self, car_table):
+        events = []
+        car_table.add_listener(
+            lambda event: events.append(
+                (event.kind, event.record_id, event.epoch)
+            )
+        )
+        record = car_table.insert(dict(car_table.get(1)))
+        car_table.update(record.record_id, {"color": "green"})
+        car_table.delete(record.record_id)
+        kinds = [kind for kind, _, _ in events]
+        assert kinds == ["insert", "update", "delete"]
+        assert [epoch for _, _, epoch in events] == [
+            car_table.epoch - 2,
+            car_table.epoch - 1,
+            car_table.epoch,
+        ]
+        assert all(rid == record.record_id for _, rid, _ in events)
+
+    def test_remove_listener(self, car_table):
+        events = []
+        listener = lambda event: events.append(event)  # noqa: E731
+        car_table.add_listener(listener)
+        car_table.remove_listener(listener)
+        car_table.remove_listener(listener)  # unknown: ignored
+        car_table.insert(dict(car_table.get(1)))
+        assert events == []
+
+    def test_update_revalidates_and_reindexes(self, car_table):
+        record = car_table.get(1)  # blue honda accord
+        assert record.record_id in car_table.lookup_equal("color", "blue")
+        car_table.update(1, {"color": "Green", "price": 4321})
+        assert record["color"] == "green"  # normalized in place, same object
+        assert record["price"] == 4321
+        assert record.record_id not in car_table.lookup_equal("color", "blue")
+        assert record.record_id in car_table.lookup_equal("color", "green")
+        assert record.record_id in car_table.lookup_range("price", 4000, 5000)
+
+    def test_update_unknown_or_invalid(self, car_table):
+        with pytest.raises(SchemaError):
+            car_table.update(999, {"color": "red"})
+        with pytest.raises(SchemaError):
+            car_table.update(1, {"model": None})  # Type I required
+        # A failed validation must not have unindexed the record.
+        assert 1 in car_table.lookup_equal("make", "honda")
+
+    def test_database_listener_covers_future_tables(self):
+        database = Database()
+        events = []
+        database.add_listener(lambda event: events.append(event.table.name))
+        table = database.create_table(small_car_schema())  # created *after*
+        table.insert(dict(SMALL_CAR_ROWS[0]))
+        assert events == ["car_ads"]
+        database.remove_listener(events.append)  # unknown: ignored

@@ -1,10 +1,12 @@
 """Cache correctness: plan cache, answer cache, concurrency.
 
-Covers the three satellite requirements of the perf subsystem:
+Covers the cache requirements of the perf subsystem:
 
-* plan-cache eviction (bounded LRU, oldest statement leaves first);
-* answer-cache invalidation after a table mutation (the explicit
-  contract: stale until invalidated, fresh afterwards);
+* plan-cache eviction (bounded LRU, oldest statement leaves first) and
+  epoch-driven table invalidation;
+* answer-cache **auto**-invalidation after a table mutation (the
+  service subscribes to mutation epochs — no manual call needed; the
+  manual ``invalidate_cache`` stays as a compatible override);
 * thread-safety of concurrent ``answer_batch`` calls against a warm
   cache (and of the underlying LRU).
 """
@@ -117,6 +119,27 @@ class TestPlanCache:
             r.record_id for r in second.records
         ]
 
+    def test_invalidate_table_drops_matching_plans(self):
+        cache = PlanCache(capacity=8)
+        cache.get("SELECT * FROM car_ads WHERE make = 'honda'")
+        cache.get("SELECT * FROM job_ads WHERE title = 'cook'")
+        assert cache.invalidate_table("car_ads") == 1
+        assert len(cache) == 1
+        assert "SELECT * FROM job_ads WHERE title = 'cook'" in cache
+
+    def test_default_cache_auto_invalidated_by_mutation(self, car_database):
+        from repro.db.sql.plan_cache import DEFAULT_PLAN_CACHE
+
+        executor = SQLExecutor(car_database)
+        sql = "SELECT * FROM car_ads WHERE color = 'blue'"
+        executor.execute_sql(sql)
+        assert sql in DEFAULT_PLAN_CACHE
+        table = car_database.table("car_ads")
+        donor = next(iter(table))
+        inserted = table.insert(dict(donor))
+        assert sql not in DEFAULT_PLAN_CACHE
+        table.delete(inserted.record_id)
+
 
 def _signature(result):
     return [
@@ -160,31 +183,39 @@ class TestAnswerCache:
         assert service.cache.hits == 0
         assert len(service.cache) == 2
 
-    def test_invalidation_after_table_mutation(self, small_system):
+    def test_mutation_auto_invalidates(self, small_system):
+        """A table mutation refreshes cached answers by itself — no
+        ``invalidate_cache`` call anywhere (the retired contract)."""
         cqads = small_system.cqads
         service = AnswerService(cqads, cache=AnswerCache(16))
         request = AnswerRequest(question=self.QUESTION, domain="cars")
-        stale = service.answer(request)
+        service.answer(request)
+        assert len(service.cache) == 1
         table_name = cqads.domain("cars").schema.table_name
         table = cqads.database.table(table_name)
         donor = next(iter(table))
         inserted = table.insert(dict(donor))
-        try:
-            # Without invalidation the cache keeps serving the old pool.
-            assert _signature(service.answer(request)) == _signature(stale)
-            # The hook accepts the *table* name (what db-layer callers
-            # hold); dropping the domain's entries refreshes the answer.
-            dropped = service.invalidate_cache(table_name)
-            assert dropped == 1
-            fresh = service.answer(request)
-            uncached = AnswerService(cqads).answer(request)
-            assert _signature(fresh) == _signature(uncached)
-        finally:
-            table.delete(inserted.record_id)
-            service.invalidate_cache()
+        # The insert's mutation epoch dropped the domain's entries.
+        assert len(service.cache) == 0
+        fresh = service.answer(request)
+        uncached = AnswerService(cqads).answer(request)
+        assert _signature(fresh) == _signature(uncached)
+        # The delete (cleanup) auto-invalidates again symmetrically.
+        table.delete(inserted.record_id)
+        assert len(service.cache) == 0
+        assert _signature(service.answer(request)) == _signature(
+            AnswerService(cqads).answer(request)
+        )
 
-    def test_invalidate_all(self, small_system):
-        service = AnswerService(small_system.cqads, cache=AnswerCache(16))
+    def test_manual_invalidation_still_supported(self, small_system):
+        """The manual hook remains a compatible override (by domain
+        name, table name, or everything) even though mutations no
+        longer require it."""
+        cqads = small_system.cqads
+        service = AnswerService(cqads, cache=AnswerCache(16))
+        service.answer(AnswerRequest(question=self.QUESTION, domain="cars"))
+        table_name = cqads.domain("cars").schema.table_name
+        assert service.invalidate_cache(table_name) == 1
         service.answer(AnswerRequest(question=self.QUESTION, domain="cars"))
         service.answer(AnswerRequest(question="red honda civic", domain="cars"))
         assert service.invalidate_cache() == 2
@@ -223,3 +254,180 @@ class TestAnswerCache:
         assert not errors
         assert service.cache.hits > 0
         assert len(service.cache) == len(questions)
+
+
+class TestMutationRaces:
+    """Regression tests for the mutation/cache interleavings."""
+
+    def test_stale_store_after_invalidation_is_unreachable(self, small_system):
+        """A result computed before a mutation but stored after the
+        invalidation sweep (the answer_batch race) must never be
+        served: the key's generation component versions it out."""
+        from repro.api.requests import ResolvedOptions
+
+        cqads = small_system.cqads
+        service = AnswerService(cqads, cache=AnswerCache(16))
+        request = AnswerRequest(
+            question="honda accord blue less than 15000 dollars", domain="cars"
+        )
+        options = ResolvedOptions.resolve(request.options, cqads)
+        # Simulate the racing thread: key captured, pipeline run...
+        stale_key = service._cache_key(request, options)
+        stale_result = service.pipeline.run(cqads, request)
+        # ... then the mutation lands (bumps generation, sweeps cache),
+        table = cqads.database.table("car_ads")
+        inserted = table.insert(
+            {"make": "honda", "model": "accord", "color": "blue", "price": 100}
+        )
+        # ... and the racing thread stores its pre-mutation result.
+        service.cache.store(stale_key, stale_result.domain, stale_result)
+        fresh = service.answer(request)
+        assert inserted.record_id in [
+            a.record.record_id for a in fresh.ranked_pool
+        ]
+        table.delete(inserted.record_id)
+
+    def test_insert_many_notifies_listeners_once(self, small_system):
+        table = small_system.cqads.database.table("car_ads")
+        donor = dict(next(iter(table)))
+        events = []
+        listener = events.append
+        table.add_listener(listener)
+        try:
+            epoch_before = table.epoch
+            inserted = table.insert_many([dict(donor) for _ in range(5)])
+            assert table.epoch == epoch_before + 5  # versioning per row
+            assert len(events) == 1  # one invalidation sweep per batch
+            assert events[0].kind == "insert"
+            assert events[0].record_id == inserted[-1].record_id
+            assert events[0].epoch == table.epoch
+        finally:
+            table.remove_listener(listener)
+            for record in inserted:
+                table.delete(record.record_id)
+
+    def test_cqads_close_detaches_database_listener(self):
+        from repro.db.database import Database
+        from repro.qa.pipeline import CQAds
+        from tests.conftest import small_car_schema
+
+        database = Database()
+        engine = CQAds(database)
+        assert engine._on_table_mutation in database._listeners
+        engine.close()
+        engine.close()  # idempotent
+        assert engine._on_table_mutation not in database._listeners
+        # A table created later must not re-acquire the dead engine.
+        table = database.create_table(small_car_schema())
+        assert engine._on_table_mutation not in table._listeners
+
+    def test_cqads_close_detaches_resources_listeners(self):
+        system = build_system(
+            ["cars"],
+            ads_per_domain=40,
+            sessions_per_domain=40,
+            corpus_documents=40,
+        )
+        cqads = system.cqads
+        resources = cqads.context("cars").resources
+        table = cqads.database.table("car_ads")
+        assert resources._on_mutation in table._listeners
+        cqads.close()
+        assert resources._on_mutation not in table._listeners
+        assert resources.table is None
+        # The engine stays usable: context() re-attaches on next use.
+        assert cqads.answer("honda", domain="cars").answers
+        assert resources.table is table
+        assert resources._on_mutation in table._listeners
+
+    def test_per_domain_generations_keep_other_domains_cached(self):
+        system = build_system(
+            ["cars", "motorcycles"],
+            ads_per_domain=50,
+            sessions_per_domain=60,
+            corpus_documents=60,
+        )
+        service = AnswerService(system.cqads, cache=AnswerCache(32))
+        cars = AnswerRequest(question="honda accord blue", domain="cars")
+        bikes = AnswerRequest(question="yamaha", domain="motorcycles")
+        service.answer(cars)
+        service.answer(bikes)
+        table = system.cqads.database.table("car_ads")
+        donor = dict(next(iter(table)))
+        inserted = table.insert(donor)
+        # The cars entry is gone; the motorcycles entry is untouched
+        # AND still reachable (its domain generation did not move).
+        assert len(service.cache) == 1
+        hits_before = service.cache.hits
+        service.answer(bikes)
+        assert service.cache.hits == hits_before + 1
+        table.delete(inserted.record_id)
+
+    def test_mutations_while_serving_do_not_crash(self):
+        """Concurrent answering + mutating: the snapshot-based column
+        store rebuild and listener sweeps must never raise (answers
+        during the overlap may reflect either table state)."""
+        system = build_system(
+            ["cars"],
+            ads_per_domain=60,
+            sessions_per_domain=60,
+            corpus_documents=60,
+        )
+        service = AnswerService(system.cqads, cache=AnswerCache(32))
+        table = system.cqads.database.table("car_ads")
+        donor = dict(next(iter(table)))
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def asker() -> None:
+            questions = [
+                "honda accord blue less than 15000 dollars",
+                "red toyota camry",
+                "cheapest honda",
+            ]
+            try:
+                while not stop.is_set():
+                    for question in questions:
+                        service.answer(
+                            AnswerRequest(question=question, domain="cars")
+                        )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=asker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(30):
+                record = table.insert(donor)
+                table.update(record.record_id, {"color": "green"})
+                table.delete(record.record_id)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+
+    def test_reattach_after_detached_mutation_is_fresh(self):
+        """Updates made while an engine is close()d fire no listener;
+        the lazy re-attach must start the per-record memos clean."""
+        system = build_system(
+            ["cars"],
+            ads_per_domain=40,
+            sessions_per_domain=40,
+            corpus_documents=40,
+        )
+        cqads = system.cqads
+        resources = cqads.context("cars").resources
+        table = cqads.database.table("car_ads")
+        record = table.insert(
+            {"make": "honda", "model": "accord", "color": "blue", "price": 900}
+        )
+        # Warm the per-record memo, detach, mutate in the blind window.
+        assert resources.lowered_value(record, "color") == "blue"
+        cqads.close()
+        table.update(record.record_id, {"color": "red"})
+        # Re-attach (lazily, via context()) and re-read: no stale blue.
+        cqads.context("cars")
+        assert resources.lowered_value(record, "color") == "red"
+        table.delete(record.record_id)

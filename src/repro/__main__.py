@@ -56,6 +56,17 @@ def _add_provisioning_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=7, help="data-generation seed"
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "partition each domain's table across N shards and run the "
+            "answer path scatter-gather (default: single table; answers "
+            "are bit-identical either way)"
+        ),
+    )
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -135,6 +146,8 @@ def _provision_service(args: argparse.Namespace) -> AnswerService:
     builder = SystemBuilder().ads_per_domain(args.ads).with_seed(args.seed)
     if domains is not None:
         builder = builder.with_domains(domains)
+    if args.shards is not None:
+        builder = builder.shards(args.shards)
     return builder.build_service()
 
 

@@ -57,6 +57,8 @@ class SystemBuilder:
         self._lazy = False
         self._answer_cache_capacity: int | None = None
         self._batch_workers = 4
+        self._partitioner = None
+        self._scatter_workers: int | None = None
         self._cqads_options: dict[str, object] = {}
 
     # -- domains and scale ---------------------------------------------
@@ -94,6 +96,32 @@ class SystemBuilder:
     def with_seed(self, seed: int) -> "SystemBuilder":
         """Master seed; every generator derives from it (determinism)."""
         self._seed = seed
+        return self
+
+    def shards(
+        self,
+        count: int | None,
+        partitioner=None,
+        scatter_workers: int | None = None,
+    ) -> "SystemBuilder":
+        """Partition every domain's table across *count* shards.
+
+        The answer path then runs scatter-gather (per-shard relaxation
+        id-sets, per-shard column-store ranking with top-k merge) —
+        bit-identical to the single-table build of the same recipe;
+        see :mod:`repro.shard` and ``PERFORMANCE.md``.  *partitioner*
+        overrides the default hash-by-record-id placement and
+        *scatter_workers* sizes each table's dedicated scatter
+        executor (default: ``min(count, cpu_count)``; ``1`` forces
+        inline scatters).  ``None`` removes a previously-configured
+        sharding and restores single tables.
+        """
+        if count is None:
+            self._cqads_options.pop("shards", None)
+        else:
+            self._cqads_options["shards"] = count
+        self._partitioner = partitioner
+        self._scatter_workers = scatter_workers
         return self
 
     # -- engine configuration ------------------------------------------
@@ -165,6 +193,8 @@ class SystemBuilder:
             classifier=self._classifier,
             train_classifier=self._train_classifier,
             lazy=self._lazy,
+            partitioner=self._partitioner,
+            scatter_workers=self._scatter_workers,
             **self._cqads_options,
         )
 

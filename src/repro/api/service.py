@@ -284,21 +284,76 @@ class AnswerService:
 
     # ------------------------------------------------------------------
     def page(
-        self, result: QuestionResult, offset: int = 0, limit: int = 30
+        self,
+        source: QuestionResult | AnswerRequest | str,
+        offset: int = 0,
+        limit: int = 30,
     ) -> AnswerPage:
-        """A window into *result*'s full ranking (see ``page_result``)."""
-        return page_result(result, offset=offset, limit=limit)
+        """A window into a full ranking (see ``page_result``).
+
+        *source* may be an already-computed :class:`QuestionResult`
+        (sliced as before, no recomputation), or a request / bare
+        question.  A request is answered with ``top_k`` bounded to
+        ``offset + limit + 1`` — deep pages then cost a bounded-heap
+        selection over the candidate pool instead of a full re-sort,
+        and the ``+ 1`` sentinel keeps ``has_more``/``next_offset``
+        exact at the requested depth.  A request that already sets
+        ``options.top_k`` is honoured as-is.  Bounded pages report the
+        bounded pool as ``total``, so ``total`` is a floor rather than
+        the full ranking size (the cursor semantics — ``has_more`` and
+        ``next_offset`` — stay correct).
+        """
+        if isinstance(source, QuestionResult):
+            return page_result(source, offset=offset, limit=limit)
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        request = AnswerRequest.of(source)
+        if request.options.top_k is None:
+            request = request.with_options(top_k=offset + limit + 1)
+        return page_result(self.answer(request), offset=offset, limit=limit)
 
     def page_all(
-        self, result: QuestionResult, page_size: int = 30
+        self,
+        source: QuestionResult | AnswerRequest | str,
+        page_size: int = 30,
+        max_depth: int | None = None,
     ) -> Sequence[AnswerPage]:
-        """Every page of *result*, in order (convenience for exports)."""
+        """Every page of a result, in order (convenience for exports).
+
+        With a request / bare question as *source*, the question is
+        answered once and paged; ``max_depth`` (or the request's own
+        ``options.top_k``) bounds the ranked pool so the export pays a
+        bounded-heap selection instead of sorting every candidate —
+        the product-capped-pagination mode.  Without either bound the
+        full ranking is computed, preserving complete exports.  On an
+        already-computed result ``max_depth`` cannot save the ranking
+        work, but it still caps the export to the same window the
+        request path would serve (exact matches plus ``max_depth``
+        ranked partials).
+        """
         if page_size <= 0:
             raise ValueError(f"page_size must be positive, got {page_size}")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        if isinstance(source, QuestionResult):
+            result = source
+            if max_depth is not None:
+                pool = result.ranked_pool if result.ranked_pool else result.answers
+                exact_count = sum(1 for answer in pool if answer.exact)
+                result = replace(
+                    result, ranked_pool=list(pool[: exact_count + max_depth])
+                )
+        else:
+            request = AnswerRequest.of(source)
+            if max_depth is not None and request.options.top_k is None:
+                request = request.with_options(top_k=max_depth)
+            result = self.answer(request)
         pages: list[AnswerPage] = []
         offset = 0
         while True:
-            window = self.page(result, offset=offset, limit=page_size)
+            window = page_result(result, offset=offset, limit=page_size)
             pages.append(window)
             if window.next_offset is None:
                 return pages

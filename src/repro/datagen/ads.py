@@ -197,11 +197,19 @@ def build_dataset(
     database: Database,
     ads_per_domain: int = 500,
     seed: int = 7,
+    shards: int | None = None,
+    partitioner=None,
+    scatter_workers: int | None = None,
 ) -> DomainDataset:
     """Generate *ads_per_domain* ads for *domain* into *database*.
 
     The default of 500 matches the paper's per-domain ad count
     (Section 4.1.4).  The table name comes from the domain schema.
+    With ``shards`` the records load into a partitioned
+    :class:`~repro.shard.table.ShardedTable` instead of a single
+    table; generation is identical either way (same rng stream, same
+    global record ids), so a sharded and an unsharded build of the
+    same seed hold bit-identical data.
     """
     spec = domain if isinstance(domain, DomainSpec) else build_domain_spec(domain)
     # str hashes are salted per-process, so derive a stable per-domain
@@ -209,7 +217,12 @@ def build_dataset(
     rng = random.Random(seed ^ zlib.crc32(spec.name.encode()))
     generator = AdsGenerator(spec, rng)
     ads = generator.generate_many(ads_per_domain)
-    table = database.create_table(spec.schema)
+    table = database.create_table(
+        spec.schema,
+        shards=shards,
+        partitioner=partitioner,
+        scatter_workers=scatter_workers,
+    )
     # insert_many notifies mutation listeners once for the whole seed
     # batch — on a warm system (lazy provisioning) per-row inserts
     # would run every cache-invalidation sweep per ad.

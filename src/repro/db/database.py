@@ -60,12 +60,44 @@ class Database:
         for table in self._tables.values():
             table.remove_listener(listener)
 
-    def create_table(self, schema: TableSchema, substring_gram: int = 3) -> Table:
-        """Create and register a table for *schema*; name must be new."""
+    def create_table(
+        self,
+        schema: TableSchema,
+        substring_gram: int = 3,
+        *,
+        shards: int | None = None,
+        partitioner=None,
+        scatter_workers: int | None = None,
+    ) -> Table:
+        """Create and register a table for *schema*; name must be new.
+
+        With ``shards`` the catalog registers a
+        :class:`repro.shard.table.ShardedTable` facade instead of a
+        plain table: records partition across that many shards (via
+        *partitioner*, default hash-by-record-id) and every read
+        scatters and gathers behind the same surface.  ``shards=1`` is
+        a valid degenerate facade (the parity battery uses it);
+        ``None`` keeps the seed's single table.  Catalog listeners
+        attach to the facade, which relays every shard's mutation
+        events with the aggregated epoch.
+        """
         name = self._canonical(schema.table_name)
         if name in self._tables:
             raise ValueError(f"table {name!r} already exists")
-        table = Table(schema, substring_gram=substring_gram)
+        if shards is None:
+            table = Table(schema, substring_gram=substring_gram)
+        else:
+            # Imported lazily: the shard facade builds on repro.db.table,
+            # so a module-level import here would cycle the db package.
+            from repro.shard.table import ShardedTable
+
+            table = ShardedTable(
+                schema,
+                shards,
+                partitioner=partitioner,
+                substring_gram=substring_gram,
+                scatter_workers=scatter_workers,
+            )
         for listener in self._listeners:
             table.add_listener(listener)
         self._tables[name] = table

@@ -117,10 +117,14 @@ def find_duplicate_groups(
 def deduplicate(
     table: Table, numeric_tolerance: float = DEFAULT_TOLERANCE
 ) -> int:
-    """Remove near-duplicates from *table*; returns the removal count."""
-    removed = 0
-    for group in find_duplicate_groups(table, numeric_tolerance):
-        for record_id in group.removable:
-            table.delete(record_id)
-            removed += 1
-    return removed
+    """Remove near-duplicates from *table*; returns the removal count.
+
+    Deletion goes through :meth:`~repro.db.table.Table.remove_many`,
+    so cache-invalidation listeners run once for the whole sweep
+    instead of once per removed record.
+    """
+    return table.remove_many(
+        record_id
+        for group in find_duplicate_groups(table, numeric_tolerance)
+        for record_id in group.removable
+    )

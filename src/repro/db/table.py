@@ -126,11 +126,28 @@ class Table:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def insert(self, values: dict[str, object]) -> Record:
-        """Validate *values*, assign an id, index and store the record."""
+    def insert(
+        self, values: dict[str, object], record_id: int | None = None
+    ) -> Record:
+        """Validate *values*, assign an id, index and store the record.
+
+        ``record_id`` lets a coordinating layer impose externally
+        assigned ids — the sharding facade
+        (:class:`repro.shard.ShardedTable`) allocates globally
+        sequential ids and routes each record to one shard, so shard
+        tables must store the global id rather than mint their own.
+        The id must be unused; ``_next_id`` advances past it so later
+        auto-assigned ids never collide.
+        """
+        if record_id is None:
+            record_id = self._next_id
+        elif record_id in self._records:
+            raise SchemaError(
+                f"table {self.name!r} already has a record #{record_id}"
+            )
         normalized = self.schema.validate_record(values)
-        record = Record(self._next_id, normalized)
-        self._next_id += 1
+        record = Record(record_id, normalized)
+        self._next_id = max(self._next_id, record_id + 1)
         self._records[record.record_id] = record
         self._index_record(record, add=True)
         self._bump("insert", record.record_id)
@@ -165,6 +182,30 @@ class Table:
             )
         self._index_record(record, add=False)
         self._bump("delete", record_id)
+
+    def remove_many(self, record_ids: Iterable[int]) -> int:
+        """Delete *record_ids*, notifying listeners **once** for the batch.
+
+        The bulk counterpart of :meth:`insert_many`: the epoch still
+        advances per row, but the O(cache) invalidation listeners run
+        once for the whole batch instead of once per deleted record.
+        Unknown ids raise (like :meth:`delete`) after the rows deleted
+        so far have been notified.  Returns the number of records
+        removed; an empty batch notifies nobody.
+        """
+        removed = 0
+        last_id: int | None = None
+        self._suppressed_notifications += 1
+        try:
+            for record_id in record_ids:
+                self.delete(record_id)
+                removed += 1
+                last_id = record_id
+        finally:
+            self._suppressed_notifications -= 1
+            if last_id is not None:
+                self._notify("delete", last_id)
+        return removed
 
     def update(self, record_id: int, values: dict[str, object]) -> Record:
         """Merge *values* into an existing record, revalidate, reindex.

@@ -39,6 +39,7 @@ __all__ = [
     "columnar_rank_units",
     "drop_intersections",
     "shared_partial_candidates",
+    "sharded_rank_units",
     "unit_expression",
     "unit_id_sets",
 ]
@@ -48,7 +49,9 @@ _SUBPLAN_EXPORTS = frozenset(
      "unit_id_sets")
 )
 
-_COLRANK_EXPORTS = frozenset(("ColumnStore", "columnar_rank_units"))
+_COLRANK_EXPORTS = frozenset(
+    ("ColumnStore", "columnar_rank_units", "sharded_rank_units")
+)
 
 
 def __getattr__(name: str):

@@ -54,7 +54,7 @@ from repro.ranking.rank_sim import (
     ScoringUnit,
 )
 
-__all__ = ["ColumnStore", "columnar_rank_units"]
+__all__ = ["ColumnStore", "columnar_rank_units", "sharded_rank_units"]
 
 #: Failure-similarity labels by attribute type (Table 2's right-most
 #: column); negated conditions always label "negation".
@@ -396,30 +396,13 @@ def _any_unit_arrays(
 # ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
-def columnar_rank_units(
-    resources: RankingResources,
-    records: list[Record],
-    units: Sequence[ScoringUnit],
-    top_k: int | None,
-) -> list[ScoredRecord] | None:
-    """Rank *records* columnar-ly; ``None`` means "use the legacy path".
+_Slots = list[tuple[tuple[Condition, ...], str, list[bool]]]
 
-    Returns exactly what the legacy ``rank_units`` (full sort, then
-    ``[:top_k]``) returns: same records, same float scores, same failed
-    tuples, same kinds, same order.
-    """
-    store = resources.column_store()
-    if store is None:
-        return None
-    if not records:
-        return []
-    if not _supports(store, units):
-        return None
-    try:
-        rows = [store.row_of[record.record_id] for record in records]
-    except KeyError:
-        return None  # a record outside the store (foreign table?)
 
+def _query_fingerprint(
+    resources: RankingResources, units: Sequence[ScoringUnit]
+) -> tuple[tuple, list[Key]]:
+    """The question's Type I constraint fingerprint and product keys."""
     type_i_values = {
         condition.column: str(condition.value)
         for unit in units
@@ -427,16 +410,30 @@ def columnar_rank_units(
         if condition.attribute_type is AttributeType.TYPE_I
         and not condition.negated
     }
-    type_i_fp = tuple(sorted(type_i_values.items()))
-    query_keys = resources.query_keys(type_i_values)
+    return tuple(sorted(type_i_values.items())), resources.query_keys(
+        type_i_values
+    )
 
-    # Phase 1 — slot arrays, in the legacy slot order: each condition
-    # of an "all" unit is its own slot, a multi-branch "any" unit is
-    # one slot.  Accumulating slot-by-slot reproduces the legacy
-    # per-record addition order, so scores are bit-identical.
-    count = len(records)
-    scores = [0.0] * count
-    slots: list[tuple[tuple[Condition, ...], str, list[bool]]] = []
+
+def _score_rows(
+    store: ColumnStore,
+    resources: RankingResources,
+    rows: list[int],
+    units: Sequence[ScoringUnit],
+    type_i_fp: tuple,
+    query_keys: list[Key],
+) -> tuple[list[float], _Slots]:
+    """Slot arrays and accumulated scores for one store's pool rows.
+
+    Slots come in the legacy slot order: each condition of an "all"
+    unit is its own slot, a multi-branch "any" unit is one slot.
+    Accumulating slot-by-slot reproduces the legacy per-record
+    addition order, so scores are bit-identical — and per-record, so
+    the same floats come out whichever store (whole-table or
+    per-shard) the record is scored through.
+    """
+    scores = [0.0] * len(rows)
+    slots: _Slots = []
     for unit in units:
         if unit.mode == "any" and len(unit.conditions) > 1:
             sat, contrib = _any_unit_arrays(
@@ -461,41 +458,163 @@ def columnar_rank_units(
             slots.append((conditions, kind, sat))
             for i, value in enumerate(contrib):
                 scores[i] += value
+    return scores, slots
 
-    # Phase 2 — bounded selection on the legacy sort key.  nsmallest
-    # is documented as sorted(...)[:k], ties (equal scores) included.
-    record_ids = [record.record_id for record in records]
+
+def _select(
+    scores: list[float], record_ids: list[int], top_k: int | None
+) -> list[int]:
+    """Pool indices in the legacy presentation order, bounded by top_k.
+
+    nsmallest on the legacy ``(-score, record_id)`` key is documented
+    as ``sorted(...)[:k]``, ties (equal scores) included.
+    """
 
     def sort_key(index: int) -> tuple[float, int]:
         return (-scores[index], record_ids[index])
 
     if top_k is None:
-        order = sorted(range(count), key=sort_key)
-    else:
-        order = heapq.nsmallest(top_k, range(count), key=sort_key)
+        return sorted(range(len(scores)), key=sort_key)
+    return heapq.nsmallest(top_k, range(len(scores)), key=sort_key)
 
-    # Phase 3 — materialize ScoredRecords only for the emitted rows.
-    results: list[ScoredRecord] = []
-    for index in order:
-        failed: list[Condition] = []
-        kinds: set[str] = set()
-        for conditions, kind, sat in slots:
-            if sat[index]:
-                continue
-            failed.extend(conditions)
-            kinds.add(kind)
-        if not failed:
-            kind = "exact"
-        elif len(kinds) == 1:
-            kind = next(iter(kinds))
-        else:
-            kind = "mixed"
-        results.append(
-            ScoredRecord(
-                record=records[index],
-                score=scores[index],
-                failed=tuple(failed),
-                similarity_kind=kind,
-            )
+
+def _emit(
+    record: Record, score: float, slots: _Slots, index: int
+) -> ScoredRecord:
+    """Materialize one ScoredRecord from its slot satisfaction column."""
+    failed: list[Condition] = []
+    kinds: set[str] = set()
+    for conditions, kind, sat in slots:
+        if sat[index]:
+            continue
+        failed.extend(conditions)
+        kinds.add(kind)
+    if not failed:
+        kind = "exact"
+    elif len(kinds) == 1:
+        kind = next(iter(kinds))
+    else:
+        kind = "mixed"
+    return ScoredRecord(
+        record=record, score=score, failed=tuple(failed), similarity_kind=kind
+    )
+
+
+def columnar_rank_units(
+    resources: RankingResources,
+    records: list[Record],
+    units: Sequence[ScoringUnit],
+    top_k: int | None,
+) -> list[ScoredRecord] | None:
+    """Rank *records* columnar-ly; ``None`` means "use the legacy path".
+
+    Returns exactly what the legacy ``rank_units`` (full sort, then
+    ``[:top_k]``) returns: same records, same float scores, same failed
+    tuples, same kinds, same order.  When the resources' table is a
+    :class:`repro.shard.table.ShardedTable` the work scatters:
+    per-shard column stores score each shard's slice of the pool and
+    per-shard top-k selections merge into the global bounded result
+    (see :func:`sharded_rank_units`).
+    """
+    table = resources.table
+    if table is not None and getattr(table, "shards", None) is not None:
+        return sharded_rank_units(resources, table, records, units, top_k)
+    store = resources.column_store()
+    if store is None:
+        return None
+    if not records:
+        return []
+    if not _supports(store, units):
+        return None
+    try:
+        rows = [store.row_of[record.record_id] for record in records]
+    except KeyError:
+        return None  # a record outside the store (foreign table?)
+
+    type_i_fp, query_keys = _query_fingerprint(resources, units)
+    scores, slots = _score_rows(
+        store, resources, rows, units, type_i_fp, query_keys
+    )
+    record_ids = [record.record_id for record in records]
+    order = _select(scores, record_ids, top_k)
+    return [_emit(records[i], scores[i], slots, i) for i in order]
+
+
+def sharded_rank_units(
+    resources: RankingResources,
+    table: Table,
+    records: list[Record],
+    units: Sequence[ScoringUnit],
+    top_k: int | None,
+) -> list[ScoredRecord] | None:
+    """Scatter-gather ranking over a sharded table's pool.
+
+    The pool partitions by record placement; each shard's slice is
+    scored against that shard's own per-epoch column store and reduced
+    to a local ``top_k`` selection, and the local selections merge on
+    the legacy ``(-score, record_id)`` key into the global bounded
+    result.  The merge is exact: any record in the global top-k is by
+    definition within its own shard's top-k, and the key is a total
+    order (ids are unique), so the merged prefix equals the
+    single-store selection bit-for-bit.
+
+    Shard tasks run through :meth:`ShardedTable.map_shards` — inline on
+    a single-core box, fanned out on the facade's dedicated scatter
+    executor otherwise (never a shared service pool, so a scatter
+    issued from inside ``answer_batch`` cannot deadlock it).
+
+    Consistency under concurrent mutation: each shard's store pins the
+    shard's epoch *before* copying its snapshot, so a mid-flight
+    insert is either absent from that store or irrelevant (it cannot
+    be in the pool, which was gathered earlier); a pool record that
+    vanished from its shard makes this function return ``None`` and
+    the caller re-scores the live records on the legacy path.
+    """
+    stores = resources.shard_column_stores()
+    if stores is None:
+        return None
+    if not records:
+        return []
+    # Support is schema-determined, hence identical across shards.
+    if not _supports(stores[0], units):
+        return None
+    groups: list[list[Record]] = [[] for _ in stores]
+    for record in records:
+        groups[table.shard_of(record.record_id)].append(record)
+    type_i_fp, query_keys = _query_fingerprint(resources, units)
+
+    def score_shard(index: int, _shard: Table):
+        group = groups[index]
+        if not group:
+            return ()
+        store = stores[index]
+        try:
+            rows = [store.row_of[record.record_id] for record in group]
+        except KeyError:
+            return None  # pool record mutated away mid-flight
+        scores, slots = _score_rows(
+            store, resources, rows, units, type_i_fp, query_keys
         )
+        order = _select(scores, [record.record_id for record in group], top_k)
+        return group, scores, slots, order
+
+    gathered = table.map_shards(score_shard)
+    if any(result is None for result in gathered):
+        return None
+    merged: list[tuple[float, int, int, int]] = []
+    for shard_index, result in enumerate(gathered):
+        if not result:
+            continue
+        group, scores, _slots, order = result
+        for local in order:
+            merged.append(
+                (-scores[local], group[local].record_id, shard_index, local)
+            )
+    merged.sort()
+    if top_k is not None:
+        merged = merged[:top_k]
+    results: list[ScoredRecord] = []
+    for _neg_score, _record_id, shard_index, local in merged:
+        group, scores, slots, _order = gathered[shard_index]
+        results.append(_emit(group[local], scores[local], slots, local))
     return results

@@ -13,6 +13,13 @@ frozen :class:`~repro.qa.conditions.Condition` tuples, so the unit is
 its own fingerprint: two questions that constrain the same column the
 same way hit the same entry.
 
+The epoch slot is any hashable version tag.  Plain tables use their
+integer epoch; sharded tables (:mod:`repro.shard`) store one entry
+per shard keyed ``(shard index, shard epoch)`` under the facade's
+table name, so a mutation to one shard leaves the other shards'
+fragments live — :meth:`FragmentCache.invalidate_stale` sweeps only
+the entries whose version tag is no longer current.
+
 **Invalidation is by versioning, not by hand.**  Every table mutation
 bumps the table's epoch (:mod:`repro.db.table`), so entries computed
 against an older state can never be looked up again — a stale hit is
@@ -28,7 +35,7 @@ intersects them into fresh sets).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Collection, Hashable
 
 from repro.perf.lru import LRUCache
 
@@ -70,13 +77,13 @@ class FragmentCache:
 
     # ------------------------------------------------------------------
     def get(
-        self, table_name: str, epoch: int, unit: "ScoringUnit"
+        self, table_name: str, epoch: Hashable, unit: "ScoringUnit"
     ) -> set[int] | None:
         """The cached id-set for *unit* at *epoch*, or ``None``."""
         return self._entries.get((table_name, epoch, unit))  # type: ignore[return-value]
 
     def put(
-        self, table_name: str, epoch: int, unit: "ScoringUnit", ids: set[int]
+        self, table_name: str, epoch: Hashable, unit: "ScoringUnit", ids: set[int]
     ) -> None:
         self._entries.put((table_name, epoch, unit), ids)
 
@@ -90,3 +97,20 @@ class FragmentCache:
         if table_name is None:
             return self._entries.clear()
         return self._entries.pop_where(lambda key, _value: key[0] == table_name)  # type: ignore[index]
+
+    def invalidate_stale(
+        self, table_name: str, live_epochs: Collection[Hashable]
+    ) -> int:
+        """Drop *table_name* entries whose epoch tag is not in
+        *live_epochs*.
+
+        The shard-aware sweep: a sharded table passes the current
+        ``(shard index, shard epoch)`` pair of every shard, so only the
+        mutated shard's dead generation (plus any leftovers from older
+        generations) is reclaimed and the sibling shards' fragments
+        stay warm.  Returns the number of entries dropped.
+        """
+        live = set(live_epochs)
+        return self._entries.pop_where(
+            lambda key, _value: key[0] == table_name and key[1] not in live  # type: ignore[index]
+        )

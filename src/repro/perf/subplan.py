@@ -88,7 +88,20 @@ def unit_id_sets(
     so a criterion repeated by a later question ("price < 10000") is
     never re-evaluated until the table changes.  Cached sets are
     shared — neither this module nor its callers may mutate them.
+
+    A :class:`~repro.shard.table.ShardedTable` scatters instead: each
+    unit is evaluated per shard and the per-shard sets are unioned
+    (shards partition the records, so the union is exactly the
+    single-table set).  Per-shard fragments key on the owning shard's
+    **own** epoch — a mutation to one shard leaves the other shards'
+    cached fragments live, which is the cache-locality payoff of
+    sharding (see ``PERFORMANCE.md``).
     """
+    shards = getattr(table, "shards", None)
+    if shards is not None:
+        return _sharded_unit_id_sets(
+            executor, table, shards, units, fragment_cache
+        )
     builder = QueryBuilder(table.name)
     epoch = table.epoch
     sets: list[set[int]] = []
@@ -105,6 +118,47 @@ def unit_id_sets(
             if fragment_cache is not None:
                 fragment_cache.put(table.name, epoch, unit, ids)
         sets.append(ids)
+    return sets
+
+
+def _sharded_unit_id_sets(
+    executor: SQLExecutor,
+    table: Table,
+    shards: Sequence[Table],
+    units: Sequence[ScoringUnit],
+    fragment_cache: "FragmentCache | None",
+) -> list[set[int]]:
+    """Scatter-gather :func:`unit_id_sets` over a sharded table.
+
+    Fragment keys are ``(facade name, (shard index, shard epoch),
+    unit)`` — the facade name keeps the eager invalidation sweep
+    addressable per table, while the shard's own epoch versions the
+    entry, so sibling-shard mutations never stale it.  The gathered
+    union is always a fresh set, so cached per-shard sets stay
+    unshared-mutable exactly like the single-table path's.
+    """
+    builder = QueryBuilder(table.name)
+    epochs = [shard.epoch for shard in shards]
+    sets: list[set[int]] = []
+    for unit in units:
+        expression = None
+        merged: set[int] = set()
+        for index, shard in enumerate(shards):
+            shard_epoch = (index, epochs[index])
+            ids = (
+                fragment_cache.get(table.name, shard_epoch, unit)
+                if fragment_cache is not None
+                else None
+            )
+            if ids is None:
+                if expression is None:
+                    expression = unit_expression(builder, unit)
+                    assert expression is not None
+                ids = executor.eval_where(shard, expression)
+                if fragment_cache is not None:
+                    fragment_cache.put(table.name, shard_epoch, unit, ids)
+            merged |= ids
+        sets.append(merged)
     return sets
 
 

@@ -183,6 +183,16 @@ class CQAds:
         mutation listeners.  Pass a capacity, a prebuilt
         :class:`~repro.perf.fragment_cache.FragmentCache`, or ``None``
         to disable.
+    shards:
+        The engine's scatter-gather degree: the shard count its
+        backing tables are expected to be partitioned into
+        (:mod:`repro.shard`).  This is a *provisioning default* —
+        :func:`repro.system.build_system`,
+        :meth:`repro.api.builder.SystemBuilder.shards` and the CLI
+        ``--shards`` read it when creating the per-domain tables; the
+        answer path itself detects sharded tables structurally, so an
+        engine over hand-built tables needs no flag.  ``None`` (the
+        default) provisions plain single tables.
 
     All of these are *defaults*: :class:`repro.api.requests.AnswerOptions`
     can override any of them for a single request.
@@ -204,6 +214,7 @@ class CQAds:
         ranking_engine: str = "columnar",
         ranking_top_k: int | None = None,
         fragment_cache: FragmentCache | int | None = DEFAULT_CAPACITY,
+        shards: int | None = None,
     ) -> None:
         if relaxation_strategy not in self.RELAXATION_STRATEGIES:
             raise ValueError(
@@ -219,6 +230,9 @@ class CQAds:
             raise ValueError(
                 f"ranking_top_k must be positive, got {ranking_top_k}"
             )
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
         self.database = database
         self.max_answers = max_answers
         self.classifier = classifier or BetaBinomialNaiveBayes()
@@ -260,8 +274,18 @@ class CQAds:
         self._default_pipeline: "QueryPipeline | None" = None
 
     def _on_table_mutation(self, event: MutationEvent) -> None:
-        if self.fragment_cache is not None:
+        if self.fragment_cache is None:
+            return
+        shards = getattr(event.table, "shards", None)
+        if shards is None:
             self.fragment_cache.invalidate(event.table.name)
+            return
+        # Sharded tables: reclaim only dead generations.  Fragments key
+        # on each shard's own epoch, so the untouched shards' entries
+        # are still current — sweeping them would forfeit the locality
+        # that per-shard caching exists to provide.
+        live = {(index, shard.epoch) for index, shard in enumerate(shards)}
+        self.fragment_cache.invalidate_stale(event.table.name, live)
 
     def close(self) -> None:
         """Detach this engine's mutation listeners from the catalog.

@@ -143,6 +143,13 @@ class RankingResources:
     _column_store: "ColumnStore | None" = field(
         default=None, repr=False, compare=False
     )
+    #: Per-shard column stores when the attached table is a
+    #: :class:`repro.shard.table.ShardedTable` — one store per shard,
+    #: each keyed on its shard's **own** epoch, so a point mutation
+    #: rebuilds one store of N instead of the whole-table image.
+    _shard_stores: "list[ColumnStore | None] | None" = field(
+        default=None, repr=False, compare=False
+    )
     #: Cross-question memo of :meth:`query_keys` results, keyed by the
     #: sorted Type I constraint items.  ``product_keys`` is static for
     #: the life of the resources object, so entries never go stale.
@@ -167,10 +174,11 @@ class RankingResources:
         self._record_keys.clear()
         self._lowered_values.clear()
         self.table = table
+        self._shard_stores = None
         table.add_listener(self._on_mutation)
 
     def detach_table(self) -> None:
-        """Unsubscribe from the table and drop the column store.
+        """Unsubscribe from the table and drop the column stores.
 
         Rankers fall back to the legacy engine until a re-attach
         (:meth:`repro.qa.pipeline.CQAds.context` re-attaches lazily on
@@ -180,6 +188,7 @@ class RankingResources:
             self.table.remove_listener(self._on_mutation)
             self.table = None
         self._column_store = None
+        self._shard_stores = None
 
     def _on_mutation(self, event: MutationEvent) -> None:
         # Inserts never touch existing ids and deletes merely leave
@@ -212,6 +221,38 @@ class RankingResources:
             store = ColumnStore(table, self.type_i_columns)
             self._column_store = store
         return store
+
+    def shard_column_stores(self) -> "list[ColumnStore] | None":
+        """One columnar image per shard of an attached sharded table.
+
+        ``None`` when no table is attached or the table is unsharded.
+        Each store is keyed on its shard's own epoch and rebuilt
+        independently, so a mutation to one shard leaves the sibling
+        stores warm — the whole-table :meth:`column_store` would
+        rebuild all N-shards' worth of rows instead.  List-slot writes
+        are atomic under the GIL; racing rebuilds each produce an
+        equally valid store.
+        """
+        table = self.table
+        if table is None:
+            return None
+        shards = getattr(table, "shards", None)
+        if shards is None:
+            return None
+        stores = self._shard_stores
+        if stores is None or len(stores) != len(shards):
+            stores = [None] * len(shards)
+            self._shard_stores = stores
+        from repro.perf.colrank import ColumnStore
+
+        current: list["ColumnStore"] = []
+        for index, shard in enumerate(shards):
+            store = stores[index]
+            if store is None or store.epoch != shard.epoch:
+                store = ColumnStore(shard, self.type_i_columns)
+                stores[index] = store
+            current.append(store)
+        return current
 
     def record_key(self, record: Record) -> Key:
         key = self._record_keys.get(record.record_id)

@@ -1,0 +1,37 @@
+"""Sharded scatter-gather execution: partitioned tables behind the
+single-table surface.
+
+The scale-out layer of the reproduction: each domain's records are
+partitioned across N shards and the whole answer path runs
+scatter-gather, bit-identical to the single-table path
+(``tests/test_sharding.py`` holds the parity battery across all eight
+domains at N in {1, 2, 4}).
+
+* :mod:`repro.shard.partition` — pluggable record placement
+  (:class:`Partitioner` protocol; :class:`HashPartitioner` default,
+  :class:`ModuloPartitioner` alternative);
+* :mod:`repro.shard.table` — the :class:`ShardedTable` facade: global
+  ids with routed placement, aggregated mutation epochs, event relay
+  with batched bulk notifications, scatter-gather reads, and a
+  dedicated scatter executor for parallel per-shard work.
+
+The scatter-gather *compute* paths live with their single-table
+counterparts and detect the facade by duck-typing (``table.shards``):
+per-shard relaxation id-sets in :mod:`repro.perf.subplan` (fragment
+cache keyed on each shard's own epoch) and per-shard column-store
+ranking with top-k merge in :mod:`repro.perf.colrank`.  Construction
+is wired through ``Database.create_table(shards=...)``,
+``build_system(shards=...)``, ``SystemBuilder.shards(...)`` and the
+CLI ``--shards``; ``PERFORMANCE.md`` documents the merge semantics
+and the cache-locality payoff.
+"""
+
+from repro.shard.partition import HashPartitioner, ModuloPartitioner, Partitioner
+from repro.shard.table import ShardedTable
+
+__all__ = [
+    "HashPartitioner",
+    "ModuloPartitioner",
+    "Partitioner",
+    "ShardedTable",
+]

@@ -1,0 +1,445 @@
+"""`ShardedTable`: N partitioned tables behind the one-table surface.
+
+The facade owns N real :class:`~repro.db.table.Table` shards over the
+same schema and satisfies the full ``Table`` surface itself, so every
+existing consumer — the SQL executor's index lookups, the relaxation
+engine, the domain builder, the datagen bulk loader — works unchanged
+against a partitioned store.  What changes is the *granularity* of
+everything epoch-shaped:
+
+* **ids are global, placement is local.**  The facade mints globally
+  sequential record ids (bit-identical to a single table's) and a
+  pluggable :class:`~repro.shard.partition.Partitioner` maps each id
+  to its owning shard, so any layer holding an id can route to the
+  shard without a directory.
+* **epochs aggregate.**  ``ShardedTable.epoch`` is the sum of the
+  shard epochs — still monotonic, still "any mutation moves it" — so
+  facade-level caches (answer cache generations, plan cache hygiene)
+  keep their contract, while shard-level caches (the fragment cache's
+  per-shard unit id-sets, the per-shard column stores) key on each
+  shard's **own** epoch and survive mutations to sibling shards.
+  That locality is the single-core payoff of sharding: a point
+  mutation invalidates 1/N of the cached state instead of all of it.
+* **events relay.**  Listeners attach to the facade and receive every
+  shard's :class:`~repro.db.table.MutationEvent` re-stamped with the
+  facade table and the aggregated epoch; bulk operations
+  (:meth:`insert_many`, :meth:`remove_many`) notify once per batch,
+  matching the single-table contract.
+
+Scatter work (per-shard ranking in :mod:`repro.perf.colrank`) can run
+on the facade's **dedicated** scatter executor — deliberately not the
+:class:`~repro.api.service.AnswerService` batch pool, so a shard-sized
+scatter issued from inside ``answer_batch`` can never deadlock the
+pool it was issued from (every batch worker would otherwise be able to
+block on sub-tasks queued behind other batch workers).  The executor
+is created lazily and only when ``scatter_workers > 1``; the default
+follows the machine (``min(shards, cpu_count)``), so a single-core box
+runs scatters inline and pays no thread overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.db.schema import TableSchema
+from repro.db.table import MutationEvent, Record, Table
+from repro.shard.partition import HashPartitioner, Partitioner
+
+__all__ = ["ShardedTable"]
+
+T = TypeVar("T")
+
+
+class ShardedTable:
+    """N partitioned :class:`Table` shards behind the ``Table`` surface.
+
+    Parameters
+    ----------
+    schema:
+        The shared schema; every shard indexes it identically.
+    shard_count:
+        How many shards to partition across (>= 1; 1 keeps the whole
+        scatter-gather machinery live over a single shard, which is
+        how the parity battery pins the facade to the plain table).
+    partitioner:
+        Record placement policy (default
+        :class:`~repro.shard.partition.HashPartitioner`).  Must be
+        deterministic — the facade routes every per-id operation
+        through it.
+    substring_gram:
+        Passed through to each shard's substring indexes.
+    scatter_workers:
+        Thread count for parallel scatter operations.  ``None`` sizes
+        to ``min(shard_count, cpu_count)``; values <= 1 run scatters
+        inline (no executor is ever created).  The executor is
+        dedicated to this facade — never a shared service pool.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        shard_count: int,
+        partitioner: Partitioner | None = None,
+        substring_gram: int = 3,
+        scatter_workers: int | None = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self.schema = schema
+        self.name = schema.table_name
+        self.shard_count = shard_count
+        self.partitioner = partitioner if partitioner is not None else HashPartitioner()
+        self.shards: list[Table] = []
+        for index in range(shard_count):
+            shard = Table(schema, substring_gram=substring_gram)
+            # Distinct names keep shard-level diagnostics and cache keys
+            # unambiguous; nothing resolves these through the catalog.
+            shard.name = f"{self.name}::shard{index}"
+            shard.add_listener(self._relay)
+            self.shards.append(shard)
+        self._next_id = 1
+        #: Serializes facade mutations.  The seed's single table leaves
+        #: concurrent writers to the caller; the scale-out layer takes
+        #: the stronger position: id minting and shard routing are
+        #: atomic, so concurrent writers cannot collide on an id or
+        #: interleave inside one shard's index maintenance.  Readers
+        #: never take it (scatter reads work off per-shard snapshots).
+        self._write_lock = threading.RLock()
+        self._listeners: list[Callable[[MutationEvent], None]] = []
+        self._suppressed_notifications = 0
+        if scatter_workers is None:
+            scatter_workers = min(shard_count, os.cpu_count() or 1)
+        self.scatter_workers = scatter_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # epoch and listeners (the Table contract, aggregated)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Sum of the shard epochs — monotonic, moved by any mutation.
+
+        Facade-level caches key on this aggregate exactly as they
+        would on a plain table's epoch; shard-level caches key on each
+        shard's own epoch instead and keep 1 - 1/N of their entries
+        live across a point mutation.
+        """
+        return sum(shard.epoch for shard in self.shards)
+
+    def add_listener(self, listener: Callable[[MutationEvent], None]) -> None:
+        """Call *listener* after every mutation of any shard."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[MutationEvent], None]) -> None:
+        """Detach *listener*; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _relay(self, event: MutationEvent) -> None:
+        """Re-emit a shard's event as the facade's own.
+
+        The forwarded event carries the facade table and the aggregated
+        epoch, so catalog-level listeners (answer cache generations,
+        plan-cache hygiene, fragment-cache sweeps) see exactly the
+        single-table contract.  Shard-aware listeners that need the
+        mutated shard recover it from the record id via
+        :meth:`shard_of`.
+        """
+        if self._suppressed_notifications:
+            return
+        self._notify_batch(event.kind, event.record_id)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def shard_of(self, record_id: int) -> int:
+        """The shard index owning *record_id* (whether stored or not)."""
+        return self.partitioner.shard_of(record_id, self.shard_count)
+
+    def shard_for(self, record_id: int) -> Table:
+        """The shard table owning *record_id*."""
+        return self.shards[self.shard_of(record_id)]
+
+    def shard_sizes(self) -> list[int]:
+        """Record count per shard (diagnostics and balance tests)."""
+        return [len(shard) for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # scatter execution
+    # ------------------------------------------------------------------
+    def map_shards(self, task: Callable[[int, Table], T]) -> list[T]:
+        """Run ``task(index, shard)`` over every shard, in shard order.
+
+        With ``scatter_workers > 1`` tasks fan out over the facade's
+        dedicated executor; otherwise they run inline on the caller's
+        thread.  Either way the result list is ordered by shard index.
+        Tasks must not call :meth:`map_shards` recursively — leaf work
+        only — which is what keeps the dedicated pool deadlock-free;
+        they must also be idempotent reads, because a :meth:`close`
+        racing the fan-out falls the whole scatter back to an inline
+        pass (possibly re-running tasks already submitted).
+        """
+        if self.scatter_workers <= 1 or self.shard_count == 1:
+            return [task(index, shard) for index, shard in enumerate(self.shards)]
+        executor = self._scatter_executor()
+        if executor is not None:
+            try:
+                futures = [
+                    executor.submit(task, index, shard)
+                    for index, shard in enumerate(self.shards)
+                ]
+            except RuntimeError:
+                # close() shut the executor down between the submits;
+                # scoring tasks are idempotent reads, so rerun inline.
+                pass
+            else:
+                return [future.result() for future in futures]
+        return [task(index, shard) for index, shard in enumerate(self.shards)]
+
+    def _scatter_executor(self) -> ThreadPoolExecutor | None:
+        """The dedicated executor, or ``None`` after :meth:`close`."""
+        with self._executor_lock:
+            if self._closed:
+                return None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.scatter_workers,
+                    thread_name_prefix=f"shard-{self.name}",
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Release the scatter executor (idempotent).
+
+        The table remains fully usable afterwards — scatters simply run
+        inline, the way a ``scatter_workers=1`` facade always does.
+        """
+        with self._executor_lock:
+            executor = self._executor
+            self._executor = None
+            self._closed = True
+            self.scatter_workers = 1
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedTable":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # mutation (globally sequential ids, routed placement)
+    # ------------------------------------------------------------------
+    def insert(
+        self, values: dict[str, object], record_id: int | None = None
+    ) -> Record:
+        """Validate, assign the next global id, and store on one shard."""
+        with self._write_lock:
+            if record_id is None:
+                record_id = self._next_id
+            record = self.shard_for(record_id).insert(
+                values, record_id=record_id
+            )
+            self._next_id = max(self._next_id, record_id + 1)
+            return record
+
+    def insert_many(self, rows: Iterable[dict[str, object]]) -> list[Record]:
+        """Insert *rows*, notifying facade listeners **once** (the
+        :meth:`Table.insert_many` contract; shard epochs still advance
+        per row)."""
+        inserted: list[Record] = []
+        with self._write_lock:
+            self._suppressed_notifications += 1
+            try:
+                for row in rows:
+                    inserted.append(self.insert(row))
+            finally:
+                self._suppressed_notifications -= 1
+                if inserted:
+                    self._notify_batch("insert", inserted[-1].record_id)
+        return inserted
+
+    def delete(self, record_id: int) -> None:
+        """Remove *record_id* from its owning shard; raise if absent."""
+        with self._write_lock:
+            self.shard_for(record_id).delete(record_id)
+
+    def remove_many(self, record_ids: Iterable[int]) -> int:
+        """Bulk :meth:`delete` with one facade notification for the batch."""
+        removed = 0
+        last_id: int | None = None
+        with self._write_lock:
+            self._suppressed_notifications += 1
+            try:
+                for record_id in record_ids:
+                    self.delete(record_id)
+                    removed += 1
+                    last_id = record_id
+            finally:
+                self._suppressed_notifications -= 1
+                if last_id is not None:
+                    self._notify_batch("delete", last_id)
+        return removed
+
+    def update(self, record_id: int, values: dict[str, object]) -> Record:
+        """Merge *values* into the record on its owning shard."""
+        with self._write_lock:
+            return self.shard_for(record_id).update(record_id, values)
+
+    def _notify_batch(self, kind: str, record_id: int) -> None:
+        if not self._listeners:
+            return
+        event = MutationEvent(self, kind, record_id, self.epoch)
+        for listener in list(self._listeners):
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # access (gather; ordering matches the single table bit-for-bit)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __iter__(self) -> Iterator[Record]:
+        # A single table iterates in insertion order, which — ids being
+        # minted monotonically and updates mutating in place — is
+        # ascending-id order, so an N-way id merge reproduces the order
+        # exactly.  Each shard snapshot is re-sorted first: normally a
+        # no-op O(n) pass, but it keeps the facade's documented
+        # id-ascending contract even after out-of-order explicit-id
+        # inserts (heapq.merge silently mis-orders unsorted inputs).
+        return heapq.merge(
+            *(
+                sorted(shard.snapshot(), key=lambda record: record.record_id)
+                for shard in self.shards
+            ),
+            key=lambda record: record.record_id,
+        )
+
+    def get(self, record_id: int) -> Record | None:
+        return self.shard_for(record_id).get(record_id)
+
+    def snapshot(self) -> list[Record]:
+        """Point-in-time records, ascending by id (see :meth:`__iter__`).
+
+        Each shard's snapshot is individually atomic; the facade-level
+        list is assembled from those per-shard copies, so a concurrent
+        mutation can never crash the merge (it may land between two
+        shard copies, which is the same visibility a single table's
+        ``snapshot()`` gives a mutation landing just after the copy).
+        """
+        return list(self)
+
+    def fetch(self, record_ids: Iterable[int]) -> list[Record]:
+        """Records for *record_ids*, sorted by id for determinism."""
+        result: list[Record] = []
+        for record_id in sorted(record_ids):
+            record = self.shard_for(record_id).get(record_id)
+            if record is not None:
+                result.append(record)
+        return result
+
+    def all_ids(self) -> set[int]:
+        ids: set[int] = set()
+        for shard in self.shards:
+            ids |= shard.all_ids()
+        return ids
+
+    # ------------------------------------------------------------------
+    # index-backed lookups (scatter to every shard, union the gathers)
+    # ------------------------------------------------------------------
+    def lookup_equal(self, column_name: str, value: object) -> set[int]:
+        return self._union(
+            lambda shard: shard.lookup_equal(column_name, value)
+        )
+
+    def lookup_range(
+        self,
+        column_name: str,
+        low: float | None,
+        high: float | None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> set[int]:
+        return self._union(
+            lambda shard: shard.lookup_range(
+                column_name, low, high, include_low, include_high
+            )
+        )
+
+    def lookup_substring(self, column_name: str, needle: str) -> set[int]:
+        return self._union(
+            lambda shard: shard.lookup_substring(column_name, needle)
+        )
+
+    def scan(self, predicate: Callable[[Record], bool]) -> set[int]:
+        # Scanned off per-shard snapshots rather than shard.scan(): the
+        # plain table's scan iterates its record dict live, which a
+        # concurrent (serialized) writer could resize mid-predicate.
+        # The snapshot copy is atomic per shard, keeping full scans
+        # safe under the facade's writer-friendly contract.
+        return self._union(
+            lambda shard: {
+                record.record_id
+                for record in shard.snapshot()
+                if predicate(record)
+            }
+        )
+
+    def _union(self, lookup: Callable[[Table], set[int]]) -> set[int]:
+        # Shards partition the records, so the union over per-shard
+        # answers is exactly the single-table answer for any
+        # per-record predicate.
+        ids: set[int] = set()
+        for shard in self.shards:
+            ids |= lookup(shard)
+        return ids
+
+    def column_extreme(self, column_name: str, maximum: bool) -> set[int]:
+        """Ids holding the global extreme: gather per-shard extremes,
+        keep the shards whose local extreme equals the global one."""
+        winners: list[tuple[float, set[int]]] = []
+        for shard in self.shards:
+            ids = shard.column_extreme(column_name, maximum)  # raises uniformly
+            bounds = shard.column_bounds(column_name)
+            if bounds is None:
+                continue
+            winners.append((bounds[1] if maximum else bounds[0], ids))
+        if not winners:
+            return set()
+        best = max(value for value, _ in winners) if maximum else min(
+            value for value, _ in winners
+        )
+        result: set[int] = set()
+        for value, ids in winners:
+            if value == best:
+                result |= ids
+        return result
+
+    def column_bounds(self, column_name: str) -> tuple[float, float] | None:
+        minimum: float | None = None
+        maximum: float | None = None
+        for shard in self.shards:
+            bounds = shard.column_bounds(column_name)
+            if bounds is None:
+                continue
+            low, high = bounds
+            minimum = low if minimum is None else min(minimum, low)
+            maximum = high if maximum is None else max(maximum, high)
+        if minimum is None or maximum is None:
+            return None
+        return minimum, maximum
+
+    def distinct_values(self, column_name: str) -> list[object]:
+        seen: set[object] = set()
+        for shard in self.shards:
+            seen.update(shard.distinct_values(column_name))
+        return sorted(seen, key=str)

@@ -111,6 +111,28 @@ class BuiltSystem:
             name for name in self.requested_domains if name not in self.domains
         )
 
+    def close(self) -> None:
+        """Release per-table scatter executors (sharded builds).
+
+        A sharded table lazily creates a dedicated thread pool for
+        parallel scatters (:meth:`repro.shard.table.ShardedTable.close`);
+        a long-lived process that builds systems repeatedly should
+        close each discarded build so idle executor threads do not
+        accumulate until garbage collection.  Idempotent, and the
+        system stays fully usable — scatters simply run inline
+        afterwards.  Single-table builds are a no-op.
+        """
+        for table in self.database:
+            close = getattr(table, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "BuiltSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def service(
         self, cache: int | None = None, max_workers: int = 4
     ) -> "AnswerService":
@@ -131,10 +153,20 @@ def _provision_domain(
     ads_per_domain: int,
     sessions_per_domain: int,
     seed: int,
+    partitioner=None,
+    scatter_workers: int | None = None,
 ) -> BuiltDomain:
     """Steps 1-3 and 5 of the provisioning pipeline for one domain."""
     assert system.ws_matrix is not None
-    dataset = build_dataset(spec, system.database, ads_per_domain, seed=seed)
+    dataset = build_dataset(
+        spec,
+        system.database,
+        ads_per_domain,
+        seed=seed,
+        shards=system.cqads.shards,
+        partitioner=partitioner,
+        scatter_workers=scatter_workers,
+    )
     domain = AdsDomain.from_table(spec.name, dataset.table)
     # The generated dataset's ebay-style ranges override the
     # table-derived ones (same computation, same data — kept for
@@ -174,6 +206,8 @@ def build_system(
     classifier: NaiveBayesClassifier | None = None,
     train_classifier: bool = True,
     lazy: bool = False,
+    partitioner=None,
+    scatter_workers: int | None = None,
     **cqads_options,
 ) -> BuiltSystem:
     """Provision CQAds over *domain_names* (default: all eight).
@@ -186,6 +220,13 @@ def build_system(
     first :meth:`BuiltSystem.ensure_domain` (or ``domain``) call;
     classifier training then happens on demand inside
     :meth:`CQAds.classify_question`.
+
+    ``shards=N`` (a :class:`~repro.qa.pipeline.CQAds` option, passed
+    through ``**cqads_options``) partitions every domain's table
+    across N shards and runs the answer path scatter-gather —
+    bit-identical to the single-table build of the same seed.
+    ``partitioner`` and ``scatter_workers`` tune the placement policy
+    and the per-table scatter executor (see :mod:`repro.shard`).
     """
     names = list(domain_names) if domain_names is not None else list(DOMAIN_NAMES)
     database = Database()
@@ -206,6 +247,8 @@ def build_system(
         ads_per_domain,
         sessions_per_domain,
         seed,
+        partitioner=partitioner,
+        scatter_workers=scatter_workers,
     )
     if lazy:
         # Named-domain requests provision on first use; classification

@@ -256,6 +256,96 @@ class TestPagination:
         assert window.next_offset is None
 
 
+class TestBoundedRequestPaging:
+    """``page``/``page_all`` on a *request* propagate ``top_k`` so deep
+    pages pay a bounded-heap selection instead of a full re-sort."""
+
+    # Few exacts, deep partial pool: the paging actually walks ranked
+    # partial candidates past the 30-cap.
+    REQUEST = AnswerRequest(question="blue car less than 8000 dollars", domain="cars")
+
+    @pytest.fixture(scope="class")
+    def full_ranking(self, service):
+        result = service.answer(self.REQUEST)
+        assert len(result.ranked_pool) > MAX_ANSWERS + 20
+        assert len([a for a in result.ranked_pool if not a.exact]) > MAX_ANSWERS
+        return result.ranked_pool
+
+    def test_deep_page_equals_full_ranking_window(self, service, full_ranking):
+        for offset, limit in ((0, 10), (MAX_ANSWERS, 10), (45, 7)):
+            window = service.page(self.REQUEST, offset=offset, limit=limit)
+            assert _signature_answers(window.answers) == _signature_answers(
+                full_ranking[offset : offset + limit]
+            )
+
+    def test_bounded_page_ranked_with_bounded_pool(self, service):
+        # The served result's pool stops at the derived bound — the
+        # bounded-heap path really ran (plus the has_more sentinel).
+        window = service.page(self.REQUEST, offset=40, limit=10)
+        exacts = len(
+            service.answer(self.REQUEST.with_options(relax_partial=False)).answers
+        )
+        assert window.total <= exacts + 40 + 10 + 1
+
+    def test_cursor_stays_exact_at_the_bound(self, service, full_ranking):
+        offset = 20
+        window = service.page(self.REQUEST, offset=offset, limit=10)
+        assert window.has_more == (len(full_ranking) > offset + 10)
+        assert window.next_offset == offset + 10
+
+    def test_request_top_k_is_honoured_as_given(self, service, full_ranking):
+        bounded = self.REQUEST.with_options(top_k=5)
+        window = service.page(bounded, offset=0, limit=30)
+        exacts = len([a for a in full_ranking if a.exact])
+        assert window.total == exacts + 5
+
+    def test_bare_string_source(self, service, full_ranking):
+        window = service.page(self.REQUEST.question, offset=0, limit=10)
+        # Classified route: same question, same first page.
+        assert _signature_answers(window.answers) == _signature_answers(
+            full_ranking[:10]
+        )
+
+    def test_page_all_with_max_depth(self, service, full_ranking):
+        exacts = len([a for a in full_ranking if a.exact])
+        pages = service.page_all(self.REQUEST, page_size=10, max_depth=25)
+        flattened = [answer for page in pages for answer in page]
+        assert _signature_answers(flattened) == _signature_answers(
+            full_ranking[: exacts + 25]
+        )
+
+    def test_page_all_without_depth_is_complete(self, service, full_ranking):
+        pages = service.page_all(self.REQUEST, page_size=17)
+        assert sum(len(page) for page in pages) == len(full_ranking)
+
+    def test_page_all_max_depth_caps_computed_results_too(
+        self, service, full_ranking
+    ):
+        result = service.answer(self.REQUEST)
+        exacts = len([a for a in full_ranking if a.exact])
+        pages = service.page_all(result, page_size=10, max_depth=25)
+        flattened = [answer for page in pages for answer in page]
+        assert _signature_answers(flattened) == _signature_answers(
+            full_ranking[: exacts + 25]
+        )
+        assert len(result.ranked_pool) == len(full_ranking)  # source untouched
+        with pytest.raises(ValueError):
+            service.page_all(result, max_depth=0)
+
+    def test_request_path_validation(self, service):
+        with pytest.raises(ValueError):
+            service.page(self.REQUEST, offset=-1)
+        with pytest.raises(ValueError):
+            service.page(self.REQUEST, limit=0)
+
+
+def _signature_answers(answers):
+    return [
+        (a.record.record_id, a.exact, a.score, a.similarity_kind)
+        for a in answers
+    ]
+
+
 class TestExplainAndTimings:
     def test_trace_lists_all_executed_stages(self, service):
         result = service.answer(

@@ -201,3 +201,62 @@ class TestMutationEpochs:
         table.insert(dict(SMALL_CAR_ROWS[0]))
         assert events == ["car_ads"]
         database.remove_listener(events.append)  # unknown: ignored
+
+
+class TestBulkAndExplicitIds:
+    def test_remove_many_notifies_once(self, car_table):
+        events = []
+        car_table.add_listener(events.append)
+        baseline = car_table.epoch
+        removed = car_table.remove_many([2, 4, 6])
+        assert removed == 3
+        assert len(car_table) == len(SMALL_CAR_ROWS) - 3
+        assert all(car_table.get(record_id) is None for record_id in (2, 4, 6))
+        # Epoch advanced per row, listeners heard one batched event.
+        assert car_table.epoch == baseline + 3
+        assert len(events) == 1
+        assert events[0].kind == "delete" and events[0].record_id == 6
+        assert events[0].epoch == car_table.epoch
+
+    def test_remove_many_empty_is_silent(self, car_table):
+        events = []
+        car_table.add_listener(events.append)
+        assert car_table.remove_many([]) == 0
+        assert events == []
+
+    def test_remove_many_unknown_id_raises_after_notifying(self, car_table):
+        events = []
+        car_table.add_listener(events.append)
+        with pytest.raises(SchemaError):
+            car_table.remove_many([1, 999])
+        # The successful prefix was applied and announced.
+        assert car_table.get(1) is None
+        assert len(events) == 1 and events[0].record_id == 1
+
+    def test_insert_with_explicit_id(self, car_table):
+        record = car_table.insert(dict(SMALL_CAR_ROWS[0]), record_id=50)
+        assert record.record_id == 50
+        assert car_table.get(50) is record
+        assert record.record_id in car_table.lookup_equal("make", "honda")
+        # The mint advances past explicit ids — no later collision.
+        follow = car_table.insert(dict(SMALL_CAR_ROWS[1]))
+        assert follow.record_id == 51
+
+    def test_insert_with_taken_id_raises(self, car_table):
+        with pytest.raises(SchemaError):
+            car_table.insert(dict(SMALL_CAR_ROWS[0]), record_id=1)
+
+
+class TestDeduplicateBulkDelete:
+    def test_deduplicate_notifies_once_per_sweep(self):
+        from repro.db.dedup import deduplicate
+
+        database = Database()
+        table = database.create_table(small_car_schema())
+        table.insert_many(SMALL_CAR_ROWS)
+        table.insert_many([dict(SMALL_CAR_ROWS[0]), dict(SMALL_CAR_ROWS[0])])
+        events = []
+        table.add_listener(events.append)
+        removed = deduplicate(table)
+        assert removed == 2
+        assert len(events) == 1 and events[0].kind == "delete"

@@ -152,6 +152,20 @@ class SystemBuilder:
         self._cqads_options.update(cqads_options)
         return self
 
+    def cache_maintenance(self, mode: str = "delta") -> "SystemBuilder":
+        """How the hot-path caches follow table mutations.
+
+        ``"delta"`` (the default) patches the fragment cache and the
+        ranking column stores in place from the typed mutation deltas
+        — high-churn corpora pay per-row patch costs instead of
+        per-mutation rebuilds; ``"rebuild"`` keeps the epoch-sweep /
+        full-rebuild behaviour (the parity oracle and the
+        ``bench_incremental`` baseline).  Bit-identical answers either
+        way; see PERFORMANCE.md's incremental-maintenance section.
+        """
+        self._cqads_options["cache_maintenance"] = mode
+        return self
+
     def batch_workers(self, count: int) -> "SystemBuilder":
         """Size of the service's persistent batch thread pool
         (:meth:`~repro.api.service.AnswerService.answer_batch`)."""

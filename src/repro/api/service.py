@@ -138,6 +138,11 @@ class AnswerService:
     # mutation-epoch listener
     # ------------------------------------------------------------------
     def _on_table_mutation(self, event: MutationEvent) -> None:
+        # Unlike the fragment cache and the column stores, cached
+        # *answers* cannot be patched from a typed delta — any row
+        # change can reorder a ranking or move an exact match — so the
+        # answer cache always takes the generation-bump path: one bump
+        # per event (bulk mutations arrive as a single BatchDelta).
         cache = self.cache
         if cache is None:
             return

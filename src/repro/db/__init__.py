@@ -20,14 +20,27 @@ substrate:
 
 from repro.db.database import Database
 from repro.db.schema import AttributeType, Column, ColumnKind, TableSchema
-from repro.db.table import Record, Table
+from repro.db.table import (
+    BatchDelta,
+    InsertDelta,
+    MutationEvent,
+    Record,
+    RemoveDelta,
+    Table,
+    UpdateDelta,
+)
 
 __all__ = [
     "AttributeType",
+    "BatchDelta",
     "Column",
     "ColumnKind",
+    "InsertDelta",
+    "MutationEvent",
+    "RemoveDelta",
     "TableSchema",
     "Record",
     "Table",
+    "UpdateDelta",
     "Database",
 ]

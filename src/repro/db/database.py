@@ -78,8 +78,9 @@ class Database:
         scatters and gathers behind the same surface.  ``shards=1`` is
         a valid degenerate facade (the parity battery uses it);
         ``None`` keeps the seed's single table.  Catalog listeners
-        attach to the facade, which relays every shard's mutation
-        events with the aggregated epoch.
+        attach to the facade, which relays every shard's typed
+        mutation deltas re-stamped with the aggregated epoch, the
+        owning shard's index and that shard's own epoch.
         """
         name = self._canonical(schema.table_name)
         if name in self._tables:

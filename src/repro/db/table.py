@@ -13,24 +13,40 @@ Records are plain dicts validated by the schema; each gets a stable
 integer id on insert.
 
 Every mutation (insert/delete/update) bumps the table's monotonically
-increasing **epoch** and notifies registered listeners with a
-:class:`MutationEvent`.  Epochs are how the performance subsystem
-versions its caches (column stores, fragment cache, answer cache):
-a cache entry keyed on the epoch it was computed at can never be
-served stale, and listeners let caches drop dead entries eagerly —
-see ``PERFORMANCE.md`` for the auto-invalidation contract.
+increasing **epoch** and notifies registered listeners with a *typed
+mutation delta* — :class:`InsertDelta`, :class:`RemoveDelta`,
+:class:`UpdateDelta` (which carries the changed columns and their old/
+new values) or :class:`BatchDelta` (the single event a bulk
+``insert_many``/``remove_many`` emits, wrapping the per-row deltas).
+All deltas subclass :class:`MutationEvent`, so epoch-only listeners
+keep working unchanged; delta-aware caches use the payload to *patch*
+their state in place instead of rebuilding it (column stores, fragment
+id-sets — see ``PERFORMANCE.md`` for the incremental-maintenance
+contract).  Epochs still version every cache: a cache entry keyed on
+the epoch it was computed at can never be served stale, and the
+rebuild path remains the fallback for any delta a structure cannot
+absorb.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.db.indexes import HashIndex, SortedIndex, SubstringIndex
 from repro.db.schema import AttributeType, TableSchema
-from repro.errors import SchemaError
+from repro.errors import RecordNotFoundError, SchemaError
 
-__all__ = ["MutationEvent", "Record", "Table"]
+__all__ = [
+    "BatchDelta",
+    "InsertDelta",
+    "MutationEvent",
+    "Record",
+    "RemoveDelta",
+    "Table",
+    "UpdateDelta",
+]
 
 
 @dataclass(frozen=True)
@@ -40,12 +56,118 @@ class MutationEvent:
     ``kind`` is ``"insert"``, ``"delete"`` or ``"update"``; ``epoch``
     is the table's epoch *after* the mutation.  Listeners run
     synchronously on the mutating thread, after indexes are consistent.
+
+    Concrete events are always one of the typed subclasses below; the
+    base class survives as the common surface (and for hand-built
+    events in tests).  ``shard_index``/``shard_epoch`` are ``None`` on
+    plain-table events; a :class:`repro.shard.table.ShardedTable`
+    re-stamps relayed shard events with the facade table, the facade's
+    aggregate epoch, the owning shard's index and that shard's own
+    post-mutation epoch, so shard-granular caches can patch exactly
+    the state that moved.
     """
 
     table: "Table"
     kind: str
     record_id: int
     epoch: int
+    shard_index: int | None = None
+    shard_epoch: int | None = None
+
+
+@dataclass(frozen=True)
+class InsertDelta(MutationEvent):
+    """A single inserted row; ``record`` is the stored (live) record."""
+
+    record: Record | None = None
+
+
+@dataclass(frozen=True)
+class RemoveDelta(MutationEvent):
+    """A single deleted row; ``record`` is the removed record object
+    (already popped from the table, so it can no longer change)."""
+
+    record: Record | None = None
+
+
+@dataclass(frozen=True)
+class UpdateDelta(MutationEvent):
+    """A single in-place update.
+
+    ``changed_columns`` lists exactly the columns whose normalized
+    stored value differs from before; ``old_values``/``new_values``
+    hold those columns' values on either side of the update (immutable
+    snapshots — unlike ``record``, which is the live object and keeps
+    mutating on later updates).  An update that changes nothing still
+    bumps the epoch and carries an empty ``changed_columns``.
+    """
+
+    changed_columns: tuple[str, ...] = ()
+    old_values: dict[str, object] = field(default_factory=dict)
+    new_values: dict[str, object] = field(default_factory=dict)
+    record: Record | None = None
+
+
+@dataclass(frozen=True)
+class BatchDelta(MutationEvent):
+    """The single event a bulk mutation emits for its whole batch.
+
+    ``deltas`` holds the per-row typed deltas in application order
+    (each carrying its own post-row epoch, so consumers can replay the
+    batch delta-by-delta); ``record_id``/``epoch`` are the last row's
+    id and the final epoch, preserving the pre-delta bulk contract.
+    """
+
+    deltas: tuple[MutationEvent, ...] = ()
+
+    @property
+    def record_ids(self) -> tuple[int, ...]:
+        """The affected row ids, in application order."""
+        return tuple(delta.record_id for delta in self.deltas)
+
+
+class _BatchProgress:
+    """Mutable cursor a bulk mutation advances row by row; the batch
+    scope emits one :class:`BatchDelta` when at least one row landed
+    (even when a later row raised)."""
+
+    __slots__ = ("last_id",)
+
+    def __init__(self) -> None:
+        self.last_id: int | None = None
+
+
+@contextmanager
+def batch_notifications(table, kind: str):
+    """Suppress *table*'s per-row notifications for the scope, then
+    emit the collected row deltas as one :class:`BatchDelta`.
+
+    Shared by :meth:`Table.insert_many`/:meth:`Table.remove_many` and
+    the :class:`repro.shard.table.ShardedTable` bulk methods — *table*
+    only needs the ``_pending_deltas`` list, the
+    ``_suppressed_notifications`` counter, an ``_emit_batch(delta)``
+    dispatcher and the ``epoch`` property.  The per-row epoch still
+    advances inside the scope (versioned caches see every state); the
+    single event carries the last landed id, the final epoch, and the
+    per-row deltas for consumers that patch.  Nested scopes slice
+    their own rows, and an exception mid-batch still announces the
+    rows that landed before it.
+    """
+    mark = len(table._pending_deltas)
+    table._suppressed_notifications += 1
+    progress = _BatchProgress()
+    try:
+        yield progress
+    finally:
+        table._suppressed_notifications -= 1
+        deltas = tuple(table._pending_deltas[mark:])
+        del table._pending_deltas[mark:]
+        if progress.last_id is not None:
+            table._emit_batch(
+                BatchDelta(
+                    table, kind, progress.last_id, table.epoch, deltas=deltas
+                )
+            )
 
 
 class Record(dict):
@@ -72,6 +194,9 @@ class Table:
         self._epoch = 0
         self._listeners: list[Callable[[MutationEvent], None]] = []
         self._suppressed_notifications = 0
+        #: Row deltas collected while notifications are suppressed
+        #: (bulk mutations); the batch emits them as one BatchDelta.
+        self._pending_deltas: list[MutationEvent] = []
         self._hash_indexes: dict[str, HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
         self._substring_indexes: dict[str, SubstringIndex] = {}
@@ -112,16 +237,24 @@ class Table:
         except ValueError:
             pass
 
-    def _bump(self, kind: str, record_id: int) -> None:
-        self._epoch += 1
-        self._notify(kind, record_id)
+    def _emit(self, delta: MutationEvent) -> None:
+        """Deliver *delta* to listeners, or queue it for the batch.
 
-    def _notify(self, kind: str, record_id: int) -> None:
-        if self._suppressed_notifications or not self._listeners:
+        While a bulk mutation suppresses notifications, per-row deltas
+        accumulate instead of firing; the bulk method wraps them into
+        one :class:`BatchDelta` when it finishes.
+        """
+        if self._suppressed_notifications:
+            self._pending_deltas.append(delta)
             return
-        event = MutationEvent(self, kind, record_id, self._epoch)
+        if not self._listeners:
+            return
         for listener in list(self._listeners):
-            listener(event)
+            listener(delta)
+
+    #: How :func:`batch_notifications` dispatches the batch event (the
+    #: suppression-aware path, so a nested outer batch collects it).
+    _emit_batch = _emit
 
     # ------------------------------------------------------------------
     # mutation
@@ -150,61 +283,62 @@ class Table:
         self._next_id = max(self._next_id, record_id + 1)
         self._records[record.record_id] = record
         self._index_record(record, add=True)
-        self._bump("insert", record.record_id)
+        self._epoch += 1
+        if self._listeners:
+            self._emit(
+                InsertDelta(
+                    self, "insert", record.record_id, self._epoch, record=record
+                )
+            )
         return record
 
     def insert_many(self, rows: Iterable[dict[str, object]]) -> list[Record]:
         """Insert *rows*, notifying listeners **once** for the batch.
 
         The epoch still advances per row (versioned caches see every
-        state), but cache-invalidation listeners — each an O(cache)
-        sweep — run once instead of once per row, so bulk loads on a
-        warm system stay linear.  The single event carries the last
-        inserted id and the final epoch.
+        state), but cache-maintenance listeners — each at least an
+        O(cache) sweep — run once instead of once per row, so bulk
+        loads on a warm system stay linear.  The single
+        :class:`BatchDelta` carries the last inserted id, the final
+        epoch, and the per-row deltas for consumers that patch.
         """
         inserted: list[Record] = []
-        self._suppressed_notifications += 1
-        try:
+        with batch_notifications(self, "insert") as batch:
             for row in rows:
                 inserted.append(self.insert(row))
-        finally:
-            self._suppressed_notifications -= 1
-            if inserted:
-                self._notify("insert", inserted[-1].record_id)
+                batch.last_id = inserted[-1].record_id
         return inserted
 
     def delete(self, record_id: int) -> None:
         """Remove the record with *record_id*; raise if absent."""
         record = self._records.pop(record_id, None)
         if record is None:
-            raise SchemaError(
-                f"table {self.name!r} has no record #{record_id} to delete"
-            )
+            raise RecordNotFoundError(self.name, record_id, "delete")
         self._index_record(record, add=False)
-        self._bump("delete", record_id)
+        self._epoch += 1
+        if self._listeners:
+            self._emit(
+                RemoveDelta(
+                    self, "delete", record_id, self._epoch, record=record
+                )
+            )
 
     def remove_many(self, record_ids: Iterable[int]) -> int:
         """Delete *record_ids*, notifying listeners **once** for the batch.
 
         The bulk counterpart of :meth:`insert_many`: the epoch still
-        advances per row, but the O(cache) invalidation listeners run
+        advances per row, but the O(cache) maintenance listeners run
         once for the whole batch instead of once per deleted record.
         Unknown ids raise (like :meth:`delete`) after the rows deleted
         so far have been notified.  Returns the number of records
         removed; an empty batch notifies nobody.
         """
         removed = 0
-        last_id: int | None = None
-        self._suppressed_notifications += 1
-        try:
+        with batch_notifications(self, "delete") as batch:
             for record_id in record_ids:
                 self.delete(record_id)
                 removed += 1
-                last_id = record_id
-        finally:
-            self._suppressed_notifications -= 1
-            if last_id is not None:
-                self._notify("delete", last_id)
+                batch.last_id = record_id
         return removed
 
     def update(self, record_id: int, values: dict[str, object]) -> Record:
@@ -212,22 +346,43 @@ class Table:
 
         The record keeps its id and identity (it is mutated in place),
         so references held elsewhere observe the new values.  The
-        epoch bump tells every epoch-keyed cache that per-record
-        memoizations for this table are stale.
+        emitted :class:`UpdateDelta` carries exactly the columns whose
+        normalized value changed (with old and new values), so
+        delta-aware caches patch the touched slots instead of
+        rebuilding; a missing *record_id* raises
+        :class:`~repro.errors.RecordNotFoundError`.
         """
         record = self._records.get(record_id)
         if record is None:
-            raise SchemaError(
-                f"table {self.name!r} has no record #{record_id} to update"
-            )
+            raise RecordNotFoundError(self.name, record_id, "update")
         merged = dict(record)
         merged.update(values)
         normalized = self.schema.validate_record(merged)
+        changed = tuple(
+            column
+            for column, value in normalized.items()
+            if record.get(column) != value
+        )
+        old_values = {column: record.get(column) for column in changed}
+        new_values = {column: normalized[column] for column in changed}
         self._index_record(record, add=False)
         record.clear()
         record.update(normalized)
         self._index_record(record, add=True)
-        self._bump("update", record_id)
+        self._epoch += 1
+        if self._listeners:
+            self._emit(
+                UpdateDelta(
+                    self,
+                    "update",
+                    record_id,
+                    self._epoch,
+                    changed_columns=changed,
+                    old_values=old_values,
+                    new_values=new_values,
+                    record=record,
+                )
+            )
         return record
 
     def _index_record(self, record: Record, add: bool) -> None:

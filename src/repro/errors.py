@@ -32,6 +32,24 @@ class UnknownColumnError(SchemaError):
         self.column = column
 
 
+class RecordNotFoundError(SchemaError):
+    """A mutation addressed a ``record_id`` the table does not hold.
+
+    Subclasses :class:`SchemaError` for backward compatibility (the
+    misleading error ``Table.update``/``Table.delete`` used to raise),
+    but the condition is about the *record*, not the schema — callers
+    that distinguish "bad data" from "gone row" can now catch this.
+    """
+
+    def __init__(self, table: str, record_id: int, action: str) -> None:
+        super().__init__(
+            f"table {table!r} has no record #{record_id} to {action}"
+        )
+        self.table = table
+        self.record_id = record_id
+        self.action = action
+
+
 class UnknownTableError(ReproError):
     """A query referenced a table that the database does not contain."""
 

@@ -40,11 +40,20 @@ makes such values unstorable, so the case is unreachable from tables.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from typing import Sequence
 
 from repro.db.schema import AttributeType
-from repro.db.table import Record, Table
+from repro.db.table import (
+    BatchDelta,
+    InsertDelta,
+    MutationEvent,
+    Record,
+    RemoveDelta,
+    Table,
+    UpdateDelta,
+)
 from repro.qa.conditions import Condition, ConditionOp
 from repro.ranking.num_sim import condition_num_sim
 from repro.ranking.rank_sim import (
@@ -109,23 +118,21 @@ class ColumnStore:
         for column in table.schema.columns:
             name = column.name
             if column.is_numeric:
-                parsed: list[float | None] = []
-                for record in records:
-                    value = record.get(name)
-                    if value is None:
-                        parsed.append(None)
-                    else:
-                        try:
-                            parsed.append(float(value))  # type: ignore[arg-type]
-                        except (TypeError, ValueError):
-                            parsed.append(None)
-                self.numeric[name] = parsed
+                self.numeric[name] = [
+                    self._parse_numeric(record.get(name)) for record in records
+                ]
             else:
                 self.categorical[name] = [
                     None if value is None else str(value)
                     for value in (record.get(name) for record in records)
                 ]
         self._slot_memo: dict[object, dict] = {}
+        #: True when this store was produced by a copy-on-write update
+        #: and still *shares* list objects with its predecessor — the
+        #: in-place append fast path must not mutate those shared
+        #: lists, or the predecessor's snapshot tears (see
+        #: :meth:`_apply_insert`).
+        self._cow_aliased = False
 
     #: Distinct scoring slots memoized per store before the memo map is
     #: reset.  A slot's inner dict is bounded by the column's distinct
@@ -141,6 +148,221 @@ class ColumnStore:
                 self._slot_memo = {}  # cheap reset; memos rebuild on use
             memo = self._slot_memo[memo_key] = {}
         return memo
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (delta patching)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_numeric(value: object) -> float | None:
+        """Exactly the build-time float parse, for bit-identical slots."""
+        if value is None:
+            return None
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+
+    def apply(
+        self, delta: MutationEvent, epoch: int | None = None
+    ) -> "ColumnStore | None":
+        """Absorb one typed mutation delta; ``None`` = rebuild instead.
+
+        Returns the store reflecting the post-delta table state — the
+        slot memos are value-keyed, so they survive every patch:
+
+        * an :class:`~repro.db.table.UpdateDelta` returns a
+          copy-on-write clone that re-slots only the changed columns'
+          arrays (and the key list when a Type I column moved),
+          sharing every untouched array — concurrent readers of this
+          store keep a fully consistent pre-update image;
+        * an :class:`~repro.db.table.InsertDelta` with the table's
+          usual monotonic id appends in place (append-only is safe
+          under readers: existing slots never move); a mid-array
+          insert and every :class:`~repro.db.table.RemoveDelta` return
+          a patched **shallow copy** (C-level list copies — no
+          re-parsing, no re-stringifying) sharing the memos, so
+          concurrent readers never see rows shift under their indices;
+        * a :class:`~repro.db.table.BatchDelta` folds its row deltas.
+
+        *epoch* overrides the target epoch tag (per-shard stores are
+        patched from facade-stamped deltas using the shard's own
+        epoch).  ``None`` comes back for anything else: an epoch gap
+        (the store missed deltas — e.g. a listener detach window), an
+        unknown row, or an untyped event.  The caller then falls back
+        to the epoch-rebuild path, which stays the parity oracle.
+        """
+        if isinstance(delta, BatchDelta):
+            if epoch is not None:
+                return None  # per-shard replay needs per-row epochs
+            if not delta.deltas:
+                return None
+            store: "ColumnStore | None" = self
+            for sub in delta.deltas:
+                store = store.apply(sub)
+                if store is None:
+                    return None
+            return store
+        target = delta.epoch if epoch is None else epoch
+        if target != self.epoch + 1:
+            return None
+        if isinstance(delta, UpdateDelta):
+            return self._apply_update(delta, target)
+        if isinstance(delta, InsertDelta):
+            if delta.record is None:
+                return None
+            return self._apply_insert(delta.record, target)
+        if isinstance(delta, RemoveDelta):
+            return self._apply_remove(delta.record_id, target)
+        return None
+
+    def _apply_update(
+        self, delta: UpdateDelta, target: int
+    ) -> "ColumnStore | None":
+        """Copy-on-write per changed column: the clone shares every
+        untouched array (and the records/row_of/memos) with this store,
+        and only the changed columns' lists — plus the key list when a
+        Type I column moved — are copied and re-slotted.  Concurrent
+        readers holding the old store keep a fully consistent
+        pre-update image (the snapshot isolation the rebuild path
+        gives), at the cost of O(rows) pointer copies per changed
+        column instead of O(1) slot writes."""
+        row = self.row_of.get(delta.record_id)
+        if row is None:
+            return None
+        if not all(
+            column in self.numeric or column in self.categorical
+            for column in delta.changed_columns
+        ):
+            return None  # schema drift: never patch half a row
+        clone = self._shared_clone()
+        clone.records = self.records
+        clone.row_of = self.row_of
+        clone.numeric = dict(self.numeric)
+        clone.categorical = dict(self.categorical)
+        for column in delta.changed_columns:
+            value = delta.new_values.get(column)
+            if column in clone.numeric:
+                patched = list(clone.numeric[column])
+                patched[row] = self._parse_numeric(value)
+                clone.numeric[column] = patched
+            else:
+                patched = list(clone.categorical[column])
+                patched[row] = None if value is None else str(value)
+                clone.categorical[column] = patched
+        touched_keys = [
+            column
+            for column in delta.changed_columns
+            if column in self._type_i_index
+        ]
+        if touched_keys:
+            key = list(self.keys[row])
+            for column in touched_keys:
+                key[self._type_i_index[column]] = str(
+                    delta.new_values.get(column) or ""
+                )
+            keys = list(self.keys)
+            keys[row] = tuple(key)
+            clone.keys = keys
+        else:
+            clone.keys = self.keys
+        clone._cow_aliased = True
+        clone.epoch = target
+        return clone
+
+    def _apply_insert(self, record: Record, target: int) -> "ColumnStore | None":
+        record_id = record.record_id
+        if record_id in self.row_of:
+            return None
+        if self.records and self.records[-1].record_id > record_id:
+            # Out-of-order explicit id: splice a patched copy so rows
+            # never shift under a concurrent reader of this store.
+            position = bisect.bisect_left(
+                self.records, record_id, key=lambda rec: rec.record_id
+            )
+            return self._spliced(position, record, target)
+        if self._cow_aliased:
+            # This store still shares lists with the pre-update store a
+            # concurrent reader may hold; appending in place would grow
+            # the shared arrays while the reader's copied (changed)
+            # column stays short — a torn snapshot.  Append via a full
+            # copy instead (and the copy owns every list, so later
+            # appends take the fast path again).
+            return self._spliced(len(self.records), record, target)
+        row = len(self.records)
+        self.records.append(record)
+        self.keys.append(
+            tuple(
+                str(record.get(column, "") or "")
+                for column in self.type_i_columns
+            )
+        )
+        for name, column in self.numeric.items():
+            column.append(self._parse_numeric(record.get(name)))
+        for name, column in self.categorical.items():
+            value = record.get(name)
+            column.append(None if value is None else str(value))
+        self.row_of[record_id] = row
+        self.epoch = target
+        return self
+
+    def _apply_remove(self, record_id: int, target: int) -> "ColumnStore | None":
+        position = self.row_of.get(record_id)
+        if position is None:
+            return None
+        return self._spliced(position, None, target)
+
+    def _shared_clone(self) -> "ColumnStore":
+        """A new store sharing this one's immutable/value-keyed parts:
+        the schema metadata and the slot memos (distinct-value keyed,
+        hence membership-independent).  Callers fill in the arrays."""
+        clone = ColumnStore.__new__(ColumnStore)
+        clone.table_name = self.table_name
+        clone.type_i_columns = self.type_i_columns
+        clone._type_i_index = self._type_i_index
+        clone._slot_memo = self._slot_memo
+        clone._cow_aliased = False
+        return clone
+
+    def _spliced(
+        self, position: int, record: Record | None, target: int
+    ) -> "ColumnStore":
+        """A shallow copy with *record* inserted at *position* (or the
+        row there removed when ``record is None``), sharing the slot
+        memos (value-keyed, hence membership-independent)."""
+
+        def splice(values: list, inserted) -> list:
+            if record is None:
+                return values[:position] + values[position + 1 :]
+            return values[:position] + [inserted] + values[position:]
+
+        clone = self._shared_clone()
+        clone.records = splice(self.records, record)
+        clone.keys = splice(
+            self.keys,
+            None
+            if record is None
+            else tuple(
+                str(record.get(column, "") or "")
+                for column in self.type_i_columns
+            ),
+        )
+        clone.numeric = {
+            name: splice(
+                values, None if record is None else self._parse_numeric(record.get(name))
+            )
+            for name, values in self.numeric.items()
+        }
+        clone.categorical = {}
+        for name, values in self.categorical.items():
+            value = None if record is None else record.get(name)
+            clone.categorical[name] = splice(
+                values, None if value is None else str(value)
+            )
+        clone.row_of = {
+            rec.record_id: row for row, rec in enumerate(clone.records)
+        }
+        clone.epoch = target
+        return clone
 
 
 # ----------------------------------------------------------------------

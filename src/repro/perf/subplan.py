@@ -86,7 +86,12 @@ def unit_id_sets(
     With a :class:`~repro.perf.fragment_cache.FragmentCache`, id-sets
     are memoized across questions keyed on the table's mutation epoch,
     so a criterion repeated by a later question ("price < 10000") is
-    never re-evaluated until the table changes.  Cached sets are
+    never re-evaluated until the table changes — and under delta
+    maintenance (the default) not even then: the engine's mutation
+    listener patches the cached sets forward to the new epoch
+    (:meth:`~repro.perf.fragment_cache.FragmentCache.absorb`), so this
+    function keeps hitting warm entries through point mutations
+    without knowing how they were maintained.  Cached sets are
     shared — neither this module nor its callers may mutate them.
 
     A :class:`~repro.shard.table.ShardedTable` scatters instead: each

@@ -179,10 +179,22 @@ class CQAds:
     fragment_cache:
         Cross-question memoization of relaxation-unit id-sets
         (:mod:`repro.perf.fragment_cache`), keyed on each table's
-        mutation epoch and auto-invalidated from the database's
-        mutation listeners.  Pass a capacity, a prebuilt
+        mutation epoch and maintained from the database's mutation
+        listeners.  Pass a capacity, a prebuilt
         :class:`~repro.perf.fragment_cache.FragmentCache`, or ``None``
         to disable.
+    cache_maintenance:
+        How the hot-path caches follow table mutations.  ``"delta"``
+        (default) patches them in place from the typed mutation deltas
+        — the fragment cache re-evaluates only the touched record per
+        cached unit (:meth:`FragmentCache.absorb`) and the ranking
+        column stores fold the deltas slot-wise
+        (:meth:`~repro.perf.colrank.ColumnStore.apply`) — falling back
+        to the epoch rebuild for any delta a structure cannot absorb.
+        ``"rebuild"`` forces the pre-delta behaviour everywhere
+        (generation sweep + full store rebuild per mutation); it is
+        the parity oracle and the ``bench_incremental`` baseline.
+        Bit-identical answers either way (``tests/test_incremental.py``).
     shards:
         The engine's scatter-gather degree: the shard count its
         backing tables are expected to be partitioned into
@@ -200,6 +212,7 @@ class CQAds:
 
     RELAXATION_STRATEGIES = ("shared", "legacy")
     RANKING_ENGINES = ("columnar", "legacy")
+    CACHE_MAINTENANCE_MODES = ("delta", "rebuild")
 
     def __init__(
         self,
@@ -215,6 +228,7 @@ class CQAds:
         ranking_top_k: int | None = None,
         fragment_cache: FragmentCache | int | None = DEFAULT_CAPACITY,
         shards: int | None = None,
+        cache_maintenance: str = "delta",
     ) -> None:
         if relaxation_strategy not in self.RELAXATION_STRATEGIES:
             raise ValueError(
@@ -225,6 +239,11 @@ class CQAds:
             raise ValueError(
                 f"ranking_engine must be one of {self.RANKING_ENGINES}, "
                 f"got {ranking_engine!r}"
+            )
+        if cache_maintenance not in self.CACHE_MAINTENANCE_MODES:
+            raise ValueError(
+                f"cache_maintenance must be one of "
+                f"{self.CACHE_MAINTENANCE_MODES}, got {cache_maintenance!r}"
             )
         if ranking_top_k is not None and ranking_top_k < 1:
             raise ValueError(
@@ -242,6 +261,7 @@ class CQAds:
         self.relaxation_strategy = relaxation_strategy
         self.ranking_engine = ranking_engine
         self.ranking_top_k = ranking_top_k
+        self.cache_maintenance = cache_maintenance
         if isinstance(fragment_cache, int):
             fragment_cache = FragmentCache(fragment_cache)
         self.fragment_cache = fragment_cache
@@ -276,6 +296,16 @@ class CQAds:
     def _on_table_mutation(self, event: MutationEvent) -> None:
         if self.fragment_cache is None:
             return
+        if self.cache_maintenance == "delta" and self.fragment_cache.absorb(
+            event
+        ):
+            # The cached unit id-sets were patched forward to the new
+            # epoch (re-evaluating only the touched rows) and every
+            # dead generation swept — the next question hits warm
+            # fragments instead of re-running each unit's index scan.
+            return
+        # Fallback / "rebuild" mode: drop the dead generation; the
+        # next question recomputes the affected fragments from scratch.
         shards = getattr(event.table, "shards", None)
         if shards is None:
             self.fragment_cache.invalidate(event.table.name)
@@ -323,10 +353,12 @@ class CQAds:
         the ranker falls back to the legacy scorer).
         """
         tagger = QuestionTagger(domain, correct_spelling=self.correct_spelling)
-        if resources is not None and self.database.has_table(
-            domain.schema.table_name
-        ):
-            resources.attach_table(self.database.table(domain.schema.table_name))
+        if resources is not None:
+            resources.incremental = self.cache_maintenance == "delta"
+            if self.database.has_table(domain.schema.table_name):
+                resources.attach_table(
+                    self.database.table(domain.schema.table_name)
+                )
         self._contexts[domain.name] = _DomainContext(
             domain=domain, tagger=tagger, resources=resources
         )
@@ -384,6 +416,7 @@ class CQAds:
             and resources.table is None
             and self.database.has_table(context.domain.schema.table_name)
         ):
+            resources.incremental = self.cache_maintenance == "delta"
             resources.attach_table(
                 self.database.table(context.domain.schema.table_name)
             )

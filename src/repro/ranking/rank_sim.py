@@ -16,11 +16,12 @@ ordering of the paper's Table 2.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.db.schema import AttributeType
-from repro.db.table import MutationEvent, Record, Table
+from repro.db.table import BatchDelta, MutationEvent, Record, Table, UpdateDelta
 from repro.qa.conditions import Condition, ConditionOp
 from repro.ranking.num_sim import condition_num_sim
 from repro.ranking.ti_matrix import TIMatrix
@@ -156,6 +157,28 @@ class RankingResources:
     _query_keys_memo: dict[tuple, list[Key]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Delta-based maintenance switch: ``True`` (the default) folds
+    #: buffered mutation deltas into the column stores via
+    #: :meth:`repro.perf.colrank.ColumnStore.apply`; ``False`` keeps
+    #: the epoch-rebuild path (the parity oracle —
+    #: ``CQAds(cache_maintenance="rebuild")`` sets it).  Either way a
+    #: delta the store cannot absorb falls back to a rebuild.
+    incremental: bool = True
+    #: Row deltas received since the stores last caught up, drained
+    #: under ``_store_lock`` by :meth:`column_store` /
+    #: :meth:`shard_column_stores`.  Overflow (or an un-replayable
+    #: event) poisons the buffer and forces one rebuild.
+    _pending_deltas: list[MutationEvent] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _pending_overflow: bool = field(default=False, repr=False, compare=False)
+    _store_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    #: Buffered deltas beyond this force a rebuild instead — a bulk
+    #: load patched row-by-row would do more work than one rebuild.
+    MAX_PENDING_DELTAS = 256
 
     def attach_table(self, table: Table) -> None:
         """Bind these resources to their backing *table*.
@@ -171,10 +194,16 @@ class RankingResources:
         # Mutations that happened while detached (or against a previous
         # table) fired no listener here — start the per-record memos
         # clean so a re-attach can never resurrect pre-update values.
+        # The delta buffer starts clean too: any store epoch gap left
+        # by the detach window falls back to a rebuild (the deltas to
+        # bridge it were never delivered).
         self._record_keys.clear()
         self._lowered_values.clear()
         self.table = table
         self._shard_stores = None
+        with self._store_lock:
+            self._pending_deltas.clear()
+            self._pending_overflow = False
         table.add_listener(self._on_mutation)
 
     def detach_table(self) -> None:
@@ -189,38 +218,123 @@ class RankingResources:
             self.table = None
         self._column_store = None
         self._shard_stores = None
+        with self._store_lock:
+            self._pending_deltas.clear()
+            self._pending_overflow = False
 
     def _on_mutation(self, event: MutationEvent) -> None:
         # Inserts never touch existing ids and deletes merely leave
         # dead entries, but an update changes the values behind a
-        # cached id — drop that record's memoizations.  The column
-        # store needs no action: it re-checks the epoch on access.
-        # The key snapshot (list()) guards against answer_batch
-        # threads growing the dict mid-iteration.
-        if event.kind == "update":
-            self._record_keys.pop(event.record_id, None)
+        # cached id — evict that record's memoizations.  A typed
+        # UpdateDelta says *which* columns moved, so only the touched
+        # Type I key / lowered values go; an untyped update event
+        # evicts the record wholesale.  The key snapshot (list())
+        # guards against answer_batch threads growing the dict
+        # mid-iteration.
+        if isinstance(event, BatchDelta) and not event.deltas:
+            # A batch stripped of its row payloads (a shard-level bulk
+            # issued past the facade): the affected ids are unknowable,
+            # so evict the per-record memos wholesale — the resurrection
+            # guard below cannot cover rows it never saw.
+            self._record_keys.clear()
+            self._lowered_values.clear()
+        row_deltas = (
+            event.deltas
+            if isinstance(event, BatchDelta) and event.deltas
+            else (event,)
+        )
+        dead_ids: set[int] = set()
+        for delta in row_deltas:
+            if delta.kind == "insert":
+                continue  # a fresh id holds no memos... unless reused —
+                # reused ids are handled by the delete eviction below.
+            if delta.kind == "update" and isinstance(delta, UpdateDelta):
+                changed = delta.changed_columns
+                if any(column in self.type_i_columns for column in changed):
+                    self._record_keys.pop(delta.record_id, None)
+                for column in changed:
+                    self._lowered_values.pop((delta.record_id, column), None)
+            else:
+                # Deletes (and untyped update events) evict the record
+                # wholesale: ids are normally never reused, but
+                # Table.insert(record_id=) may resurrect one, and a
+                # ghost memo must not score the new record with the
+                # dead record's key/values.
+                dead_ids.add(delta.record_id)
+        if dead_ids:
+            for record_id in dead_ids:
+                self._record_keys.pop(record_id, None)
             for cache_key in list(self._lowered_values):
-                if cache_key[0] == event.record_id:
+                if cache_key[0] in dead_ids:
                     self._lowered_values.pop(cache_key, None)
+        if not self.incremental:
+            return
+        # Buffer the row deltas for the lazy column-store catch-up.
+        # An event that cannot be replayed (a batch stripped of its
+        # rows) or a buffer past the rebuild-is-cheaper threshold
+        # poisons the buffer; the next store access rebuilds once.
+        with self._store_lock:
+            if self._pending_overflow:
+                return
+            if isinstance(event, BatchDelta) and not event.deltas:
+                self._pending_deltas.clear()
+                self._pending_overflow = True
+                return
+            if (
+                len(self._pending_deltas) + len(row_deltas)
+                > self.MAX_PENDING_DELTAS
+            ):
+                self._pending_deltas.clear()
+                self._pending_overflow = True
+                return
+            self._pending_deltas.extend(row_deltas)
 
     def column_store(self) -> "ColumnStore | None":
         """The columnar image of the attached table at its current epoch.
 
-        Rebuilt lazily whenever the table's epoch has moved; ``None``
-        when no table is attached.  Racing rebuilds under
-        ``answer_batch`` concurrency each produce an equally valid
-        store, and the attribute write is atomic.
+        Caught up lazily whenever the table's epoch has moved: with
+        :attr:`incremental` maintenance (the default) the buffered
+        typed deltas are folded into the existing store via
+        :meth:`~repro.perf.colrank.ColumnStore.apply` — per-slot
+        patches instead of re-deriving every row — and only a delta
+        the store cannot absorb (epoch gap, untyped event, overflow)
+        triggers the epoch rebuild, which remains the fallback and the
+        parity oracle.  ``None`` when no table is attached.  Catch-up
+        runs under ``_store_lock`` so concurrent ``answer_batch``
+        threads never double-apply a delta.
         """
         table = self.table
         if table is None:
             return None
         store = self._column_store
-        if store is None or store.epoch != table.epoch:
-            from repro.perf.colrank import ColumnStore
+        if store is not None and store.epoch == table.epoch:
+            return store
+        from repro.perf.colrank import ColumnStore
 
-            store = ColumnStore(table, self.type_i_columns)
+        with self._store_lock:
+            table = self.table
+            if table is None:
+                return None
+            store = self._column_store
+            if store is not None and store.epoch == table.epoch:
+                return store
+            if store is not None and self.incremental and not self._pending_overflow:
+                for delta in self._pending_deltas:
+                    if delta.epoch <= store.epoch:
+                        continue  # already reflected (post-rebuild replay)
+                    patched = store.apply(delta)
+                    if patched is None:
+                        store = None
+                        break
+                    store = patched
+            else:
+                store = None
+            if store is None or store.epoch != table.epoch:
+                store = ColumnStore(table, self.type_i_columns)
             self._column_store = store
-        return store
+            self._pending_deltas.clear()
+            self._pending_overflow = False
+            return store
 
     def shard_column_stores(self) -> "list[ColumnStore] | None":
         """One columnar image per shard of an attached sharded table.
@@ -239,20 +353,60 @@ class RankingResources:
         shards = getattr(table, "shards", None)
         if shards is None:
             return None
+        # Lock-free fast path (mirroring column_store): read-only
+        # streams with every store current and nothing buffered never
+        # touch the mutex.  A racing mutation makes an epoch mismatch
+        # or a pending delta visible, sending us to the locked path.
         stores = self._shard_stores
-        if stores is None or len(stores) != len(shards):
-            stores = [None] * len(shards)
-            self._shard_stores = stores
+        if (
+            stores is not None
+            and len(stores) == len(shards)
+            and not self._pending_deltas
+            and not self._pending_overflow
+        ):
+            current = list(stores)
+            if all(
+                store is not None and store.epoch == shard.epoch
+                for store, shard in zip(current, shards)
+            ):
+                return current  # type: ignore[return-value]
         from repro.perf.colrank import ColumnStore
 
-        current: list["ColumnStore"] = []
-        for index, shard in enumerate(shards):
-            store = stores[index]
-            if store is None or store.epoch != shard.epoch:
-                store = ColumnStore(shard, self.type_i_columns)
-                stores[index] = store
-            current.append(store)
-        return current
+        with self._store_lock:
+            stores = self._shard_stores
+            if stores is None or len(stores) != len(shards):
+                stores = [None] * len(shards)
+                self._shard_stores = stores
+            if self.incremental and not self._pending_overflow:
+                # Fold the buffered facade-stamped deltas into each
+                # owning shard's store, using the shard's own epoch as
+                # the version tag; any delta that cannot land leaves
+                # its shard's store stale, and only that shard rebuilds
+                # below — siblings stay warm either way.
+                for delta in self._pending_deltas:
+                    index = delta.shard_index
+                    if (
+                        index is None
+                        or delta.shard_epoch is None
+                        or index >= len(stores)
+                    ):
+                        continue
+                    store = stores[index]
+                    if store is None or delta.shard_epoch <= store.epoch:
+                        continue
+                    patched = store.apply(delta, epoch=delta.shard_epoch)
+                    if patched is not None:
+                        stores[index] = patched
+            self._pending_deltas.clear()
+            self._pending_overflow = False
+            current: list["ColumnStore"] = []
+            for index, shard in enumerate(shards):
+                store = stores[index]
+                if store is None or store.epoch != shard.epoch:
+                    store = ColumnStore(shard, self.type_i_columns)
+                    stores[index] = store
+                current.append(store)
+            return current
 
     def record_key(self, record: Record) -> Key:
         key = self._record_keys.get(record.record_id)

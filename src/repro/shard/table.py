@@ -21,10 +21,16 @@ everything epoch-shaped:
   That locality is the single-core payoff of sharding: a point
   mutation invalidates 1/N of the cached state instead of all of it.
 * **events relay.**  Listeners attach to the facade and receive every
-  shard's :class:`~repro.db.table.MutationEvent` re-stamped with the
-  facade table and the aggregated epoch; bulk operations
-  (:meth:`insert_many`, :meth:`remove_many`) notify once per batch,
-  matching the single-table contract.
+  shard's typed mutation delta (:class:`~repro.db.table.InsertDelta` /
+  :class:`~repro.db.table.RemoveDelta` /
+  :class:`~repro.db.table.UpdateDelta`) re-stamped with the facade
+  table, the aggregated epoch, the owning shard's index and that
+  shard's own post-mutation epoch — so delta-aware caches know *which*
+  shard and *which* rows moved and can patch shard-granular state in
+  place.  Bulk operations (:meth:`insert_many`, :meth:`remove_many`)
+  notify once per batch with a :class:`~repro.db.table.BatchDelta`
+  wrapping the re-stamped per-row deltas, matching the single-table
+  contract.
 
 Scatter work (per-shard ranking in :mod:`repro.perf.colrank`) can run
 on the facade's **dedicated** scatter executor — deliberately not the
@@ -43,10 +49,17 @@ import heapq
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Callable, Iterable, Iterator, TypeVar
 
 from repro.db.schema import TableSchema
-from repro.db.table import MutationEvent, Record, Table
+from repro.db.table import (
+    BatchDelta,
+    MutationEvent,
+    Record,
+    Table,
+    batch_notifications,
+)
 from repro.shard.partition import HashPartitioner, Partitioner
 
 __all__ = ["ShardedTable"]
@@ -111,6 +124,9 @@ class ShardedTable:
         self._write_lock = threading.RLock()
         self._listeners: list[Callable[[MutationEvent], None]] = []
         self._suppressed_notifications = 0
+        #: Re-stamped row deltas collected while a bulk facade mutation
+        #: suppresses notifications; emitted as one BatchDelta.
+        self._pending_deltas: list[MutationEvent] = []
         if scatter_workers is None:
             scatter_workers = min(shard_count, os.cpu_count() or 1)
         self.scatter_workers = scatter_workers
@@ -144,18 +160,50 @@ class ShardedTable:
             pass
 
     def _relay(self, event: MutationEvent) -> None:
-        """Re-emit a shard's event as the facade's own.
+        """Re-emit a shard's delta as the facade's own.
 
-        The forwarded event carries the facade table and the aggregated
-        epoch, so catalog-level listeners (answer cache generations,
-        plan-cache hygiene, fragment-cache sweeps) see exactly the
-        single-table contract.  Shard-aware listeners that need the
-        mutated shard recover it from the record id via
-        :meth:`shard_of`.
+        The forwarded delta keeps its concrete type and payload
+        (inserted/removed record, changed columns) but is re-stamped
+        with the facade table, the aggregated epoch, the owning shard's
+        index and that shard's own post-mutation epoch — catalog-level
+        listeners (answer cache generations, plan-cache hygiene) see
+        exactly the single-table contract, while shard-granular caches
+        (per-shard column stores, per-shard fragment id-sets) patch
+        precisely the shard state that moved.  During a bulk facade
+        mutation the re-stamped deltas accumulate and go out as one
+        :class:`~repro.db.table.BatchDelta`.
         """
+        if not self._listeners:
+            return  # nobody to tell: skip the re-stamp allocation too
+        stamped = self._stamp(event)
         if self._suppressed_notifications:
+            self._pending_deltas.append(stamped)
             return
-        self._notify_batch(event.kind, event.record_id)
+        self._notify(stamped)
+
+    def _stamp(self, event: MutationEvent) -> MutationEvent:
+        """Re-stamp a shard delta (recursively for shard-level batches)."""
+        shard_index = self.shard_of(event.record_id)
+        if isinstance(event, BatchDelta):
+            # A shard-level bulk op (not issued by this facade, which
+            # batches at its own level): the aggregate epoch of each
+            # inner delta is unknowable after the fact, so consumers
+            # fall back to rebuild maintenance for this event.
+            return replace(
+                event,
+                table=self,
+                epoch=self.epoch,
+                shard_index=shard_index,
+                shard_epoch=event.epoch,
+                deltas=(),
+            )
+        return replace(
+            event,
+            table=self,
+            epoch=self.epoch,
+            shard_index=shard_index,
+            shard_epoch=event.epoch,
+        )
 
     # ------------------------------------------------------------------
     # placement
@@ -255,17 +303,14 @@ class ShardedTable:
     def insert_many(self, rows: Iterable[dict[str, object]]) -> list[Record]:
         """Insert *rows*, notifying facade listeners **once** (the
         :meth:`Table.insert_many` contract; shard epochs still advance
-        per row)."""
+        per row).  The emitted :class:`~repro.db.table.BatchDelta`
+        wraps the re-stamped per-row deltas."""
         inserted: list[Record] = []
         with self._write_lock:
-            self._suppressed_notifications += 1
-            try:
+            with batch_notifications(self, "insert") as batch:
                 for row in rows:
                     inserted.append(self.insert(row))
-            finally:
-                self._suppressed_notifications -= 1
-                if inserted:
-                    self._notify_batch("insert", inserted[-1].record_id)
+                    batch.last_id = inserted[-1].record_id
         return inserted
 
     def delete(self, record_id: int) -> None:
@@ -276,18 +321,12 @@ class ShardedTable:
     def remove_many(self, record_ids: Iterable[int]) -> int:
         """Bulk :meth:`delete` with one facade notification for the batch."""
         removed = 0
-        last_id: int | None = None
         with self._write_lock:
-            self._suppressed_notifications += 1
-            try:
+            with batch_notifications(self, "delete") as batch:
                 for record_id in record_ids:
                     self.delete(record_id)
                     removed += 1
-                    last_id = record_id
-            finally:
-                self._suppressed_notifications -= 1
-                if last_id is not None:
-                    self._notify_batch("delete", last_id)
+                    batch.last_id = record_id
         return removed
 
     def update(self, record_id: int, values: dict[str, object]) -> Record:
@@ -295,12 +334,17 @@ class ShardedTable:
         with self._write_lock:
             return self.shard_for(record_id).update(record_id, values)
 
-    def _notify_batch(self, kind: str, record_id: int) -> None:
+    def _notify(self, event: MutationEvent) -> None:
         if not self._listeners:
             return
-        event = MutationEvent(self, kind, record_id, self.epoch)
         for listener in list(self._listeners):
             listener(event)
+
+    #: How :func:`repro.db.table.batch_notifications` dispatches the
+    #: batch event: straight to the facade listeners (suppression is
+    #: handled in :meth:`_relay`, which stopped collecting by the time
+    #: the batch scope emits).
+    _emit_batch = _notify
 
     # ------------------------------------------------------------------
     # access (gather; ordering matches the single table bit-for-bit)

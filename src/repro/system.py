@@ -227,6 +227,11 @@ def build_system(
     bit-identical to the single-table build of the same seed.
     ``partitioner`` and ``scatter_workers`` tune the placement policy
     and the per-table scatter executor (see :mod:`repro.shard`).
+    ``cache_maintenance="delta"|"rebuild"`` (also via
+    ``**cqads_options``) selects how the hot-path caches follow
+    mutations: delta patching (the default, for high-churn corpora) or
+    the epoch-rebuild oracle — bit-identical answers either way (see
+    ``PERFORMANCE.md``, "Incremental maintenance").
     """
     names = list(domain_names) if domain_names is not None else list(DOMAIN_NAMES)
     database = Database()

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.db.database import Database
-from repro.errors import SchemaError, UnknownTableError
+from repro.db.table import (
+    BatchDelta,
+    InsertDelta,
+    RemoveDelta,
+    UpdateDelta,
+)
+from repro.errors import RecordNotFoundError, SchemaError, UnknownTableError
 from tests.conftest import SMALL_CAR_ROWS, small_car_schema
 
 
@@ -186,12 +192,66 @@ class TestMutationEpochs:
         assert record.record_id in car_table.lookup_range("price", 4000, 5000)
 
     def test_update_unknown_or_invalid(self, car_table):
-        with pytest.raises(SchemaError):
+        with pytest.raises(RecordNotFoundError) as excinfo:
             car_table.update(999, {"color": "red"})
+        assert excinfo.value.record_id == 999
+        assert excinfo.value.action == "update"
+        # Still a SchemaError subclass, so pre-existing catches hold.
+        assert isinstance(excinfo.value, SchemaError)
+        with pytest.raises(RecordNotFoundError):
+            car_table.delete(999)
         with pytest.raises(SchemaError):
             car_table.update(1, {"model": None})  # Type I required
         # A failed validation must not have unindexed the record.
         assert 1 in car_table.lookup_equal("make", "honda")
+
+    def test_typed_deltas_carry_payloads(self, car_table):
+        events = []
+        car_table.add_listener(events.append)
+        record = car_table.insert(dict(car_table.get(1)))
+        car_table.update(record.record_id, {"color": "green", "price": 7500})
+        car_table.delete(record.record_id)
+        inserted, updated, removed = events
+        assert isinstance(inserted, InsertDelta)
+        assert inserted.record is record
+        assert inserted.shard_index is None  # plain table: no stamp
+        assert isinstance(updated, UpdateDelta)
+        assert sorted(updated.changed_columns) == ["color", "price"]
+        assert updated.old_values["color"] == "blue"
+        assert updated.new_values == {"color": "green", "price": 7500}
+        assert isinstance(removed, RemoveDelta)
+        assert removed.record is record  # popped object, safe snapshot
+
+    def test_update_delta_reports_only_changed_columns(self, car_table):
+        events = []
+        car_table.add_listener(events.append)
+        # Same stored value (normalization included): no changed columns,
+        # but the epoch still advances and the delta still fires.
+        before = car_table.epoch
+        car_table.update(1, {"color": "Blue"})  # normalizes to stored "blue"
+        assert car_table.epoch == before + 1
+        assert events[-1].changed_columns == ()
+
+    def test_bulk_deltas_wrap_per_row_deltas(self, car_table):
+        events = []
+        car_table.add_listener(events.append)
+        inserted = car_table.insert_many(
+            [dict(SMALL_CAR_ROWS[0]), dict(SMALL_CAR_ROWS[1])]
+        )
+        assert len(events) == 1
+        batch = events[0]
+        assert isinstance(batch, BatchDelta)
+        assert batch.record_ids == tuple(r.record_id for r in inserted)
+        assert [delta.epoch for delta in batch.deltas] == [
+            batch.epoch - 1,
+            batch.epoch,
+        ]
+        assert all(isinstance(d, InsertDelta) for d in batch.deltas)
+        car_table.remove_many([r.record_id for r in inserted])
+        removal = events[-1]
+        assert isinstance(removal, BatchDelta) and removal.kind == "delete"
+        assert all(isinstance(d, RemoveDelta) for d in removal.deltas)
+        assert removal.record_ids == tuple(r.record_id for r in inserted)
 
     def test_database_listener_covers_future_tables(self):
         database = Database()

@@ -382,9 +382,11 @@ CARS_QUESTION = "honda accord blue less than 15000 dollars"
 
 
 class TestShardAwareCaching:
-    def test_point_mutation_keeps_sibling_shard_fragments(
+    def test_point_mutation_keeps_every_shard_fragment_warm(
         self, mutable_sharded_system
     ):
+        """Delta maintenance (PR 5): the mutated shard's fragments are
+        patched forward, so the repeat question hits all four shards."""
         cqads = mutable_sharded_system.cqads
         fragments = cqads.fragment_cache
         service = mutable_sharded_system.service()
@@ -395,6 +397,35 @@ class TestShardAwareCaching:
         table = cqads.database.table("car_ads")
         donor = next(iter(table))
         inserted = table.insert(dict(donor))
+        assert len(fragments) == warm  # mutated shard patched, not dropped
+        hits_before, misses_before = fragments.hits, fragments.misses
+        service.answer(request)
+        assert fragments.misses == misses_before
+        assert fragments.hits == hits_before + warm  # every shard warm
+        assert len(fragments) == warm
+        table.delete(inserted.record_id)
+
+    def test_point_mutation_keeps_sibling_shard_fragments_rebuild_mode(self):
+        """The epoch-sweep oracle (cache_maintenance="rebuild"): only
+        the mutated shard's generation dies; siblings stay warm."""
+        system = build_system(
+            ["cars"],
+            ads_per_domain=80,
+            sessions_per_domain=100,
+            corpus_documents=100,
+            shards=4,
+            cache_maintenance="rebuild",
+        )
+        cqads = system.cqads
+        fragments = cqads.fragment_cache
+        service = system.service()
+        request = AnswerRequest(question=CARS_QUESTION, domain="cars")
+        service.answer(request)
+        warm = len(fragments)
+        assert warm > 0 and warm % 4 == 0
+        table = cqads.database.table("car_ads")
+        donor = next(iter(table))
+        table.insert(dict(donor))
         # Only the mutated shard's generation died.
         units = warm // 4
         assert len(fragments) == warm - units
@@ -403,12 +434,41 @@ class TestShardAwareCaching:
         assert fragments.misses == misses_before + units  # mutated shard only
         assert fragments.hits == hits_before + 3 * units  # siblings stayed warm
         assert len(fragments) == warm
-        table.delete(inserted.record_id)
 
-    def test_point_mutation_rebuilds_one_column_store(
+    def test_point_mutation_patches_one_column_store(
         self, mutable_sharded_system
     ):
+        """Delta maintenance: the insert lands as an in-place append on
+        the owning shard's store; siblings are untouched."""
         cqads = mutable_sharded_system.cqads
+        resources = cqads.context("cars").resources
+        table = cqads.database.table("car_ads")
+        before = resources.shard_column_stores()
+        assert before is not None and len(before) == 4
+        donor = next(iter(table))
+        inserted = table.insert(dict(donor))
+        mutated = table.shard_of(inserted.record_id)
+        after = resources.shard_column_stores()
+        assert inserted.record_id in after[mutated].row_of
+        assert after[mutated].epoch == table.shards[mutated].epoch
+        for index in range(4):
+            if index != mutated:
+                assert after[index] is before[index]
+                assert inserted.record_id not in after[index].row_of
+        table.delete(inserted.record_id)
+
+    def test_point_mutation_rebuilds_one_column_store_rebuild_mode(self):
+        """The rebuild oracle: exactly the mutated shard's store is
+        rebuilt from scratch; siblings are reused by identity."""
+        system = build_system(
+            ["cars"],
+            ads_per_domain=80,
+            sessions_per_domain=100,
+            corpus_documents=100,
+            shards=4,
+            cache_maintenance="rebuild",
+        )
+        cqads = system.cqads
         resources = cqads.context("cars").resources
         table = cqads.database.table("car_ads")
         before = resources.shard_column_stores()

@@ -1,0 +1,327 @@
+"""Async service tier under duplicate-heavy and overload traffic.
+
+The service tier (PR 6, :mod:`repro.serve`) fronts the synchronous
+answer engine with admission control: per-tenant token buckets,
+single-flight coalescing of identical in-flight requests, a bounded
+admission queue with typed shed errors, and per-request deadlines.
+This bench measures its two headline claims on open-loop workloads
+(arrivals fire on a fixed schedule regardless of completions — the
+regime where queues actually build):
+
+1. **Coalescing** — bursts of identical questions, the shape produced
+   by trending queries and fan-out retries.  The same arrival schedule
+   runs with coalescing on and off (no answer cache on either side, so
+   ``executed`` counts pure engine invocations); the tier must cut
+   engine invocations by >= 2x.  In practice the reduction approaches
+   the burst size: one flight serves each burst.
+2. **Overload** — distinct questions offered well above engine
+   capacity through a small queue (workers=2, queue=4), arriving in
+   flash-crowd clumps larger than workers + queue.  Excess load must
+   shed *immediately* with typed errors (``QueueFullError``) while
+   the p99 latency of the *admitted* requests stays bounded by
+   construction: an admitted request waits behind at most
+   ``max_queue`` others, it never sits in an unbounded backlog.
+
+The snapshot lands in ``BENCH_service.json``.
+
+Acceptance: >= 2x engine-invocation reduction from coalescing; the
+overload run sheds with typed errors while admitted p99 stays under
+the structural bound.
+
+Quick mode (CI smoke): ``BENCH_SERVICE_QUICK=1`` shrinks the build and
+the schedules and asserts the tripwires only — coalesced hits > 0 (a
+broken single-flight path measures exactly 0), typed sheds > 0 and a
+generous admitted-p99 ceiling — leaving the committed JSON untouched.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_service.py -s
+  or: PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import pathlib
+import sys
+
+import pytest
+
+try:
+    from benchmarks.conftest import emit
+except ModuleNotFoundError:  # direct `python benchmarks/bench_service.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import emit
+from repro.api import AnswerRequest, AnswerService
+from repro.datagen.questions import make_generator
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.evaluation.reporting import format_table
+from repro.serve import AsyncAnswerService
+from repro.system import build_system
+
+RESULT_PATH = pathlib.Path(__file__).parent / "BENCH_service.json"
+
+QUICK = bool(os.environ.get("BENCH_SERVICE_QUICK"))
+ADS = 400 if QUICK else 2000
+WORKERS = 2
+#: Coalescing arm: bursts of identical questions on a fixed schedule.
+BURSTS = 20 if QUICK else 60
+BURST_SIZE = 6 if QUICK else 8
+BURST_GAP_S = 0.005
+DISTINCT_QUESTIONS = 10
+#: Overload arm: distinct questions offered far above capacity, in
+#: flash-crowd clumps — every clump lands more simultaneous arrivals
+#: than workers + queue can hold, so shedding is forced by arithmetic,
+#: not by how slow the engine happens to be on this machine.
+OVERLOAD_REQUESTS = 150 if QUICK else 600
+OVERLOAD_QUEUE = 4
+OVERLOAD_CLUMP = WORKERS + OVERLOAD_QUEUE + 4
+OVERLOAD_CLUMP_GAP_S = 0.005
+MIN_INVOCATION_REDUCTION = 2.0
+#: Structural latency bound for admitted requests: an admitted request
+#: runs behind at most ``OVERLOAD_QUEUE`` queued flights across
+#: ``WORKERS`` workers.  1.5s is many multiples of that worst case at
+#: these scales — a *bounded-queue* tripwire, not a speed gate, with
+#: headroom for noisy shared CI runners.
+MAX_ADMITTED_P99_S = 1.5
+
+
+@pytest.fixture(scope="module")
+def service_system():
+    return build_system(
+        ["cars"],
+        ads_per_domain=ADS,
+        sessions_per_domain=300,
+        corpus_documents=200,
+    )
+
+
+def _question_pool(system, count: int) -> list[str]:
+    generator = make_generator(system.domain("cars").dataset, seed=97)
+    return [generator.generate().text for _ in range(count)]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100])."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+async def _drive_open_loop(service: AsyncAnswerService, arrivals):
+    """Fire (offset, request) pairs on schedule; never close the loop.
+
+    Returns ``(latencies, shed)``: per-request seconds for the
+    admitted requests and an error-type-name histogram for the shed
+    ones.  Any non-service error propagates (the bench should fail
+    loudly on a pipeline bug, not count it as shedding).
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time() + 0.05
+
+    async def fire(offset: float, request: AnswerRequest):
+        await asyncio.sleep(max(0.0, start + offset - loop.time()))
+        began = loop.time()
+        try:
+            await service.answer(request)
+        except (ServiceOverloadError, ServiceError) as exc:
+            return type(exc).__name__, loop.time() - began
+        return None, loop.time() - began
+
+    outcomes = await asyncio.gather(
+        *(fire(offset, request) for offset, request in arrivals)
+    )
+    latencies = [seconds for kind, seconds in outcomes if kind is None]
+    shed: dict[str, int] = {}
+    for kind, _ in outcomes:
+        if kind is not None:
+            shed[kind] = shed.get(kind, 0) + 1
+    return latencies, shed
+
+
+def _burst_arrivals(questions: list[str]):
+    """BURSTS bursts of BURST_SIZE identical questions, BURST_GAP_S
+    apart; consecutive bursts cycle through the distinct pool."""
+    arrivals = []
+    for burst in range(BURSTS):
+        question = questions[burst % len(questions)]
+        for _ in range(BURST_SIZE):
+            arrivals.append(
+                (
+                    burst * BURST_GAP_S,
+                    AnswerRequest(question=question, domain="cars"),
+                )
+            )
+    return arrivals
+
+
+async def _coalescing_arm(system, questions, coalesce: bool):
+    service = AsyncAnswerService(
+        AnswerService(system.cqads),  # no answer cache: executed is
+        workers=WORKERS,              # pure engine invocations
+        max_queue=BURSTS * BURST_SIZE,
+        coalesce=coalesce,
+        own_service=True,
+    )
+    try:
+        latencies, shed = await _drive_open_loop(
+            service, _burst_arrivals(questions)
+        )
+        assert not shed, f"coalescing arm must not shed, got {shed}"
+        return latencies, service.stats()
+    finally:
+        await service.close()
+
+
+async def _overload_arm(system, questions):
+    service = AsyncAnswerService(
+        AnswerService(system.cqads),
+        workers=WORKERS,
+        max_queue=OVERLOAD_QUEUE,
+        own_service=True,
+    )
+    try:
+        arrivals = [
+            (
+                (index // OVERLOAD_CLUMP) * OVERLOAD_CLUMP_GAP_S,
+                AnswerRequest(
+                    question=questions[index % len(questions)], domain="cars"
+                ),
+            )
+            for index in range(OVERLOAD_REQUESTS)
+        ]
+        latencies, shed = await _drive_open_loop(service, arrivals)
+        return latencies, shed, service.stats()
+    finally:
+        await service.close()
+
+
+def test_service_tier_coalescing_and_overload(service_system):
+    questions = _question_pool(service_system, DISTINCT_QUESTIONS)
+    # Warm the engine (tries, matrices, fragment caches) so both arms
+    # and both coalescing settings measure steady-state latency.
+    warmup = AnswerService(service_system.cqads)
+    for question in questions:
+        warmup.answer(AnswerRequest(question=question, domain="cars"))
+    warmup.close()
+
+    with_latencies, with_stats = asyncio.run(
+        _coalescing_arm(service_system, questions, coalesce=True)
+    )
+    _, without_stats = asyncio.run(
+        _coalescing_arm(service_system, questions, coalesce=False)
+    )
+    requests = BURSTS * BURST_SIZE
+    assert with_stats.completed == requests
+    assert without_stats.completed == requests
+    assert without_stats.executed == requests  # every request ran alone
+    reduction = without_stats.executed / with_stats.executed
+
+    overload_latencies, overload_shed, overload_stats = asyncio.run(
+        _overload_arm(service_system, questions)
+    )
+    admitted_p99 = _percentile(overload_latencies, 99.0)
+
+    emit(
+        format_table(
+            ["workload", "requests", "engine runs", "shed", "p99 (ms)"],
+            [
+                [
+                    "duplicate bursts, coalesced",
+                    str(requests),
+                    str(with_stats.executed),
+                    "0",
+                    f"{1000 * _percentile(with_latencies, 99.0):.1f}",
+                ],
+                [
+                    "duplicate bursts, no coalescing",
+                    str(requests),
+                    str(without_stats.executed),
+                    "0",
+                    "-",
+                ],
+                [
+                    "overload, distinct questions",
+                    str(OVERLOAD_REQUESTS),
+                    str(overload_stats.executed),
+                    str(sum(overload_shed.values())),
+                    f"{1000 * admitted_p99:.1f}",
+                ],
+            ],
+            title=(
+                f"async service tier, cars x {ADS} ads, {WORKERS} workers — "
+                f"{reduction:.1f}x fewer engine runs from coalescing"
+                + (" [quick mode]" if QUICK else "")
+            ),
+        )
+    )
+
+    if not QUICK:
+        RESULT_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "async_service_tier",
+                    "ads": ADS,
+                    "workers": WORKERS,
+                    "coalescing": {
+                        "bursts": BURSTS,
+                        "burst_size": BURST_SIZE,
+                        "burst_gap_ms": 1000 * BURST_GAP_S,
+                        "requests": requests,
+                        "executed_coalesced": with_stats.executed,
+                        "executed_uncoalesced": without_stats.executed,
+                        "invocation_reduction": reduction,
+                        "coalescing_hit_rate": (
+                            with_stats.coalescing_hit_rate
+                        ),
+                        "admitted_p50_ms": (
+                            1000 * _percentile(with_latencies, 50.0)
+                        ),
+                        "admitted_p99_ms": (
+                            1000 * _percentile(with_latencies, 99.0)
+                        ),
+                    },
+                    "overload": {
+                        "offered": OVERLOAD_REQUESTS,
+                        "clump_size": OVERLOAD_CLUMP,
+                        "clump_gap_ms": 1000 * OVERLOAD_CLUMP_GAP_S,
+                        "max_queue": OVERLOAD_QUEUE,
+                        "completed": overload_stats.completed,
+                        "shed": dict(sorted(overload_shed.items())),
+                        "shed_rate": overload_stats.shed_rate,
+                        "admitted_p50_ms": (
+                            1000 * _percentile(overload_latencies, 50.0)
+                        ),
+                        "admitted_p99_ms": 1000 * admitted_p99,
+                        "admitted_p99_bound_ms": 1000 * MAX_ADMITTED_P99_S,
+                    },
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    # Tripwires (both modes): a broken single-flight path coalesces
+    # exactly nothing; a broken admission gate either never sheds or
+    # lets queue latency grow without bound.
+    assert with_stats.coalesced > 0, "coalescing produced zero hits"
+    assert sum(overload_shed.values()) > 0, "overload never shed"
+    assert overload_stats.shed == sum(overload_shed.values())
+    assert admitted_p99 <= MAX_ADMITTED_P99_S, (
+        f"admitted p99 {admitted_p99:.3f}s exceeds the "
+        f"{MAX_ADMITTED_P99_S}s structural bound"
+    )
+    if not QUICK:
+        assert reduction >= MIN_INVOCATION_REDUCTION, (
+            f"coalescing must cut engine invocations by >= "
+            f"{MIN_INVOCATION_REDUCTION}x, measured {reduction:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        os.environ["BENCH_SERVICE_QUICK"] = "1"
+    sys.exit(pytest.main([__file__, "-s", "-q"]))

@@ -4,7 +4,10 @@ Builds a single-domain system with the fluent :class:`SystemBuilder`,
 then exercises the three :class:`AnswerService` entry points —
 ``answer`` (one request, with per-request options), ``answer_batch``
 (thread-pool fan-out, results in input order) and ``page`` (cursor
-pagination past the paper's 30-answer cap).
+pagination past the paper's 30-answer cap) — and finishes with the
+async service tier (:class:`~repro.serve.AsyncAnswerService`):
+single-flight coalescing, admission control and deadlines over the
+same engine.
 
 Legacy API note: ``build_system(["cars"]).cqads.answer(question)``
 still works and returns bit-identical answers — it is a thin shim over
@@ -25,9 +28,11 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import asyncio
 import time
 
-from repro import AnswerRequest, SystemBuilder
+from repro import AnswerRequest, AsyncAnswerService, SystemBuilder
+from repro.errors import DeadlineExceededError
 
 
 def main() -> None:
@@ -198,6 +203,32 @@ def main() -> None:
     print(f"   inserted ad #{spare.record_id} landed on shard {shard}; "
           f"only that shard's caches were patched")
     sharded_table.delete(spare.record_id)
+
+    # The service tier: an asyncio front door with admission control.
+    # Identical in-flight questions coalesce into one engine run,
+    # per-tenant token buckets and a bounded queue shed excess load
+    # with typed errors, and per-request deadlines bound each caller's
+    # wait (see PERFORMANCE.md, "Service tier", and
+    # `python -m repro load ...` for an open-loop load driver).
+    print("=" * 72)
+    print("Async service tier: coalescing a burst of duplicate questions ...")
+
+    async def service_tier_demo() -> None:
+        async with AsyncAnswerService(service, workers=2, max_queue=8) as tier:
+            burst = await tier.answer_batch(
+                AnswerRequest(question=question, domain="cars")
+                for _ in range(8)
+            )
+            stats = tier.stats()
+            print(f"   {len(burst)} concurrent identical questions -> "
+                  f"{stats.executed} engine run(s), "
+                  f"{stats.coalesced} coalesced waiters")
+            try:
+                await tier.ask(question, domain="cars", deadline=1e-6)
+            except DeadlineExceededError as exc:
+                print(f"   a 1us deadline sheds typed: {exc}")
+
+    asyncio.run(service_tier_demo())
 
 
 if __name__ == "__main__":

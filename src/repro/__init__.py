@@ -35,6 +35,11 @@ Public surface:
 * :mod:`repro.api` — the service layer: :class:`SystemBuilder`,
   :class:`AnswerService`, :class:`AnswerRequest`/:class:`AnswerOptions`,
   :class:`QueryPipeline` with pluggable stages, :class:`AnswerPage`;
+* :mod:`repro.serve` — the async service tier:
+  :class:`AsyncAnswerService` with per-tenant token-bucket rate
+  limiting, single-flight coalescing of identical in-flight requests,
+  bounded admission queues with typed shed errors, and per-service
+  stats (``SystemBuilder().build_async_service()``);
 * :func:`build_system` — one-call provisioning (synthetic ads, query
   logs, corpus, similarity matrices, classifier);
 * :class:`CQAds` — the engine (domains, classifier, N-1 relaxation);
@@ -56,6 +61,7 @@ from repro.db.database import Database
 from repro.qa.conditions import Condition, ConditionOp, Interpretation, Superlative
 from repro.qa.domain import AdsDomain
 from repro.qa.pipeline import MAX_ANSWERS, Answer, CQAds, QuestionResult
+from repro.serve import AsyncAnswerService, ServiceStats
 from repro.system import BuiltDomain, BuiltSystem, build_system
 
 __version__ = "1.1.0"
@@ -78,6 +84,8 @@ __all__ = [
     "AnswerPage",
     "AnswerRequest",
     "AnswerService",
+    "AsyncAnswerService",
+    "ServiceStats",
     "QueryPipeline",
     "SystemBuilder",
     "__version__",

@@ -14,22 +14,42 @@ Two modes:
     JSON array of results to stdout — the scripted counterpart of the
     interactive mode.
 
-The word ``batch`` in first position selects the subcommand; to ask
-the literal one-word question "batch", put the flags (if any) first
-and separate the question with ``--``:
+``python -m repro load``
+    Drive synthetic **open-loop** traffic (arrivals on a fixed
+    schedule, regardless of completions — the load model under which
+    queues actually grow) through the async service tier
+    (:class:`repro.serve.AsyncAnswerService`) and report p50/p99
+    latency, shed counts by typed error, and the single-flight
+    coalescing hit rate.  ``--rps``/``--duration`` set the offered
+    load, ``--workers``/``--queue``/``--rate``/``--burst``/
+    ``--deadline`` set the admission knobs, and ``--distinct``
+    controls how duplicate-heavy the question mix is.
+
+The word ``batch``/``load`` in first position selects the subcommand;
+to ask the literal one-word question "batch", put the flags (if any)
+first and separate the question with ``--``:
 ``python -m repro --domains cars -- batch``.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import random
 import sys
 
 from repro.api import AnswerRequest, AnswerService, SystemBuilder
 from repro.datagen.vocab import DOMAIN_NAMES
+from repro.errors import ServiceError
+from repro.qa.pipeline import SERVICE_TIMING_KEYS
 
-__all__ = ["build_arg_parser", "build_batch_parser", "main"]
+__all__ = [
+    "build_arg_parser",
+    "build_batch_parser",
+    "build_load_parser",
+    "main",
+]
 
 
 def _add_provisioning_arguments(parser: argparse.ArgumentParser) -> None:
@@ -138,6 +158,88 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro load",
+        description=(
+            "Drive open-loop synthetic traffic through the async "
+            "service tier and report latency percentiles, shed counts "
+            "and the coalescing hit rate."
+        ),
+    )
+    _add_provisioning_arguments(parser)
+    parser.add_argument(
+        "--rps",
+        type=float,
+        default=50.0,
+        help="offered load: request arrivals per second (default 50)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="seconds of offered traffic (default 5)",
+    )
+    parser.add_argument(
+        "--distinct",
+        type=int,
+        default=12,
+        help=(
+            "distinct questions in the mix; arrivals sample uniformly "
+            "from this pool, so smaller means more duplicate-heavy "
+            "(default 12)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="concurrent engine invocations (default 4)",
+    )
+    parser.add_argument(
+        "--queue",
+        type=int,
+        default=32,
+        help="bounded admission queue depth (default 32)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="shared token-bucket refill rate, req/s (default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="token-bucket burst capacity (default: max(rate, 1))",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight coalescing (baseline comparison)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        metavar="CAPACITY",
+        help="attach an answer cache of this capacity (default: none)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    return parser
+
+
 def _provision_service(args: argparse.Namespace) -> AnswerService:
     domains = args.domains
     if domains is None and args.domain is not None:
@@ -217,8 +319,11 @@ def _result_to_json(result, top: int) -> dict:
         "partial_count": len(result.partial_answers),
         "total_ranked": len(result.ranked_pool),
         "timings_ms": {
-            stage: seconds * 1000 for stage, seconds in result.timings.items()
+            stage: seconds * 1000
+            for stage, seconds in result.timings.items()
+            if stage not in SERVICE_TIMING_KEYS
         },
+        "cache_hit": result.timings.get("cache"),
         "answers": [
             {
                 "exact": answer.exact,
@@ -268,10 +373,150 @@ def _batch_main(argv: list[str]) -> int:
     return 0
 
 
+def _percentile(values: list[float], q: float) -> float | None:
+    """The *q*-quantile (0..1) by nearest-rank on sorted *values*."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+async def _drive_open_loop(
+    service, arrivals: list[tuple[float, AnswerRequest]]
+) -> dict:
+    """Fire *arrivals* on their schedule; collect latency + shed stats.
+
+    Open-loop: every arrival fires at its scheduled offset whether or
+    not earlier requests completed, which is what exposes queue growth
+    and shedding under overload (a closed loop would self-throttle).
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time() + 0.02
+    latencies: list[float] = []
+    shed: dict[str, int] = {}
+
+    async def one(offset: float, request: AnswerRequest) -> None:
+        delay = (start + offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        begun = loop.time()
+        try:
+            await service.answer(request)
+        except ServiceError as exc:
+            name = type(exc).__name__
+            shed[name] = shed.get(name, 0) + 1
+        else:
+            latencies.append(loop.time() - begun)
+
+    await asyncio.gather(
+        *(one(offset, request) for offset, request in arrivals)
+    )
+    stats = service.stats()
+    return {
+        "offered": len(arrivals),
+        "completed": len(latencies),
+        "p50_ms": (_percentile(latencies, 0.50) or 0.0) * 1000,
+        "p99_ms": (_percentile(latencies, 0.99) or 0.0) * 1000,
+        "shed": shed,
+        "shed_rate": stats.shed_rate,
+        "engine_invocations": stats.executed,
+        "coalesced": stats.coalesced,
+        "coalescing_hit_rate": stats.coalescing_hit_rate,
+        "stats": stats.as_dict(),
+    }
+
+
+def _load_main(argv: list[str]) -> int:
+    args = build_load_parser().parse_args(argv)
+    if args.rps <= 0:
+        print("--rps must be positive", file=sys.stderr)
+        return 1
+    domains = args.domains
+    if domains is None and args.domain is not None:
+        domains = [args.domain]
+    print("provisioning CQAds ...", file=sys.stderr)
+    builder = SystemBuilder().ads_per_domain(args.ads).with_seed(args.seed)
+    if domains is not None:
+        builder = builder.with_domains(domains)
+    if args.shards is not None:
+        builder = builder.shards(args.shards)
+    system = builder.build()
+
+    from repro.datagen.questions import make_generator
+
+    names = sorted(system.domains)
+    pool: list[AnswerRequest] = []
+    for index in range(max(1, args.distinct)):
+        name = names[index % len(names)]
+        generator = make_generator(
+            system.domain(name).dataset, seed=args.seed + index
+        )
+        pool.append(
+            AnswerRequest(question=generator.generate().text, domain=name)
+        )
+
+    rng = random.Random(args.seed)
+    total = max(1, int(args.rps * args.duration))
+    interval = 1.0 / args.rps
+    arrivals = [
+        (index * interval, pool[rng.randrange(len(pool))])
+        for index in range(total)
+    ]
+
+    service = system.async_service(
+        cache=args.cache,
+        workers=args.workers,
+        max_queue=args.queue,
+        rate=args.rate,
+        burst=args.burst,
+        default_deadline=args.deadline,
+        coalesce=not args.no_coalesce,
+    )
+
+    async def run() -> dict:
+        try:
+            return await _drive_open_loop(service, arrivals)
+        finally:
+            await service.close()
+
+    print(
+        f"offering {total} requests at {args.rps:g} req/s "
+        f"({len(pool)} distinct questions, {args.workers} workers, "
+        f"queue {args.queue}) ...",
+        file=sys.stderr,
+    )
+    report = asyncio.run(run())
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"offered:            {report['offered']}")
+    print(f"completed:          {report['completed']}")
+    print(f"p50 latency:        {report['p50_ms']:.1f} ms")
+    print(f"p99 latency:        {report['p99_ms']:.1f} ms")
+    print(f"engine invocations: {report['engine_invocations']}")
+    print(
+        f"coalesced:          {report['coalesced']} "
+        f"({report['coalescing_hit_rate']:.1%} of submitted)"
+    )
+    shed = report["shed"]
+    if shed:
+        shed_list = ", ".join(
+            f"{name}: {count}" for name, count in sorted(shed.items())
+        )
+        print(f"shed:               {sum(shed.values())} ({shed_list})")
+    else:
+        print("shed:               0")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return _batch_main(argv[1:])
+    if argv and argv[0] == "load":
+        return _load_main(argv[1:])
     return _ask_main(argv)
 
 

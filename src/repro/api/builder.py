@@ -27,9 +27,12 @@ builder only collects arguments, so both surfaces stay byte-identical.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.classify.naive_bayes import NaiveBayesClassifier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.serve.service import AsyncAnswerService
 from repro.perf.answer_cache import AnswerCache
 from repro.system import BuiltSystem, build_system
 
@@ -57,6 +60,7 @@ class SystemBuilder:
         self._lazy = False
         self._answer_cache_capacity: int | None = None
         self._batch_workers = 4
+        self._async_limits: dict[str, object] = {}
         self._partitioner = None
         self._scatter_workers: int | None = None
         self._cqads_options: dict[str, object] = {}
@@ -183,6 +187,19 @@ class SystemBuilder:
         self._answer_cache_capacity = capacity
         return self
 
+    def async_limits(self, **limits) -> "SystemBuilder":
+        """Admission-control knobs for :meth:`build_async_service`.
+
+        Accepts the :class:`~repro.serve.service.AsyncAnswerService`
+        constructor keywords: ``workers`` (concurrent engine calls),
+        ``max_queue`` (bounded wait queue), ``rate``/``burst`` (shared
+        default token bucket), ``tenant_rates`` (per-tenant buckets),
+        ``default_deadline`` and ``coalesce``.  Later calls merge over
+        earlier ones.
+        """
+        self._async_limits.update(limits)
+        return self
+
     # -- provisioning strategy -----------------------------------------
     def lazy(self, lazy: bool = True) -> "SystemBuilder":
         """Defer per-domain provisioning to first use.
@@ -225,4 +242,21 @@ class SystemBuilder:
         )
         return AnswerService(
             self.build().cqads, cache=cache, max_workers=self._batch_workers
+        )
+
+    def build_async_service(self, **limits) -> "AsyncAnswerService":
+        """Provision the system behind an async, admission-controlled
+        front door (:class:`~repro.serve.service.AsyncAnswerService`).
+
+        The answer cache and batch-pool settings configure the wrapped
+        synchronous service exactly as :meth:`build_service` would;
+        *limits* override any :meth:`async_limits` collected so far.
+        The async service owns the sync one — ``await close()``
+        releases both.
+        """
+        from repro.serve.service import AsyncAnswerService
+
+        merged = {**self._async_limits, **limits}
+        return AsyncAnswerService(
+            self.build_service(), own_service=True, **merged
         )

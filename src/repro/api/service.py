@@ -36,6 +36,7 @@ from dataclasses import replace
 from typing import Hashable, Iterable, Sequence
 
 from repro.db.table import MutationEvent
+from repro.errors import ServiceClosedError
 from repro.perf.answer_cache import AnswerCache
 from repro.qa.pipeline import CQAds, QuestionResult
 
@@ -90,8 +91,12 @@ class AnswerService:
     def close(self) -> None:
         """Release the batch thread pool and the mutation listener.
 
-        Idempotent.  Single-request answering keeps working after
-        close; only new *parallel* batches are refused.
+        Idempotent.  A closed service refuses new work:
+        :meth:`answer`, :meth:`answer_batch` and :meth:`page` raise
+        :class:`~repro.errors.ServiceClosedError` (a
+        :class:`RuntimeError` subclass, for callers written against
+        the old untyped error) — build a fresh service over the same
+        engine to resume answering.
         """
         with self._executor_lock:
             self._closed = True
@@ -117,7 +122,7 @@ class AnswerService:
         """The persistent batch executor, grown if *size* exceeds it."""
         with self._executor_lock:
             if self._closed:
-                raise RuntimeError("AnswerService is closed")
+                raise ServiceClosedError("AnswerService")
             if self._executor is not None and size > self._executor_size:
                 # A caller asked for more parallelism than the pool
                 # has.  The old executor is *retired*, not shut down:
@@ -166,9 +171,14 @@ class AnswerService:
         With a cache attached, a repeat of a previously answered
         (domain, normalized question, options) is returned from memory
         — same answers, scores and ordering, with the result's
-        ``question`` field restored to this request's raw text.
+        ``question`` field restored to this request's raw text.  Any
+        request that consulted the cache reports the outcome as
+        ``result.timings["cache"]`` (``True`` for a hit, ``False`` for
+        a computed miss); cache-bypassing requests leave the key unset.
         """
         request = AnswerRequest.of(request)
+        if self._closed:
+            raise ServiceClosedError("AnswerService")
         if self.cache is None:
             return self.pipeline.run(self.cqads, request)
         options = ResolvedOptions.resolve(request.options, self.cqads)
@@ -177,10 +187,15 @@ class AnswerService:
         key = self._cache_key(request, options)
         cached = self.cache.lookup(key)
         if cached is not None:
-            if cached.question != request.question:
-                cached = replace(cached, question=request.question)
-            return cached
+            return replace(
+                cached,
+                question=request.question,
+                timings={**cached.timings, "cache": True},
+            )
         result = self.pipeline.run(self.cqads, request)
+        # Mark before storing: the stored entry carries the miss flag,
+        # and every future hit flips it on a per-caller copy above.
+        result.timings["cache"] = False
         self.cache.store(key, result.domain, result)
         return result
 
@@ -277,6 +292,8 @@ class AnswerService:
         same result object, which is where most of the batch win comes
         from on realistic workloads where popular questions repeat.
         """
+        if self._closed:
+            raise ServiceClosedError("AnswerService")
         items = [AnswerRequest.of(item) for item in requests]
         order = list(dict.fromkeys(items))
         effective = self.max_workers if workers is None else workers
@@ -308,6 +325,8 @@ class AnswerService:
         the full ranking size (the cursor semantics — ``has_more`` and
         ``next_offset`` — stay correct).
         """
+        if self._closed:
+            raise ServiceClosedError("AnswerService")
         if isinstance(source, QuestionResult):
             return page_result(source, offset=offset, limit=limit)
         if offset < 0:

@@ -53,10 +53,21 @@ from repro.ranking.rank_sim import (
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycle
     from repro.api.stages import QueryPipeline, StageTrace
 
-__all__ = ["Answer", "QuestionResult", "CQAds", "MAX_ANSWERS"]
+__all__ = [
+    "Answer",
+    "QuestionResult",
+    "CQAds",
+    "MAX_ANSWERS",
+    "SERVICE_TIMING_KEYS",
+]
 
 #: Section 4.3.1 / 5.1: up to 30 (in)exact answers per question.
 MAX_ANSWERS = 30
+
+#: Non-stage entries the service tier stores in ``QuestionResult.timings``:
+#: ``"cache"``/``"coalesced"`` are booleans, ``"queue_wait"`` is seconds
+#: spent in the async admission queue.  Excluded from ``elapsed_seconds``.
+SERVICE_TIMING_KEYS = frozenset({"cache", "coalesced", "queue_wait"})
 
 
 @dataclass(frozen=True)
@@ -87,6 +98,11 @@ class QuestionResult:
 
     ``timings`` maps each executed stage name to its wall-clock seconds;
     ``elapsed_seconds`` (the seed's single number) is derived from it.
+    The service tier also stores non-stage *metadata* under the
+    :data:`SERVICE_TIMING_KEYS` keys — ``"cache"`` (answer-cache hit
+    boolean), ``"coalesced"`` (single-flight waiter boolean) and
+    ``"queue_wait"`` (admission-queue seconds) — which
+    ``elapsed_seconds`` excludes so it stays the pipeline's own time.
     """
 
     question: str
@@ -102,8 +118,13 @@ class QuestionResult:
 
     @property
     def elapsed_seconds(self) -> float:
-        """Total pipeline time — the sum of the per-stage timings."""
-        return sum(self.timings.values())
+        """Total pipeline time — the sum of the per-stage timings
+        (service-tier metadata keys are excluded)."""
+        return sum(
+            seconds
+            for stage, seconds in self.timings.items()
+            if stage not in SERVICE_TIMING_KEYS
+        )
 
     @property
     def exact_answers(self) -> list[Answer]:

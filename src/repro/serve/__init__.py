@@ -1,0 +1,58 @@
+"""The async service tier: the engine's front door under real load.
+
+The packages below :mod:`repro.api` make a single answer fast; this
+package makes *many concurrent callers* safe.  It layers four
+production concerns over the synchronous
+:class:`~repro.api.service.AnswerService` without touching the engine:
+
+* :mod:`repro.serve.tokens` — per-tenant token-bucket rate limiting
+  with burst capacity and a shared default bucket;
+* :mod:`repro.serve.singleflight` — deduplication of identical
+  in-flight requests (one engine run fans out to N callers);
+* :mod:`repro.serve.admission` — a bounded worker pool plus a bounded
+  wait queue, shedding the excess with typed errors instead of
+  accumulating unbounded latency;
+* :mod:`repro.serve.stats` — counters and gauges for all of the above.
+
+:class:`~repro.serve.service.AsyncAnswerService` composes them into
+the asyncio facade most callers want::
+
+    import asyncio
+    from repro import SystemBuilder
+
+    async def main():
+        async with (
+            SystemBuilder().with_domains("cars").build_async_service(
+                workers=4, max_queue=32, rate=200, burst=50
+            )
+        ) as service:
+            results = await service.answer_batch(
+                ["blue honda accord"] * 100  # 100 callers, ~1 engine run
+            )
+            print(service.stats().coalescing_hit_rate)
+
+    asyncio.run(main())
+
+Typed failure modes live in :mod:`repro.errors`:
+``RateLimitedError``, ``QueueFullError``, ``DeadlineExceededError``
+(all retryable, see each class), and ``ServiceClosedError``.  See
+``PERFORMANCE.md`` ("Service tier") for semantics and
+``benchmarks/bench_service.py`` for the open-loop load harness.
+"""
+
+from repro.serve.admission import AdmissionGate
+from repro.serve.service import AsyncAnswerService
+from repro.serve.singleflight import Flight, SingleFlight
+from repro.serve.stats import Counters, ServiceStats
+from repro.serve.tokens import RateLimiter, TokenBucket
+
+__all__ = [
+    "AdmissionGate",
+    "AsyncAnswerService",
+    "Flight",
+    "SingleFlight",
+    "Counters",
+    "ServiceStats",
+    "RateLimiter",
+    "TokenBucket",
+]

@@ -1,0 +1,135 @@
+"""Bounded admission for the async service tier.
+
+:class:`AdmissionGate` is the backpressure primitive: ``slots``
+requests may execute concurrently (the worker-pool width) and at most
+``max_queue`` more may wait for a slot.  Everything beyond that is
+shed *immediately* with :class:`~repro.errors.QueueFullError` — the
+queue is a small elastic buffer for scheduling jitter, not a place for
+unbounded latency to hide.  A queued waiter whose deadline expires is
+shed with :class:`~repro.errors.DeadlineExceededError` and its place
+freed.
+
+The gate is a plain-asyncio reimplementation of a bounded FIFO
+semaphore rather than an :class:`asyncio.Semaphore` because the tier
+needs three things a semaphore hides: an O(1) *measurable* queue depth
+(the ``queue_depth`` gauge), immediate-fail admission above the bound,
+and :meth:`shed` — failing every queued waiter with a typed error on
+``close(drain=False)``.
+
+Single event-loop use only (like all of :mod:`repro.serve`); the
+synchronous engine runs on worker threads, but admission decisions all
+happen on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+
+from repro.errors import DeadlineExceededError, QueueFullError
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """``slots`` concurrent executions, at most ``max_queue`` waiting."""
+
+    def __init__(self, slots: int, max_queue: int) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be positive, got {slots}")
+        if max_queue < 0:
+            raise ValueError(
+                f"max_queue must be non-negative, got {max_queue}"
+            )
+        self.slots = slots
+        self.max_queue = max_queue
+        self._free = slots
+        self._waiters: deque[asyncio.Future] = deque()
+
+    # -- gauges ---------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Slots currently held (admitted, executing)."""
+        return self.slots - self._free
+
+    @property
+    def queue_depth(self) -> int:
+        """Waiters currently queued for a slot."""
+        return sum(1 for waiter in self._waiters if not waiter.done())
+
+    # -- admission ------------------------------------------------------
+    async def acquire(self, timeout: float | None = None) -> float:
+        """Take a slot, waiting in FIFO order; returns seconds queued.
+
+        Raises
+        ------
+        QueueFullError
+            Immediately, when no slot is free and ``max_queue`` waiters
+            are already queued.
+        DeadlineExceededError
+            When *timeout* (seconds; also accepts a pre-expired
+            ``<= 0`` value) elapses before a slot frees up.
+        """
+        if self._free > 0:
+            self._free -= 1
+            return 0.0
+        if self.queue_depth >= self.max_queue:
+            raise QueueFullError(self.max_queue)
+        if timeout is not None and timeout <= 0:
+            raise DeadlineExceededError(max(timeout, 0.0), phase="queued")
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        started = time.monotonic()
+        try:
+            await asyncio.wait_for(waiter, timeout)
+        except asyncio.TimeoutError:
+            self._discard(waiter)
+            assert timeout is not None
+            raise DeadlineExceededError(timeout, phase="queued") from None
+        except asyncio.CancelledError:
+            # The caller was cancelled.  If the hand-off already
+            # happened the slot is ours to give back; otherwise just
+            # leave the queue.
+            if waiter.done() and not waiter.cancelled():
+                self.release()
+            self._discard(waiter)
+            raise
+        except BaseException:
+            # A typed shed (ServiceClosedError via shed()) or any
+            # other failure set on the waiter: it no longer queues.
+            self._discard(waiter)
+            raise
+        return time.monotonic() - started
+
+    def _discard(self, waiter: asyncio.Future) -> None:
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass
+
+    def release(self) -> None:
+        """Give a slot back, handing it to the first live waiter."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                # Direct hand-off: the slot never becomes free, so a
+                # later arrival cannot jump the queue.
+                waiter.set_result(None)
+                return
+        self._free += 1
+        if self._free > self.slots:
+            raise AssertionError("AdmissionGate released more than acquired")
+
+    def shed(self, exc_factory) -> int:
+        """Fail every queued waiter with ``exc_factory()``; returns the
+        number shed.  Slots already held are unaffected — this is the
+        ``close(drain=False)`` path: running work finishes, queued work
+        is refused."""
+        shed = 0
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(exc_factory())
+                shed += 1
+        return shed

@@ -1,0 +1,426 @@
+"""`AsyncAnswerService`: the admission-controlled asyncio front door.
+
+The synchronous :class:`~repro.api.service.AnswerService` answers
+whatever it is handed, as fast as it can, with no opinion about load —
+any caller can swamp it, and N concurrent identical questions cost N
+engine runs.  This module layers the *service tier* a
+millions-of-users deployment needs over that engine, without touching
+it:
+
+1. **Rate limiting** (:mod:`repro.serve.tokens`): per-tenant token
+   buckets with burst capacity plus one shared default bucket.  An
+   over-budget request is shed immediately with
+   :class:`~repro.errors.RateLimitedError` and a ``retry_after`` hint.
+2. **Single-flight coalescing** (:mod:`repro.serve.singleflight`):
+   identical in-flight requests — same mutation generation, domain,
+   normalized question and resolved-options fingerprint, the answer
+   cache's own key shape — share one engine invocation.  The result
+   (or failure) fans out to every caller.
+3. **Bounded admission** (:mod:`repro.serve.admission`): at most
+   ``workers`` flights execute concurrently on a dedicated thread
+   pool and at most ``max_queue`` more may wait; beyond that,
+   :class:`~repro.errors.QueueFullError`.  Queue depth — and therefore
+   queueing latency — is bounded by construction.
+4. **Deadlines**: ``AnswerOptions.deadline`` (or the service's
+   ``default_deadline``) bounds each caller's total wait;
+   :class:`~repro.errors.DeadlineExceededError` says whether the
+   budget died ``"queued"`` or ``"awaiting"``.
+5. **Stats** (:mod:`repro.serve.stats`): admitted / shed / coalesced /
+   executed counters and queue-depth / in-flight gauges via
+   :meth:`AsyncAnswerService.stats`; per-result metadata lands in
+   ``timings["coalesced"]`` / ``timings["queue_wait"]`` (and the sync
+   service's ``timings["cache"]``).
+
+**Mutation correctness.** The service subscribes to the database's
+mutation events and folds a monotonic generation (global, plus
+per-domain for explicitly-routed requests) into every flight key —
+the same scheme :class:`AnswerService` uses for answer-cache keys.  A
+caller that arrives *after* a mutation can therefore never join a
+flight computed *before* it: the generation differs, a fresh flight
+runs, and the fresh flight goes through the sync service's
+generation-keyed cache as usual.  Callers already attached when a
+mutation lands keep their flight — exactly the sync semantics, where a
+result computed across a mutation is returned to its caller but stored
+under an unreachable cache key.
+
+**Deadlines vs. coalescing.** A flight's *admission* wait is governed
+by its initiating caller's deadline; once admitted, the engine call
+runs to completion (worker threads cannot be cancelled) and each
+caller — leader or coalesced waiter — applies its own deadline to the
+await.  A waiter with a longer budget than the leader's can therefore
+still collect the result after the leader gave up.
+
+**Shutdown.** ``await close(drain=True)`` (the default, also the
+``async with`` exit) refuses new requests and waits for queued and
+running flights to finish; ``drain=False`` additionally sheds every
+*queued* flight with :class:`~repro.errors.ServiceClosedError` —
+running flights still complete, so no engine work is ever abandoned
+half-done.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.api.requests import AnswerOptions, AnswerRequest, ResolvedOptions
+from repro.api.service import AnswerService
+from repro.db.table import MutationEvent
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    RateLimitedError,
+    ServiceClosedError,
+)
+from repro.qa.pipeline import CQAds, QuestionResult
+
+from repro.serve.admission import AdmissionGate
+from repro.serve.singleflight import Flight, SingleFlight
+from repro.serve.stats import Counters, ServiceStats
+from repro.serve.tokens import RateLimiter
+
+__all__ = ["AsyncAnswerService"]
+
+
+class AsyncAnswerService:
+    """Admission-controlled asyncio facade over one answer engine.
+
+    Parameters
+    ----------
+    service:
+        The synchronous :class:`AnswerService` to front (its answer
+        cache, pipeline and option defaults all apply), or a bare
+        :class:`CQAds` engine to wrap in a fresh cacheless service
+        (which this object then owns and closes).
+    workers:
+        Concurrent engine invocations — the width of the dedicated
+        worker thread pool and of the admission gate.
+    max_queue:
+        Admitted-but-waiting bound; requests beyond ``workers +
+        max_queue`` in flight are shed with ``QueueFullError``.
+    rate / burst:
+        Shared default token bucket (tokens per second / bucket
+        capacity) covering every tenant without a private budget,
+        anonymous callers included.  ``rate=None`` disables default
+        limiting; ``burst`` defaults to ``max(rate, 1)``.
+    tenant_rates:
+        ``{tenant: (rate, burst)}`` private buckets.
+    rate_limiter:
+        A pre-built :class:`RateLimiter`, overriding the three knobs
+        above (useful for injecting a fake clock in tests).
+    default_deadline:
+        Seconds applied to requests whose options carry no
+        ``deadline``.  ``None`` leaves them unbounded.
+    coalesce:
+        Disable to give every request its own flight (the load
+        benchmark's baseline; production wants the default ``True``).
+    """
+
+    def __init__(
+        self,
+        service: AnswerService | CQAds,
+        *,
+        workers: int = 4,
+        max_queue: int = 64,
+        rate: float | None = None,
+        burst: float | None = None,
+        tenant_rates: Mapping[Hashable, tuple[float, float]] | None = None,
+        rate_limiter: RateLimiter | None = None,
+        default_deadline: float | None = None,
+        coalesce: bool = True,
+        own_service: bool | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        if isinstance(service, CQAds):
+            service = AnswerService(service, max_workers=workers)
+            if own_service is None:
+                own_service = True
+        self.service = service
+        self.workers = workers
+        self.default_deadline = default_deadline
+        self.coalesce = coalesce
+        self._owns_service = bool(own_service)
+        if rate_limiter is None:
+            default = None
+            if rate is not None:
+                default = (rate, burst if burst is not None else max(rate, 1.0))
+            rate_limiter = RateLimiter(default=default, per_tenant=tenant_rates)
+        self._limiter = rate_limiter
+        self._gate = AdmissionGate(workers, max_queue)
+        self._flights = SingleFlight()
+        self._counters = Counters()
+        self._tasks: set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="async-answer"
+        )
+        self._closed = False
+        #: Flight-key mutation generations, mirroring the sync
+        #: service's answer-cache generations: the global counter
+        #: versions classified (domain-less) requests, the per-domain
+        #: counters version explicitly-routed ones.  Bumped from
+        #: whatever thread mutates a table, read on the event loop.
+        self._generation = 0
+        self._domain_generations: dict[str, int] = {}
+        self._generation_lock = threading.Lock()
+        self.cqads.database.add_listener(self._on_table_mutation)
+        self._subscribed = True
+
+    # ------------------------------------------------------------------
+    @property
+    def cqads(self) -> CQAds:
+        return self.service.cqads
+
+    @property
+    def rate_limiter(self) -> RateLimiter:
+        return self._limiter
+
+    def stats(self) -> ServiceStats:
+        """An immutable snapshot of counters and admission gauges."""
+        return self._counters.snapshot(
+            queue_depth=self._gate.queue_depth,
+            in_flight=self._gate.in_flight,
+            open_flights=len(self._flights),
+        )
+
+    # ------------------------------------------------------------------
+    # mutation generations (flight-key versioning)
+    # ------------------------------------------------------------------
+    def _on_table_mutation(self, event: MutationEvent) -> None:
+        with self._generation_lock:
+            self._generation += 1
+            domain = self.cqads.registered_domain_for_table(event.table.name)
+            if domain is not None:
+                self._domain_generations[domain] = (
+                    self._domain_generations.get(domain, 0) + 1
+                )
+
+    def _flight_key(
+        self, request: AnswerRequest, resolved: ResolvedOptions
+    ) -> Hashable:
+        with self._generation_lock:
+            if request.domain is None:
+                generation = self._generation
+            else:
+                generation = self._domain_generations.get(request.domain, 0)
+        return (
+            generation,
+            request.domain,
+            AnswerService._normalize_question(request.question),
+            resolved.fingerprint(),
+            # A cache-bypassing request must not be served a flight
+            # that may resolve from the answer cache (and vice versa).
+            resolved.use_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _remaining(timeout_at: float | None) -> float | None:
+        if timeout_at is None:
+            return None
+        return timeout_at - asyncio.get_running_loop().time()
+
+    async def answer(
+        self,
+        request: AnswerRequest | str,
+        *,
+        tenant: Hashable = None,
+    ) -> QuestionResult:
+        """Answer one request through admission control.
+
+        Raises the typed service errors documented in
+        :mod:`repro.errors` (``RateLimitedError``, ``QueueFullError``,
+        ``DeadlineExceededError``, ``ServiceClosedError``); anything
+        else propagates from the pipeline itself, fanned out to every
+        coalesced caller of the failing flight.
+        """
+        request = AnswerRequest.of(request)
+        if self._closed:
+            raise ServiceClosedError("AsyncAnswerService")
+        loop = asyncio.get_running_loop()
+        counters = self._counters
+        counters.submitted += 1
+        try:
+            self._limiter.admit(tenant)
+        except RateLimitedError:
+            counters.rate_limited += 1
+            raise
+        resolved = ResolvedOptions.resolve(request.options, self.cqads)
+        deadline = (
+            resolved.deadline
+            if resolved.deadline is not None
+            else self.default_deadline
+        )
+        timeout_at = loop.time() + deadline if deadline is not None else None
+
+        coalesced = False
+        if self.coalesce:
+            key = self._flight_key(request, resolved)
+            flight = self._flights.get(key)
+            if flight is not None:
+                coalesced = True
+                counters.coalesced += 1
+            else:
+                flight = self._flights.begin(key)
+        else:
+            flight = Flight(key=None, future=loop.create_future())
+        if not coalesced:
+            task = loop.create_task(
+                self._run_flight(flight, request, timeout_at)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(flight.future), self._remaining(timeout_at)
+            )
+        except asyncio.TimeoutError:
+            counters.deadline_expired += 1
+            assert deadline is not None
+            raise DeadlineExceededError(
+                deadline,
+                phase="awaiting" if flight.admitted else "queued",
+            ) from None
+        except QueueFullError:
+            counters.queue_full += 1
+            raise
+        except DeadlineExceededError:
+            counters.deadline_expired += 1
+            raise
+        except ServiceClosedError:
+            counters.closed_while_queued += 1
+            raise
+        except Exception:
+            counters.failed += 1
+            raise
+        counters.completed += 1
+        # Each caller gets its own copy carrying its own service
+        # metadata; the underlying answers stay shared (read-only).
+        return replace(
+            result,
+            timings={
+                **result.timings,
+                "coalesced": coalesced,
+                "queue_wait": flight.queue_wait,
+            },
+        )
+
+    async def _run_flight(
+        self,
+        flight: Flight,
+        request: AnswerRequest,
+        timeout_at: float | None,
+    ) -> None:
+        """Admit and execute one flight, resolving its shared future.
+
+        Never raises: every outcome — including typed sheds at the
+        admission gate — is delivered through the future so it fans
+        out to all attached callers.
+        """
+        try:
+            flight.queue_wait = await self._gate.acquire(
+                self._remaining(timeout_at)
+            )
+        except BaseException as exc:
+            self._flights.finish(flight)
+            flight.future.set_exception(exc)
+            flight.future.exception()  # consumed: callers re-raise it
+            return
+        flight.admitted = True
+        self._counters.admitted += 1
+        try:
+            self._counters.executed += 1
+            result = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self.service.answer, request
+            )
+        except BaseException as exc:
+            self._flights.finish(flight)
+            flight.future.set_exception(exc)
+            flight.future.exception()
+        else:
+            self._flights.finish(flight)
+            flight.future.set_result(result)
+        finally:
+            self._gate.release()
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    async def ask(
+        self,
+        question: str,
+        domain: str | None = None,
+        tenant: Hashable = None,
+        options: AnswerOptions | None = None,
+        **overrides,
+    ) -> QuestionResult:
+        """Keyword convenience mirroring :meth:`AnswerService.ask`."""
+        request = AnswerRequest(
+            question=question,
+            domain=domain,
+            options=options if options is not None else AnswerOptions(),
+        )
+        if overrides:
+            request = request.with_options(**overrides)
+        return await self.answer(request, tenant=tenant)
+
+    async def answer_batch(
+        self,
+        requests: Iterable[AnswerRequest | str],
+        *,
+        tenant: Hashable = None,
+        return_exceptions: bool = False,
+    ) -> Sequence[QuestionResult | BaseException]:
+        """Answer *requests* concurrently, results in input order.
+
+        Every request goes through the full admission path (so a batch
+        is not a way around rate limits), but duplicates coalesce.
+        With ``return_exceptions`` each shed request yields its typed
+        error in place of a result instead of failing the batch.
+        """
+        return await asyncio.gather(
+            *(self.answer(request, tenant=tenant) for request in requests),
+            return_exceptions=return_exceptions,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self, drain: bool = True) -> None:
+        """Refuse new requests, then settle the outstanding ones.
+
+        ``drain=True`` waits for every queued and running flight;
+        ``drain=False`` sheds the *queued* flights with
+        :class:`ServiceClosedError` (running engine calls still finish
+        — worker threads cannot be abandoned mid-computation).
+        Idempotent; repeated calls re-await outstanding work.
+        """
+        self._closed = True
+        if not drain:
+            self._gate.shed(lambda: ServiceClosedError("AsyncAnswerService"))
+        while self._tasks:
+            await asyncio.gather(
+                *list(self._tasks), return_exceptions=True
+            )
+        if self._subscribed:
+            self.cqads.database.remove_listener(self._on_table_mutation)
+            self._subscribed = False
+        self._executor.shutdown(wait=True)
+        if self._owns_service:
+            self.service.close()
+
+    async def __aenter__(self) -> "AsyncAnswerService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

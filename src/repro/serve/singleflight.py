@@ -1,0 +1,86 @@
+"""Single-flight deduplication of identical in-flight requests.
+
+Under duplicate-heavy traffic, N concurrent identical questions should
+cost one engine invocation, not N.  The answer cache already collapses
+*sequential* repeats; :class:`SingleFlight` collapses *concurrent*
+ones: the first caller of a key becomes the **leader** and runs the
+engine, later callers (**waiters**) attach to the same
+:class:`Flight` and await its future.  The result fans out to every
+caller; a failure fans out too (exceptions propagate to all, so one
+poisoned question costs one failure, not a retry storm).
+
+Keys are the business of the caller
+(:class:`~repro.serve.service.AsyncAnswerService` uses the same shape
+as the answer-cache key — mutation generation, domain, normalized
+question, options fingerprint — so a flight can never fan a
+pre-mutation answer out to a post-mutation arrival).
+
+Flights are popped from the registry *before* their future resolves:
+an arrival that observes a key is guaranteed the result has not been
+delivered yet, and an arrival after completion starts a fresh flight
+(single-flight is for concurrency, caching is the cache's job).
+
+Single event-loop use only; no locks needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Hashable
+
+__all__ = ["Flight", "SingleFlight"]
+
+
+@dataclass
+class Flight:
+    """One in-flight computation and everyone awaiting it."""
+
+    key: Hashable
+    future: asyncio.Future
+    #: Total callers attached (leader included).
+    callers: int = 1
+    #: Seconds the flight spent queued for a worker slot (set by the
+    #: service once admitted; surfaced as ``timings["queue_wait"]``).
+    queue_wait: float = 0.0
+    #: True once the flight holds a worker slot — distinguishes a
+    #: deadline that died ``"queued"`` from one that died ``"awaiting"``.
+    admitted: bool = False
+
+
+class SingleFlight:
+    """Registry of open flights keyed by request identity."""
+
+    def __init__(self) -> None:
+        self._flights: dict[Hashable, Flight] = {}
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def get(self, key: Hashable) -> Flight | None:
+        """The open flight for *key*, with this caller attached."""
+        flight = self._flights.get(key)
+        if flight is not None:
+            flight.callers += 1
+        return flight
+
+    def begin(self, key: Hashable) -> Flight:
+        """Open a new flight for *key* (caller becomes the leader)."""
+        if key in self._flights:
+            raise AssertionError(f"flight already open for {key!r}")
+        flight = Flight(
+            key=key, future=asyncio.get_running_loop().create_future()
+        )
+        self._flights[key] = flight
+        return flight
+
+    def finish(self, flight: Flight) -> None:
+        """Close *flight*'s registry entry (before resolving its future).
+
+        Idempotent, and a no-op if the key was re-opened by a newer
+        flight (never possible while this one is registered, but cheap
+        to guard).
+        """
+        current = self._flights.get(flight.key)
+        if current is flight:
+            del self._flights[flight.key]

@@ -1,0 +1,132 @@
+"""Counters and gauges for the async service tier.
+
+The mutable :class:`Counters` lives inside
+:class:`~repro.serve.service.AsyncAnswerService` and is only touched
+on the event loop (no locks); :meth:`Counters.snapshot` freezes it —
+together with the admission gauges — into an immutable
+:class:`ServiceStats` callers can log or assert on.
+
+Accounting model (each request increments exactly one terminal
+counter):
+
+* ``submitted`` — requests past the closed check;
+* ``rate_limited`` / ``queue_full`` / ``deadline_expired`` /
+  ``closed_while_queued`` — shed requests, by reason (a coalesced
+  waiter that inherits its flight's shed error counts under the same
+  reason);
+* ``completed`` — requests that returned an answer;
+* ``failed`` — requests whose flight raised a non-service error
+  (a pipeline bug or a malformed question).
+
+Orthogonally, ``coalesced`` counts requests that *joined* an existing
+flight, ``admitted`` counts flights granted a worker slot, and
+``executed`` counts engine invocations — so the coalescing win is
+``1 - executed / completed`` on a duplicate-heavy workload, measurable
+independently of the answer cache (which reports per-result
+``timings["cache"]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Counters", "ServiceStats"]
+
+
+@dataclass
+class Counters:
+    """Event-loop-confined mutable counters (see module docstring)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    coalesced: int = 0
+    admitted: int = 0
+    executed: int = 0
+    rate_limited: int = 0
+    queue_full: int = 0
+    deadline_expired: int = 0
+    closed_while_queued: int = 0
+
+    def snapshot(
+        self, queue_depth: int, in_flight: int, open_flights: int
+    ) -> "ServiceStats":
+        return ServiceStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            failed=self.failed,
+            coalesced=self.coalesced,
+            admitted=self.admitted,
+            executed=self.executed,
+            rate_limited=self.rate_limited,
+            queue_full=self.queue_full,
+            deadline_expired=self.deadline_expired,
+            closed_while_queued=self.closed_while_queued,
+            queue_depth=queue_depth,
+            in_flight=in_flight,
+            open_flights=open_flights,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """An immutable point-in-time view of the service's counters.
+
+    The first block are monotonic counters; ``queue_depth``,
+    ``in_flight`` and ``open_flights`` are instantaneous gauges.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    coalesced: int
+    admitted: int
+    executed: int
+    rate_limited: int
+    queue_full: int
+    deadline_expired: int
+    closed_while_queued: int
+    queue_depth: int
+    in_flight: int
+    open_flights: int
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected without an answer, all reasons."""
+        return (
+            self.rate_limited
+            + self.queue_full
+            + self.deadline_expired
+            + self.closed_while_queued
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted requests that were shed."""
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    @property
+    def coalescing_hit_rate(self) -> float:
+        """Fraction of submitted requests served by joining a flight."""
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """A flat dict (counters, gauges and derived rates) for JSON."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "coalesced": self.coalesced,
+            "admitted": self.admitted,
+            "executed": self.executed,
+            "rate_limited": self.rate_limited,
+            "queue_full": self.queue_full,
+            "deadline_expired": self.deadline_expired,
+            "closed_while_queued": self.closed_while_queued,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "open_flights": self.open_flights,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "coalescing_hit_rate": self.coalescing_hit_rate,
+        }

@@ -1,0 +1,169 @@
+"""Token-bucket rate limiting for the async service tier.
+
+A :class:`TokenBucket` holds at most ``capacity`` tokens and refills
+continuously at ``rate`` tokens per second; each admitted request
+spends one token.  ``capacity`` above ``rate`` is *burst* headroom: an
+idle tenant accumulates up to a full bucket and may briefly exceed its
+steady-state rate, which is what lets bursty interactive traffic
+through while still bounding sustained load.
+
+:class:`RateLimiter` maps tenants to buckets.  Tenants named in
+``per_tenant`` get a private bucket; everyone else — including
+anonymous requests (``tenant=None``) — shares one *default* bucket, so
+an unconfigured tenant cannot starve the configured ones but
+unconfigured tenants do contend with each other.
+
+Both classes are thread-safe (the refill arithmetic runs under a lock)
+and take an injectable monotonic ``clock`` so tests can drive time
+deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Hashable, Mapping
+
+from repro.errors import RateLimitedError
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """A continuously-refilling bucket of ``capacity`` tokens.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in tokens per second.  ``0`` never refills — the
+        bucket serves its initial ``capacity`` and then rejects
+        forever (useful to hard-cap a tenant).
+    capacity:
+        Maximum (and initial) token count; the burst bound.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.rate
+            )
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend *tokens* if the bucket holds them; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until *tokens* will be available (0 when they are).
+
+        ``inf`` for a zero-rate bucket that has run dry — it will
+        never refill.
+        """
+        with self._lock:
+            self._refill(self._clock())
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            if self.rate == 0:
+                return math.inf
+            return deficit / self.rate
+
+    @property
+    def available(self) -> float:
+        """Current token count (refreshed to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class RateLimiter:
+    """Per-tenant token buckets with one shared default bucket.
+
+    Parameters
+    ----------
+    default:
+        ``(rate, burst)`` for the bucket shared by every tenant not
+        named in *per_tenant* (anonymous requests included).  ``None``
+        disables limiting for those tenants.
+    per_tenant:
+        Mapping of tenant key to ``(rate, burst)`` for tenants with a
+        private budget.
+    clock:
+        Monotonic time source shared by every bucket.
+    """
+
+    def __init__(
+        self,
+        default: tuple[float, float] | None = None,
+        per_tenant: Mapping[Hashable, tuple[float, float]] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._default = (
+            TokenBucket(default[0], default[1], clock=clock)
+            if default is not None
+            else None
+        )
+        self._buckets: dict[Hashable, TokenBucket] = {
+            tenant: TokenBucket(rate, burst, clock=clock)
+            for tenant, (rate, burst) in (per_tenant or {}).items()
+        }
+
+    def bucket_for(self, tenant: Hashable = None) -> TokenBucket | None:
+        """The bucket governing *tenant* (``None`` means unlimited)."""
+        if tenant is not None and tenant in self._buckets:
+            return self._buckets[tenant]
+        return self._default
+
+    def set_tenant(
+        self, tenant: Hashable, rate: float, burst: float
+    ) -> TokenBucket:
+        """Give *tenant* a private bucket (replacing any existing one)."""
+        bucket = TokenBucket(rate, burst, clock=self._clock)
+        self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: Hashable = None, tokens: float = 1.0) -> None:
+        """Spend *tokens* from *tenant*'s bucket or shed the request.
+
+        Raises
+        ------
+        RateLimitedError
+            When the governing bucket cannot cover *tokens*; carries
+            the tenant key and a ``retry_after`` hint.
+        """
+        bucket = self.bucket_for(tenant)
+        if bucket is None:
+            return
+        if not bucket.try_acquire(tokens):
+            shared = bucket is self._default
+            raise RateLimitedError(
+                tenant=None if shared else tenant,
+                retry_after=bucket.retry_after(tokens),
+            )

@@ -47,6 +47,7 @@ from repro.ranking.ws_matrix import WSMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.api.service import AnswerService
+    from repro.serve.service import AsyncAnswerService
 
 __all__ = ["BuiltDomain", "BuiltSystem", "build_system"]
 
@@ -145,6 +146,25 @@ class BuiltSystem:
         from repro.api.service import AnswerService
 
         return AnswerService(self.cqads, cache=cache, max_workers=max_workers)
+
+    def async_service(
+        self, cache: int | None = None, **limits
+    ) -> "AsyncAnswerService":
+        """An admission-controlled asyncio front-end over this system.
+
+        Builds a fresh synchronous :class:`AnswerService` (with an
+        answer cache of capacity *cache* when given) and wraps it in
+        an :class:`~repro.serve.service.AsyncAnswerService`, which
+        owns it — ``await async_service.close()`` releases both.
+        *limits* are the async service's knobs (``workers``,
+        ``max_queue``, ``rate``/``burst``, ``tenant_rates``,
+        ``default_deadline``, ``coalesce``); see :mod:`repro.serve`.
+        """
+        from repro.serve.service import AsyncAnswerService
+
+        return AsyncAnswerService(
+            self.service(cache=cache), own_service=True, **limits
+        )
 
 
 def _provision_domain(

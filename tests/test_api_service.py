@@ -13,7 +13,7 @@ from repro.api import (
 )
 from repro.datagen.questions import make_generator
 from repro.datagen.vocab import DOMAIN_NAMES
-from repro.errors import ClassificationError
+from repro.errors import ClassificationError, ServiceClosedError
 from repro.qa.pipeline import MAX_ANSWERS
 from repro.system import build_system
 
@@ -496,20 +496,34 @@ class TestServiceLifecycle:
         with pytest.raises(RuntimeError):
             first_pool.submit(lambda: None)  # close() reaps retirees
 
-    def test_close_is_idempotent_and_serial_still_works(self, cars_system):
+    def test_close_is_idempotent_and_refuses_new_work(self, cars_system):
         service = AnswerService(cars_system.cqads, max_workers=2)
+        result = service.answer(
+            AnswerRequest(question=TABLE2_QUESTION, domain="cars")
+        )
         service.answer_batch([TABLE2_QUESTION, "honda"])
         service.close()
         service.close()
         assert service._executor is None
-        # Serial answering (and workers=1 batches) survive close().
-        result = service.answer(
-            AnswerRequest(question=TABLE2_QUESTION, domain="cars")
-        )
-        assert result.answers
-        service.answer_batch([TABLE2_QUESTION], workers=1)
-        with pytest.raises(RuntimeError):
+        # A closed service refuses every entry point with the typed
+        # error — which still satisfies the legacy RuntimeError
+        # contract for callers written against the old message.
+        with pytest.raises(ServiceClosedError):
+            service.answer(
+                AnswerRequest(question=TABLE2_QUESTION, domain="cars")
+            )
+        with pytest.raises(ServiceClosedError):
+            service.answer_batch([TABLE2_QUESTION], workers=1)
+        with pytest.raises(ServiceClosedError):
             service.answer_batch([TABLE2_QUESTION, "honda"], workers=4)
+        with pytest.raises(ServiceClosedError):
+            service.page(TABLE2_QUESTION, offset=0, limit=5)
+        with pytest.raises(ServiceClosedError):
+            # Even paging an already-computed result is refused.
+            service.page(result, offset=0, limit=5)
+        assert issubclass(ServiceClosedError, RuntimeError)
+        with pytest.raises(RuntimeError):
+            service.answer(TABLE2_QUESTION)
 
     def test_context_manager_closes_and_unsubscribes(self, cars_system):
         database = cars_system.cqads.database

@@ -1,0 +1,1056 @@
+"""Tests for the async service tier (:mod:`repro.serve`).
+
+The image has no pytest-asyncio, so every async scenario runs inside
+``asyncio.run()`` from a plain test function — the ``run`` helper
+below.  Deterministic blocking is done with :class:`GatedPipeline`, a
+pipeline wrapper that computes its answer and then parks the worker
+thread on an event, which lets a test hold a flight open while it
+attaches waiters, lands mutations or closes the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+
+import pytest
+
+from repro.api import AnswerRequest, AnswerService, SystemBuilder
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    RateLimitedError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+)
+from repro.perf.answer_cache import AnswerCache
+from repro.qa.pipeline import SERVICE_TIMING_KEYS
+from repro.serve import (
+    AdmissionGate,
+    AsyncAnswerService,
+    RateLimiter,
+    SingleFlight,
+    TokenBucket,
+)
+from repro.system import build_system
+
+QUESTION = "honda accord blue less than 15000 dollars"
+
+
+def run(coro):
+    """Run one async scenario to completion (no pytest-asyncio here)."""
+    return asyncio.run(coro)
+
+
+async def wait_for_event(event: threading.Event, timeout: float = 10.0) -> None:
+    """Await a thread-set event without blocking the loop."""
+    for _ in range(int(timeout / 0.005)):
+        if event.is_set():
+            return
+        await asyncio.sleep(0.005)
+    raise AssertionError("event was never set")
+
+
+async def settle(seconds: float = 0.02) -> None:
+    """Give freshly-created tasks a few loop passes to reach an await."""
+    await asyncio.sleep(seconds)
+
+
+def _signature(result):
+    return [
+        (a.record.record_id, a.exact, a.score, a.similarity_kind)
+        for a in result.answers
+    ]
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for token-bucket tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class GatedPipeline:
+    """Computes the real answer, then blocks until released.
+
+    The answer is computed *before* the block, so a mutation landing
+    while the flight is parked happens strictly after the result was
+    derived — the result is a genuine pre-mutation snapshot.
+    """
+
+    def __init__(self, cqads) -> None:
+        self.inner = cqads.pipeline()
+        self.release = threading.Event()
+        self.computed = threading.Event()
+        self.runs = 0
+        self._lock = threading.Lock()
+
+    def run(self, cqads, request):
+        result = self.inner.run(cqads, request)
+        with self._lock:
+            self.runs += 1
+        self.computed.set()
+        if not self.release.wait(timeout=30):
+            raise TimeoutError("GatedPipeline was never released")
+        return result
+
+
+class ExplodingPipeline:
+    """Blocks like :class:`GatedPipeline`, then raises."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.entered = threading.Event()
+        self.runs = 0
+
+    def run(self, cqads, request):
+        self.runs += 1
+        self.entered.set()
+        self.release.wait(timeout=30)
+        raise ValueError("poisoned question")
+
+
+@pytest.fixture(scope="module")
+def serve_system():
+    """A tiny cars-only build shared by the module; mutating tests
+    insert a spare row and delete it again (the repo's idiom)."""
+    return build_system(
+        ["cars"],
+        ads_per_domain=60,
+        sessions_per_domain=80,
+        corpus_documents=80,
+    )
+
+
+# ----------------------------------------------------------------------
+# token buckets
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_starts_full_and_serves_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_continuously_and_clamps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        clock.advance(0.5)  # 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(1000.0)  # burst headroom never exceeds capacity
+        assert bucket.available == pytest.approx(4.0)
+
+    def test_retry_after_reports_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=1.0, clock=clock)
+        assert bucket.retry_after() == 0.0
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+
+    def test_zero_rate_hard_caps(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, capacity=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(1e6)
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == math.inf
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+
+class TestRateLimiter:
+    def test_unknown_tenants_share_the_default_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(default=(0.0, 2.0), clock=clock)
+        limiter.admit(None)
+        limiter.admit("stranger")  # same bucket as the anonymous call
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.admit("other-stranger")
+        # A shared-bucket shed names no tenant: nobody in particular
+        # exceeded *their* budget.
+        assert excinfo.value.tenant is None
+        assert excinfo.value.retry_after == math.inf
+
+    def test_configured_tenant_gets_a_private_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            default=None, per_tenant={"vip": (0.0, 1.0)}, clock=clock
+        )
+        limiter.admit("vip")
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.admit("vip")
+        assert excinfo.value.tenant == "vip"
+        # No default bucket: everyone else is unlimited.
+        for _ in range(10):
+            limiter.admit("anonymous-horde")
+
+    def test_set_tenant_replaces_the_budget(self):
+        clock = FakeClock()
+        limiter = RateLimiter(per_tenant={"t": (0.0, 1.0)}, clock=clock)
+        limiter.admit("t")
+        limiter.set_tenant("t", rate=0.0, burst=5.0)
+        for _ in range(5):
+            limiter.admit("t")
+        with pytest.raises(RateLimitedError):
+            limiter.admit("t")
+
+    def test_error_taxonomy(self):
+        assert issubclass(RateLimitedError, ServiceOverloadError)
+        assert issubclass(QueueFullError, ServiceOverloadError)
+        assert issubclass(ServiceOverloadError, ServiceError)
+        assert issubclass(DeadlineExceededError, ServiceError)
+        assert issubclass(ServiceClosedError, ServiceError)
+        assert issubclass(ServiceClosedError, RuntimeError)
+
+
+# ----------------------------------------------------------------------
+# the admission gate
+# ----------------------------------------------------------------------
+class TestAdmissionGate:
+    def test_free_slot_admits_immediately(self):
+        async def scenario():
+            gate = AdmissionGate(slots=2, max_queue=1)
+            assert await gate.acquire() == 0.0
+            assert gate.in_flight == 1 and gate.queue_depth == 0
+            gate.release()
+            assert gate.in_flight == 0
+
+        run(scenario())
+
+    def test_queue_bound_sheds_immediately(self):
+        async def scenario():
+            gate = AdmissionGate(slots=1, max_queue=1)
+            await gate.acquire()
+            queued = asyncio.create_task(gate.acquire())
+            await settle()
+            assert gate.queue_depth == 1
+            with pytest.raises(QueueFullError) as excinfo:
+                await gate.acquire()
+            assert excinfo.value.capacity == 1
+            gate.release()
+            assert await queued > 0.0  # measured time queued
+            gate.release()
+
+        run(scenario())
+
+    def test_handoff_is_fifo(self):
+        async def scenario():
+            gate = AdmissionGate(slots=1, max_queue=4)
+            await gate.acquire()
+            order: list[str] = []
+
+            async def waiter(name: str) -> None:
+                await gate.acquire()
+                order.append(name)
+
+            tasks = [
+                asyncio.create_task(waiter(name)) for name in ("a", "b", "c")
+            ]
+            await settle()
+            for _ in range(3):
+                gate.release()
+                await settle()
+            await asyncio.gather(*tasks)
+            assert order == ["a", "b", "c"]
+            gate.release()  # the last waiter still holds the one slot
+            assert gate.in_flight == 0
+
+        run(scenario())
+
+    def test_queued_deadline_expires_and_frees_the_place(self):
+        async def scenario():
+            gate = AdmissionGate(slots=1, max_queue=1)
+            await gate.acquire()
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                await gate.acquire(timeout=0.01)
+            assert excinfo.value.phase == "queued"
+            assert gate.queue_depth == 0  # the expired waiter left
+            with pytest.raises(DeadlineExceededError):
+                await gate.acquire(timeout=0.0)  # pre-expired budget
+            gate.release()
+            assert await gate.acquire() == 0.0
+
+        run(scenario())
+
+    def test_shed_fails_every_queued_waiter(self):
+        async def scenario():
+            gate = AdmissionGate(slots=1, max_queue=4)
+            await gate.acquire()
+            tasks = [asyncio.create_task(gate.acquire()) for _ in range(3)]
+            await settle()
+            assert gate.shed(lambda: ServiceClosedError("gate")) == 3
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(r, ServiceClosedError) for r in results)
+            assert gate.queue_depth == 0
+            assert gate.in_flight == 1  # the holder is unaffected
+            gate.release()
+
+        run(scenario())
+
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def scenario():
+            gate = AdmissionGate(slots=1, max_queue=2)
+            await gate.acquire()
+            task = asyncio.create_task(gate.acquire())
+            await settle()
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert gate.queue_depth == 0
+            gate.release()
+            assert gate.in_flight == 0  # slot came back, nobody waiting
+
+        run(scenario())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(slots=0, max_queue=1)
+        with pytest.raises(ValueError):
+            AdmissionGate(slots=1, max_queue=-1)
+
+
+# ----------------------------------------------------------------------
+# single-flight coalescing
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_duplicates_share_one_engine_invocation(self, serve_system):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(sync, workers=2, max_queue=8)
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            leader = asyncio.create_task(svc.answer(request))
+            await wait_for_event(gated.computed)
+            waiters = [
+                asyncio.create_task(svc.answer(request)) for _ in range(4)
+            ]
+            await settle()
+            assert svc.stats().coalesced == 4
+            gated.release.set()
+            results = await asyncio.gather(leader, *waiters)
+            stats = svc.stats()
+            assert gated.runs == 1
+            assert stats.executed == 1
+            assert stats.submitted == 5 and stats.completed == 5
+            assert stats.coalescing_hit_rate == pytest.approx(0.8)
+            flags = sorted(r.timings["coalesced"] for r in results)
+            assert flags == [False, True, True, True, True]
+            first = _signature(results[0])
+            assert all(_signature(r) == first for r in results[1:])
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_distinct_questions_do_not_coalesce(self, serve_system):
+        async def scenario():
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads), workers=2, own_service=True
+            )
+            await asyncio.gather(
+                svc.answer(AnswerRequest(question=QUESTION, domain="cars")),
+                svc.answer(
+                    AnswerRequest(question="red toyota camry", domain="cars")
+                ),
+            )
+            stats = svc.stats()
+            assert stats.executed == 2 and stats.coalesced == 0
+            await svc.close()
+
+        run(scenario())
+
+    def test_sequential_repeats_start_fresh_flights(self, serve_system):
+        async def scenario():
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads), workers=2, own_service=True
+            )
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            await svc.answer(request)
+            await svc.answer(request)
+            stats = svc.stats()
+            # Single-flight collapses *concurrent* repeats only —
+            # sequential caching is the answer cache's job.
+            assert stats.executed == 2 and stats.coalesced == 0
+            assert stats.open_flights == 0
+            await svc.close()
+
+        run(scenario())
+
+    def test_failure_fans_out_to_every_caller(self, serve_system):
+        async def scenario():
+            exploding = ExplodingPipeline()
+            sync = AnswerService(serve_system.cqads, pipeline=exploding)
+            svc = AsyncAnswerService(sync, workers=2, max_queue=8)
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            leader = asyncio.create_task(svc.answer(request))
+            await wait_for_event(exploding.entered)
+            waiters = [
+                asyncio.create_task(svc.answer(request)) for _ in range(2)
+            ]
+            await settle()
+            exploding.release.set()
+            results = await asyncio.gather(
+                leader, *waiters, return_exceptions=True
+            )
+            assert all(isinstance(r, ValueError) for r in results)
+            stats = svc.stats()
+            assert exploding.runs == 1 and stats.executed == 1
+            assert stats.failed == 3 and stats.completed == 0
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_coalesce_disabled_runs_every_request(self, serve_system):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(
+                sync, workers=2, max_queue=8, coalesce=False
+            )
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            tasks = [asyncio.create_task(svc.answer(request)) for _ in range(3)]
+            await settle()
+            gated.release.set()
+            results = await asyncio.gather(*tasks)
+            stats = svc.stats()
+            assert gated.runs == 3 and stats.executed == 3
+            assert stats.coalesced == 0
+            assert all(r.timings["coalesced"] is False for r in results)
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_flight_keys_isolate_options_and_cache_bypass(self, serve_system):
+        async def scenario():
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads), workers=1, own_service=True
+            )
+            from repro.api.requests import ResolvedOptions
+
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            base = ResolvedOptions.resolve(request.options, svc.cqads)
+            key = svc._flight_key(request, base)
+            # Normalization: spacing and case do not split flights.
+            variant = AnswerRequest(
+                question="  HONDA   accord blue less than 15000 DOLLARS ",
+                domain="cars",
+            )
+            assert svc._flight_key(variant, base) == key
+            # An answer-affecting knob splits the flight.
+            richer = ResolvedOptions.resolve(
+                request.with_options(max_answers=5).options, svc.cqads
+            )
+            assert svc._flight_key(request, richer) != key
+            # So does cache bypass: a use_cache=False caller must not
+            # be handed a flight that may resolve from the cache.
+            bypass = ResolvedOptions.resolve(
+                request.with_options(use_cache=False).options, svc.cqads
+            )
+            assert svc._flight_key(request, bypass) != key
+            # The deadline is caller-local and must NOT split flights.
+            hurried = ResolvedOptions.resolve(
+                request.with_options(deadline=0.5).options, svc.cqads
+            )
+            assert svc._flight_key(request, hurried) == key
+            await svc.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# mutation churn (the satellite's headline scenario)
+# ----------------------------------------------------------------------
+class TestMutationChurn:
+    def test_post_mutation_arrival_never_joins_a_stale_flight(
+        self, serve_system
+    ):
+        """A coalesced flight spanning a table mutation: callers
+        already attached get the pre-mutation snapshot (sync
+        semantics), a caller arriving *after* the mutation gets a
+        fresh flight whose answer reflects the new row — and the
+        answer cache can only ever serve the fresh result."""
+
+        async def scenario():
+            cqads = serve_system.cqads
+            gated = GatedPipeline(cqads)
+            sync = AnswerService(cqads, pipeline=gated, cache=AnswerCache(32))
+            svc = AsyncAnswerService(sync, workers=2, max_queue=8)
+            table = cqads.database.table(
+                cqads.domain("cars").schema.table_name
+            )
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            # A reference answer (and a donor row known to match it).
+            reference = AnswerService(cqads).answer(request)
+            donor = dict(reference.answers[0].record)
+            spare = None
+            try:
+                leader = asyncio.create_task(svc.answer(request))
+                await wait_for_event(gated.computed)  # snapshot taken
+                early = asyncio.create_task(svc.answer(request))
+                await settle()
+                assert svc.stats().coalesced == 1
+                # The mutation lands mid-flight: generations bump, the
+                # open flight's key becomes unreachable.
+                spare = table.insert(donor)
+                late = asyncio.create_task(svc.answer(request))
+                await settle()
+                assert svc.stats().coalesced == 1  # late did NOT join
+                assert svc.stats().open_flights == 2
+                gated.release.set()
+                first, second, third = await asyncio.gather(
+                    leader, early, late
+                )
+                assert second.timings["coalesced"] is True
+                assert third.timings["coalesced"] is False
+                assert gated.runs == 2  # one stale flight, one fresh
+                ids = lambda result: {
+                    a.record.record_id for a in result.answers
+                }
+                # Attached callers share the pre-mutation snapshot.
+                assert _signature(first) == _signature(second)
+                assert spare.record_id not in ids(first)
+                # The post-mutation caller sees the new row, exactly
+                # as an uncached engine run does.
+                fresh = AnswerService(cqads).answer(request)
+                assert spare.record_id in ids(third)
+                assert _signature(third) == _signature(fresh)
+                # No stale-resurrect: the cache serves only the fresh
+                # result (the stale store landed under an unreachable
+                # pre-mutation generation).
+                followup = sync.answer(request)
+                assert followup.timings["cache"] is True
+                assert _signature(followup) == _signature(fresh)
+                await svc.close()
+                sync.close()
+            finally:
+                if spare is not None:
+                    table.delete(spare.record_id)
+
+        run(scenario())
+
+    def test_flight_key_generations_track_mutations(self, serve_system):
+        async def scenario():
+            cqads = serve_system.cqads
+            svc = AsyncAnswerService(
+                AnswerService(cqads), workers=1, own_service=True
+            )
+            from repro.api.requests import ResolvedOptions
+
+            table = cqads.database.table(
+                cqads.domain("cars").schema.table_name
+            )
+            routed = AnswerRequest(question=QUESTION, domain="cars")
+            classified = AnswerRequest(question=QUESTION)
+            resolved = ResolvedOptions.resolve(routed.options, cqads)
+            routed_before = svc._flight_key(routed, resolved)
+            classified_before = svc._flight_key(classified, resolved)
+            donor = dict(next(iter(table)))
+            spare = table.insert(donor)
+            try:
+                # Both the per-domain and the global generation moved.
+                assert svc._flight_key(routed, resolved) != routed_before
+                assert (
+                    svc._flight_key(classified, resolved)
+                    != classified_before
+                )
+            finally:
+                table.delete(spare.record_id)
+            # The delete bumped generations again: keys are monotonic,
+            # never reused.
+            assert svc._flight_key(routed, resolved) != routed_before
+            await svc.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# shed paths: rate limits, queue bounds, deadlines
+# ----------------------------------------------------------------------
+class TestShedPaths:
+    def test_rate_limited_requests_shed_with_retry_hint(self, serve_system):
+        async def scenario():
+            clock = FakeClock()
+            limiter = RateLimiter(default=(1.0, 2.0), clock=clock)
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads),
+                workers=2,
+                rate_limiter=limiter,
+                own_service=True,
+            )
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            await svc.answer(request)
+            await svc.answer(request)
+            with pytest.raises(RateLimitedError) as excinfo:
+                await svc.answer(request)
+            assert excinfo.value.tenant is None  # shared default bucket
+            assert excinfo.value.retry_after == pytest.approx(1.0)
+            clock.advance(1.0)  # one token refilled
+            await svc.answer(request)
+            stats = svc.stats()
+            assert stats.rate_limited == 1
+            assert stats.submitted == 4 and stats.completed == 3
+            assert stats.shed == 1
+            await svc.close()
+
+        run(scenario())
+
+    def test_tenant_budgets_are_private(self, serve_system):
+        async def scenario():
+            clock = FakeClock()
+            limiter = RateLimiter(
+                default=(0.0, 1.0),
+                per_tenant={"vip": (0.0, 3.0)},
+                clock=clock,
+            )
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads),
+                workers=2,
+                rate_limiter=limiter,
+                own_service=True,
+            )
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            for _ in range(3):
+                await svc.answer(request, tenant="vip")
+            with pytest.raises(RateLimitedError) as excinfo:
+                await svc.answer(request, tenant="vip")
+            assert excinfo.value.tenant == "vip"
+            # The default bucket was untouched by vip's spending.
+            await svc.answer(request, tenant="anonymous")
+            with pytest.raises(RateLimitedError) as excinfo:
+                await svc.answer(request, tenant="someone-else")
+            assert excinfo.value.tenant is None
+            await svc.close()
+
+        run(scenario())
+
+    def test_queue_full_sheds_beyond_the_bound(self, serve_system):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(sync, workers=1, max_queue=1)
+            running = asyncio.create_task(
+                svc.answer(AnswerRequest(question=QUESTION, domain="cars"))
+            )
+            await wait_for_event(gated.computed)
+            queued = asyncio.create_task(
+                svc.answer(
+                    AnswerRequest(question="red toyota camry", domain="cars")
+                )
+            )
+            await settle()
+            assert svc.stats().queue_depth == 1
+            with pytest.raises(QueueFullError) as excinfo:
+                await svc.answer(
+                    AnswerRequest(question="blue honda civic", domain="cars")
+                )
+            assert excinfo.value.capacity == 1
+            gated.release.set()
+            first, second = await asyncio.gather(running, queued)
+            assert second.timings["queue_wait"] > 0.0
+            assert first.timings["queue_wait"] == 0.0
+            stats = svc.stats()
+            assert stats.queue_full == 1 and stats.completed == 2
+            assert stats.submitted == stats.completed + stats.shed
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_deadline_expires_while_queued(self, serve_system):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(sync, workers=1, max_queue=4)
+            running = asyncio.create_task(
+                svc.answer(AnswerRequest(question=QUESTION, domain="cars"))
+            )
+            await wait_for_event(gated.computed)
+            hurried = AnswerRequest(
+                question="red toyota camry", domain="cars"
+            ).with_options(deadline=0.05)
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                await svc.answer(hurried)
+            assert excinfo.value.phase == "queued"
+            assert excinfo.value.deadline == pytest.approx(0.05)
+            gated.release.set()
+            await running
+            assert svc.stats().deadline_expired == 1
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_deadline_expires_awaiting_but_waiter_outlives_leader(
+        self, serve_system
+    ):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(sync, workers=2, max_queue=4)
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            leader = asyncio.create_task(
+                svc.answer(request.with_options(deadline=0.05))
+            )
+            await wait_for_event(gated.computed)
+            patient = asyncio.create_task(svc.answer(request))
+            await settle()
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                await leader
+            # The leader held a slot: its budget died awaiting the
+            # engine, not queued for admission.
+            assert excinfo.value.phase == "awaiting"
+            gated.release.set()
+            # The engine call is not abandoned — the patient waiter
+            # still collects the result the leader paid for.
+            result = await patient
+            assert result.timings["coalesced"] is True
+            assert gated.runs == 1
+            stats = svc.stats()
+            assert stats.deadline_expired == 1 and stats.completed == 1
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_default_deadline_applies_when_options_carry_none(
+        self, serve_system
+    ):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(
+                sync, workers=1, max_queue=4, default_deadline=0.05
+            )
+            with pytest.raises(DeadlineExceededError):
+                await svc.answer(AnswerRequest(question=QUESTION, domain="cars"))
+            gated.release.set()  # let the orphaned flight finish
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_invalid_deadlines_are_rejected_up_front(self, serve_system):
+        async def scenario():
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads), workers=1, own_service=True
+            )
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            with pytest.raises(ValueError):
+                await svc.answer(request.with_options(deadline=0.0))
+            await svc.close()
+
+        run(scenario())
+        with pytest.raises(ValueError):
+            AsyncAnswerService(
+                AnswerService(serve_system.cqads), default_deadline=-1.0
+            )
+        with pytest.raises(ValueError):
+            AsyncAnswerService(AnswerService(serve_system.cqads), workers=0)
+
+
+# ----------------------------------------------------------------------
+# lifecycle: drain, shed, idempotence
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_closed_service_refuses_new_work(self, serve_system):
+        async def scenario():
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads), workers=1, own_service=True
+            )
+            await svc.ask(QUESTION, domain="cars")
+            await svc.close()
+            await svc.close()  # idempotent
+            with pytest.raises(ServiceClosedError):
+                await svc.answer(QUESTION)
+            # Owned sync service was released with it.
+            with pytest.raises(ServiceClosedError):
+                svc.service.answer(QUESTION)
+
+        run(scenario())
+
+    def test_async_context_manager_closes_on_exit(self, serve_system):
+        async def scenario():
+            async with AsyncAnswerService(
+                AnswerService(serve_system.cqads), workers=1, own_service=True
+            ) as svc:
+                result = await svc.ask(QUESTION, domain="cars")
+                assert result.answers
+            with pytest.raises(ServiceClosedError):
+                await svc.answer(QUESTION)
+
+        run(scenario())
+
+    def test_drain_close_waits_for_running_flights(self, serve_system):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(sync, workers=1, max_queue=4)
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            running = asyncio.create_task(svc.answer(request))
+            await wait_for_event(gated.computed)
+            closing = asyncio.create_task(svc.close())
+            await settle()
+            assert not closing.done()  # draining, not abandoning
+            with pytest.raises(ServiceClosedError):
+                await svc.answer(request)  # but new work is refused
+            gated.release.set()
+            await closing
+            result = await running
+            assert result.answers is not None
+            assert svc.stats().completed == 1
+            sync.close()
+
+        run(scenario())
+
+    def test_shed_close_fails_queued_flights_with_typed_error(
+        self, serve_system
+    ):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(sync, workers=1, max_queue=4)
+            running = asyncio.create_task(
+                svc.answer(AnswerRequest(question=QUESTION, domain="cars"))
+            )
+            await wait_for_event(gated.computed)
+            queued = asyncio.create_task(
+                svc.answer(
+                    AnswerRequest(question="red toyota camry", domain="cars")
+                )
+            )
+            await settle()
+            assert svc.stats().queue_depth == 1
+            closing = asyncio.create_task(svc.close(drain=False))
+            with pytest.raises(ServiceClosedError):
+                await queued  # shed from the queue, typed
+            assert not closing.done()  # the running flight still drains
+            gated.release.set()
+            await closing
+            result = await running  # running work was never abandoned
+            assert result.answers is not None
+            stats = svc.stats()
+            assert stats.closed_while_queued == 1
+            assert stats.completed == 1
+            assert gated.runs == 1  # the shed flight never ran
+            sync.close()
+
+        run(scenario())
+
+    def test_wrapping_a_bare_engine_owns_the_service(self, serve_system):
+        async def scenario():
+            svc = AsyncAnswerService(serve_system.cqads, workers=2)
+            result = await svc.ask(QUESTION, domain="cars")
+            assert result.answers
+            inner = svc.service
+            await svc.close()
+            with pytest.raises(ServiceClosedError):
+                inner.answer(QUESTION)
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# the answer-cache timing flag (satellite: timings["cache"])
+# ----------------------------------------------------------------------
+class TestCacheTimingFlag:
+    def test_sync_service_reports_hit_and_miss(self, serve_system):
+        service = AnswerService(serve_system.cqads, cache=AnswerCache(16))
+        request = AnswerRequest(question=QUESTION, domain="cars")
+        miss = service.answer(request)
+        hit = service.answer(request)
+        assert miss.timings["cache"] is False
+        assert hit.timings["cache"] is True
+        assert _signature(miss) == _signature(hit)
+        service.close()
+
+    def test_flag_does_not_pollute_elapsed_seconds(self, serve_system):
+        service = AnswerService(serve_system.cqads, cache=AnswerCache(16))
+        request = AnswerRequest(question=QUESTION, domain="cars")
+        result = service.answer(request)
+        stage_total = sum(
+            seconds
+            for stage, seconds in result.timings.items()
+            if stage not in SERVICE_TIMING_KEYS
+        )
+        assert result.elapsed_seconds == pytest.approx(stage_total)
+        # A boolean flag naively summed would add ~1.0s; elapsed must
+        # stay in engine territory (well under a second on 60 ads).
+        assert result.elapsed_seconds < 0.9
+        service.close()
+
+    def test_cacheless_and_bypassing_requests_leave_flag_unset(
+        self, serve_system
+    ):
+        bare = AnswerService(serve_system.cqads)
+        assert "cache" not in bare.answer(
+            AnswerRequest(question=QUESTION, domain="cars")
+        ).timings
+        cached = AnswerService(serve_system.cqads, cache=AnswerCache(16))
+        bypass = cached.answer(
+            AnswerRequest(question=QUESTION, domain="cars").with_options(
+                use_cache=False
+            )
+        )
+        assert "cache" not in bypass.timings
+        bare.close()
+        cached.close()
+
+    def test_async_service_surfaces_all_three_flags(self, serve_system):
+        async def scenario():
+            sync = AnswerService(serve_system.cqads, cache=AnswerCache(16))
+            svc = AsyncAnswerService(sync, workers=2)
+            request = AnswerRequest(question=QUESTION, domain="cars")
+            first = await svc.answer(request)
+            second = await svc.answer(request)
+            assert first.timings["cache"] is False
+            assert second.timings["cache"] is True  # answer-cache hit
+            assert second.timings["coalesced"] is False  # not concurrent
+            assert second.timings["queue_wait"] == 0.0
+            # Service metadata never inflates the engine-time report.
+            assert second.elapsed_seconds == first.elapsed_seconds
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# wiring: BuiltSystem, SystemBuilder, batch and stats surfaces
+# ----------------------------------------------------------------------
+class TestWiring:
+    def test_built_system_async_service(self, serve_system):
+        async def scenario():
+            svc = serve_system.async_service(cache=16, workers=2, max_queue=4)
+            assert svc.workers == 2
+            assert svc.service.cache is not None
+            result = await svc.ask(QUESTION, domain="cars")
+            assert result.timings["cache"] is False
+            inner = svc.service
+            await svc.close()  # owns the sync service it built
+            with pytest.raises(ServiceClosedError):
+                inner.answer(QUESTION)
+
+        run(scenario())
+
+    def test_builder_collects_async_limits(self):
+        async def scenario():
+            builder = (
+                SystemBuilder()
+                .with_domains("cars")
+                .ads_per_domain(40)
+                .sessions_per_domain(60)
+                .corpus_documents(60)
+                .answer_cache(8)
+                .async_limits(workers=2, max_queue=4)
+            )
+            svc = builder.build_async_service(default_deadline=5.0)
+            try:
+                assert svc.workers == 2
+                assert svc.default_deadline == 5.0
+                assert svc._gate.max_queue == 4
+                assert svc.service.cache is not None
+                result = await svc.ask(QUESTION, domain="cars")
+                assert result.answers is not None
+            finally:
+                await svc.close()
+
+        run(scenario())
+
+    def test_answer_batch_coalesces_duplicates(self, serve_system):
+        async def scenario():
+            gated = GatedPipeline(serve_system.cqads)
+            sync = AnswerService(serve_system.cqads, pipeline=gated)
+            svc = AsyncAnswerService(sync, workers=1, max_queue=8)
+            gated.release.set()  # no holding: plain concurrent batch
+            questions = [QUESTION, QUESTION, QUESTION, "red toyota camry"]
+            results = await svc.answer_batch(
+                AnswerRequest(question=q, domain="cars") for q in questions
+            )
+            assert [r.question for r in results] == questions
+            assert _signature(results[0]) == _signature(results[1])
+            stats = svc.stats()
+            # One flight for the triplicate, one for the straggler.
+            assert stats.executed == 2 and stats.coalesced == 2
+            await svc.close()
+            sync.close()
+
+        run(scenario())
+
+    def test_answer_batch_returns_typed_sheds_in_place(self, serve_system):
+        async def scenario():
+            clock = FakeClock()
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads),
+                workers=2,
+                rate_limiter=RateLimiter(default=(0.0, 2.0), clock=clock),
+                own_service=True,
+            )
+            requests = [
+                AnswerRequest(question=QUESTION, domain="cars")
+                for _ in range(3)
+            ]
+            results = await svc.answer_batch(
+                requests, return_exceptions=True
+            )
+            kinds = [type(r) for r in results]
+            assert kinds.count(RateLimitedError) == 1
+            assert sum(1 for r in results if not isinstance(r, Exception)) == 2
+            await svc.close()
+
+        run(scenario())
+
+    def test_stats_snapshot_shape(self, serve_system):
+        async def scenario():
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads), workers=1, own_service=True
+            )
+            await svc.ask(QUESTION, domain="cars")
+            stats = svc.stats()
+            payload = stats.as_dict()
+            assert payload["submitted"] == 1 and payload["completed"] == 1
+            assert payload["shed"] == 0 and payload["shed_rate"] == 0.0
+            assert payload["queue_depth"] == 0 and payload["in_flight"] == 0
+            assert payload["open_flights"] == 0
+            assert stats.coalescing_hit_rate == 0.0
+            with pytest.raises(Exception):
+                stats.submitted = 99  # frozen snapshot
+            await svc.close()
+
+        run(scenario())
+
+    def test_single_flight_registry_is_reusable(self):
+        async def scenario():
+            flights = SingleFlight()
+            flight = flights.begin("k")
+            assert flights.get("k") is flight
+            assert flight.callers == 2
+            with pytest.raises(AssertionError):
+                flights.begin("k")
+            flights.finish(flight)
+            flights.finish(flight)  # idempotent
+            assert flights.get("k") is None
+            assert len(flights) == 0
+            fresh = flights.begin("k")  # key is immediately reusable
+            assert fresh is not flight
+            flights.finish(fresh)
+
+        run(scenario())

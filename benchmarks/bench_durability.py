@@ -1,0 +1,274 @@
+"""Durability tax and recovery speed of the WAL storage backend.
+
+The store (PR 7, :mod:`repro.store`) makes every typed mutation delta
+durable: length-prefixed CRC32 frames appended to a write-ahead log
+under a configurable fsync policy, with periodic checksummed snapshots
+bounding replay.  This bench measures the two costs that design trades
+against each other:
+
+1. **Append overhead** — one identical mutation stream (inserts,
+   updates, deletes) against the pure in-memory database and against
+   WAL backends under ``fsync="off"``, ``"interval"`` and
+   ``"always"``.  Logging is a per-mutation frame encode + unbuffered
+   write, so "off"/"interval" should cost a small constant factor;
+   "always" pays a real fsync per mutation and is the price of
+   power-loss durability for every acknowledged write.
+2. **Recovery time** — the same history recovered two ways: replaying
+   the full WAL from the empty state, and loading the latest snapshot
+   plus the short WAL tail behind it.  Snapshots exist precisely to
+   keep restart time proportional to the tail, not the history.
+
+Every arm must recover **bit-identically** (the
+:func:`~repro.store.parity.database_fingerprint` definition: records,
+all index families, epochs, id allocators) — a fast-but-wrong
+recovery fails the bench, it does not win it.  The snapshot lands in
+``BENCH_durability.json``.
+
+Quick mode (CI smoke): ``BENCH_DURABILITY_QUICK=1`` shrinks the stream
+and asserts the correctness tripwires only — bit-parity for every
+arm, torn-tail truncation, snapshot+tail replaying fewer frames than
+the full log — leaving the committed JSON untouched.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_durability.py -s
+  or: PYTHONPATH=src python benchmarks/bench_durability.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+import pytest
+
+try:
+    from benchmarks.conftest import emit
+except ModuleNotFoundError:  # direct `python benchmarks/bench_durability.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import emit
+from repro.db.database import Database
+from repro.db.schema import AttributeType, Column, ColumnKind, TableSchema
+from repro.evaluation.reporting import format_table
+from repro.store import WalBackend, database_fingerprint, recover_database
+from repro.store.wal import encode_frame
+from repro.store.snapshot import wal_path
+
+RESULT_PATH = pathlib.Path(__file__).parent / "BENCH_durability.json"
+
+QUICK = bool(os.environ.get("BENCH_DURABILITY_QUICK"))
+#: Mutation-stream length (ops, not rows; ~70/20/10 ins/upd/del mix).
+OPS = 400 if QUICK else 4000
+#: The snapshot+tail arm snapshots with this fraction of the stream
+#: still to come — recovery then replays only that tail.
+TAIL_FRACTION = 0.05
+FSYNC_ARMS = ("off", "interval", "always")
+
+MAKES = [
+    ("honda", "accord"), ("honda", "civic"), ("toyota", "corolla"),
+    ("toyota", "camry"), ("ford", "focus"), ("mazda", "mx5"),
+    ("bmw", "m3"), ("audi", "a4"),
+]
+COLORS = ["red", "blue", "green", "silver", "black", "white"]
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        table_name="car_ads",
+        columns=[
+            Column("make", AttributeType.TYPE_I),
+            Column("model", AttributeType.TYPE_I),
+            Column("color", AttributeType.TYPE_II),
+            Column("year", AttributeType.TYPE_III, ColumnKind.NUMERIC),
+            Column("price", AttributeType.TYPE_III, ColumnKind.NUMERIC),
+            Column("mileage", AttributeType.TYPE_III, ColumnKind.NUMERIC),
+        ],
+    )
+
+
+def _build_ops(count: int) -> list[tuple]:
+    """A deterministic mixed mutation stream, identical for every arm.
+
+    Ids are pre-simulated (inserts mint 1..N in order on every
+    backend), so updates and deletes always reference live rows.
+    """
+    rng = random.Random(423)
+    ops: list[tuple] = []
+    alive: list[int] = []
+    next_id = 1
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.7 or len(alive) < 10:
+            make, model = rng.choice(MAKES)
+            ops.append((
+                "insert",
+                {
+                    "make": make,
+                    "model": model,
+                    "color": rng.choice(COLORS),
+                    "year": rng.randint(1995, 2011),
+                    "price": rng.randint(500, 40000),
+                    "mileage": rng.randint(0, 220000),
+                },
+            ))
+            alive.append(next_id)
+            next_id += 1
+        elif roll < 0.9:
+            target = rng.choice(alive)
+            ops.append(("update", target, {"price": rng.randint(500, 40000)}))
+        else:
+            target = alive.pop(rng.randrange(len(alive)))
+            ops.append(("delete", target))
+    return ops
+
+
+def _apply(table, ops) -> None:
+    for op in ops:
+        if op[0] == "insert":
+            table.insert(dict(op[1]))
+        elif op[0] == "update":
+            table.update(op[1], dict(op[2]))
+        else:
+            table.delete(op[1])
+
+
+def _run_arm(ops, storage) -> tuple[float, Database]:
+    database = Database(storage=storage)
+    table = database.create_table(_schema())
+    started = time.perf_counter()
+    _apply(table, ops)
+    seconds = time.perf_counter() - started
+    if storage is not None:
+        storage.close()
+    return seconds, database
+
+
+def test_durability_overhead_and_recovery(tmp_path):
+    ops = _build_ops(OPS)
+
+    # -- arm 1: append overhead per fsync policy -----------------------
+    memory_seconds, memory_database = _run_arm(ops, None)
+    live = database_fingerprint(memory_database)
+    arm_seconds: dict[str, float] = {"memory": memory_seconds}
+    directories: dict[str, str] = {}
+    for policy in FSYNC_ARMS:
+        directory = str(tmp_path / f"wal-{policy}")
+        directories[policy] = directory
+        seconds, database = _run_arm(
+            ops,
+            WalBackend(directory, fsync=policy, snapshot_every=None),
+        )
+        arm_seconds[policy] = seconds
+        # The durable build IS the in-memory build, bit for bit.
+        assert database_fingerprint(database) == live
+
+    # -- arm 2: recovery, full replay vs snapshot + tail ----------------
+    # Full replay: the fsync="off" directory holds the entire history
+    # in wal-0 (snapshots were disabled above).
+    started = time.perf_counter()
+    replayed, full_report = recover_database(directories["off"])
+    full_recovery_s = time.perf_counter() - started
+    assert database_fingerprint(replayed) == live
+
+    # Snapshot + tail: same stream, but a snapshot lands with only the
+    # last TAIL_FRACTION of operations still to come.
+    tail_directory = str(tmp_path / "wal-snapshot")
+    backend = WalBackend(tail_directory, fsync="off", snapshot_every=None)
+    database = Database(storage=backend)
+    table = database.create_table(_schema())
+    cut = int(len(ops) * (1.0 - TAIL_FRACTION))
+    _apply(table, ops[:cut])
+    backend.snapshot()
+    _apply(table, ops[cut:])
+    backend.close()
+    assert database_fingerprint(database) == live
+    started = time.perf_counter()
+    recovered, tail_report = recover_database(tail_directory)
+    tail_recovery_s = time.perf_counter() - started
+    assert database_fingerprint(recovered) == live
+    assert tail_report.snapshot is not None
+    assert tail_report.frames_replayed < full_report.frames_replayed
+
+    # -- arm 3 (tripwire): a torn tail is detected and cut --------------
+    with open(wal_path(tail_directory, tail_report.generation), "ab") as f:
+        f.write(encode_frame({"t": "del", "table": "car_ads", "id": 1})[:7])
+    torn_recovered, torn_report = recover_database(tail_directory)
+    assert database_fingerprint(torn_recovered) == live
+    assert torn_report.truncated, "torn WAL tail was not detected"
+
+    rows = [
+        [
+            arm,
+            f"{seconds:.3f}",
+            f"{OPS / seconds:,.0f}",
+            f"{seconds / memory_seconds:.2f}x",
+        ]
+        for arm, seconds in arm_seconds.items()
+    ]
+    rows.append(["recovery: full WAL replay", f"{full_recovery_s:.3f}",
+                 str(full_report.frames_replayed) + " frames", "-"])
+    rows.append(["recovery: snapshot + tail", f"{tail_recovery_s:.3f}",
+                 str(tail_report.frames_replayed) + " frames", "-"])
+    emit(
+        format_table(
+            ["arm", "seconds", "ops/s | frames", "vs memory"],
+            rows,
+            title=(
+                f"durability: {OPS} mixed mutations, WAL + snapshots"
+                + (" [quick mode]" if QUICK else "")
+            ),
+        )
+    )
+
+    if not QUICK:
+        RESULT_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "wal_durability",
+                    "operations": OPS,
+                    "append_overhead": {
+                        arm: {
+                            "seconds": seconds,
+                            "ops_per_second": OPS / seconds,
+                            "overhead_vs_memory": seconds / memory_seconds,
+                        }
+                        for arm, seconds in arm_seconds.items()
+                    },
+                    "recovery": {
+                        "full_replay": {
+                            "seconds": full_recovery_s,
+                            "frames_replayed": full_report.frames_replayed,
+                            "snapshot_load_seconds": (
+                                full_report.snapshot_load_seconds
+                            ),
+                            "replay_seconds": full_report.replay_seconds,
+                        },
+                        "snapshot_plus_tail": {
+                            "seconds": tail_recovery_s,
+                            "frames_replayed": tail_report.frames_replayed,
+                            "snapshot_load_seconds": (
+                                tail_report.snapshot_load_seconds
+                            ),
+                            "replay_seconds": tail_report.replay_seconds,
+                            "tail_fraction": TAIL_FRACTION,
+                        },
+                        "replay_speedup": (
+                            full_report.replay_seconds
+                            / tail_report.replay_seconds
+                            if tail_report.replay_seconds
+                            else None
+                        ),
+                    },
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        os.environ["BENCH_DURABILITY_QUICK"] = "1"
+    sys.exit(pytest.main([__file__, "-s", "-q"]))

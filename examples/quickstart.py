@@ -4,10 +4,13 @@ Builds a single-domain system with the fluent :class:`SystemBuilder`,
 then exercises the three :class:`AnswerService` entry points —
 ``answer`` (one request, with per-request options), ``answer_batch``
 (thread-pool fan-out, results in input order) and ``page`` (cursor
-pagination past the paper's 30-answer cap) — and finishes with the
-async service tier (:class:`~repro.serve.AsyncAnswerService`):
-single-flight coalescing, admission control and deadlines over the
-same engine.
+pagination past the paper's 30-answer cap) — then the async service
+tier (:class:`~repro.serve.AsyncAnswerService`): single-flight
+coalescing, admission control and deadlines over the same engine —
+and finishes with durability: ``.storage(directory)`` logs every
+mutation to a checksummed write-ahead log, and
+:func:`repro.open_database` recovers the bit-identical database
+after a restart (or crash; see PERFORMANCE.md, "Durability").
 
 Legacy API note: ``build_system(["cars"]).cqads.answer(question)``
 still works and returns bit-identical answers — it is a thin shim over
@@ -29,10 +32,17 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import time
 
-from repro import AnswerRequest, AsyncAnswerService, SystemBuilder
+from repro import (
+    AnswerRequest,
+    AsyncAnswerService,
+    SystemBuilder,
+    open_database,
+)
 from repro.errors import DeadlineExceededError
+from repro.store import database_fingerprint
 
 
 def main() -> None:
@@ -229,6 +239,47 @@ def main() -> None:
                 print(f"   a 1us deadline sheds typed: {exc}")
 
     asyncio.run(service_tier_demo())
+
+    # Durability: point the builder at a directory and every typed
+    # mutation delta is appended to a CRC-checksummed write-ahead log
+    # (periodic snapshots bound replay; fsync="always"/"interval"/"off"
+    # trades acknowledgement latency against the power-loss window —
+    # BENCH_durability.json has the tax per policy).  After a restart
+    # or crash, open_database() rebuilds the bit-identical database
+    # from the latest snapshot plus the WAL tail, truncating any torn
+    # tail frame.  The CLI mirrors this: `python -m repro snapshot DIR`
+    # and `python -m repro recover DIR --verify`.
+    print("=" * 72)
+    print("Durability: WAL-backed build, then recover after 'restart' ...")
+    with tempfile.TemporaryDirectory() as directory:
+        durable = (
+            SystemBuilder()
+            .with_domains("cars")
+            .ads_per_domain(100)
+            .storage(directory, fsync="off")
+            .build_service()
+        )
+        durable_db = durable.cqads.database
+        table = durable_db.table("car_ads")
+        posted = table.insert(
+            {"make": "honda", "model": "accord", "color": "blue",
+             "price": 12500}
+        )
+        fingerprint = database_fingerprint(durable_db)
+        durable_db.storage.close()  # "the process exits"
+
+        recovered, backend, report = open_database(directory)
+        try:
+            identical = database_fingerprint(recovered) == fingerprint
+            print(f"   recovered {report.records} records from "
+                  f"{len(report.wals_replayed)} WAL file(s) "
+                  f"({report.frames_replayed} frames replayed)")
+            print(f"   bit-identical to the pre-restart database: "
+                  f"{identical}")
+            print(f"   ad #{posted.record_id} survived: "
+                  f"{recovered.table('car_ads').get(posted.record_id) is not None}")
+        finally:
+            backend.close()
 
 
 if __name__ == "__main__":

@@ -44,6 +44,9 @@ Public surface:
   logs, corpus, similarity matrices, classifier);
 * :class:`CQAds` — the engine (domains, classifier, N-1 relaxation);
 * :class:`Database` and :mod:`repro.db.sql` — the relational substrate;
+* :mod:`repro.store` — durable storage: a delta write-ahead log with
+  checksummed snapshots and crash recovery
+  (``SystemBuilder().storage(dir)`` / :func:`open_database`);
 * :mod:`repro.ranking` — Rank_Sim and the four baseline rankers;
 * :mod:`repro.datagen` — the synthetic-data generators;
 * :mod:`repro.evaluation` — the paper's metrics and experiment harness.
@@ -62,6 +65,12 @@ from repro.qa.conditions import Condition, ConditionOp, Interpretation, Superlat
 from repro.qa.domain import AdsDomain
 from repro.qa.pipeline import MAX_ANSWERS, Answer, CQAds, QuestionResult
 from repro.serve import AsyncAnswerService, ServiceStats
+from repro.store import (
+    RecoveryReport,
+    WalBackend,
+    open_database,
+    recover_database,
+)
 from repro.system import BuiltDomain, BuiltSystem, build_system
 
 __version__ = "1.1.0"
@@ -87,6 +96,10 @@ __all__ = [
     "AsyncAnswerService",
     "ServiceStats",
     "QueryPipeline",
+    "RecoveryReport",
     "SystemBuilder",
+    "WalBackend",
+    "open_database",
+    "recover_database",
     "__version__",
 ]

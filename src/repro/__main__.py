@@ -25,9 +25,21 @@ Two modes:
     ``--deadline`` set the admission knobs, and ``--distinct``
     controls how duplicate-heavy the question mix is.
 
-The word ``batch``/``load`` in first position selects the subcommand;
-to ask the literal one-word question "batch", put the flags (if any)
-first and separate the question with ``--``:
+``python -m repro snapshot DIR``
+    Durability maintenance: provision a system **into** DIR when the
+    directory is fresh (every provisioning insert is WAL-logged), or
+    open an existing durable directory, then write an atomic snapshot
+    and rotate the WAL generation (see :mod:`repro.store`).
+
+``python -m repro recover DIR``
+    Rebuild the database persisted in DIR (newest valid snapshot plus
+    WAL-tail replay, truncating torn tails) and print the recovery
+    report.  ``--verify`` also prints the recovered state fingerprint;
+    ``--json`` emits the report as JSON.
+
+The word ``batch``/``load``/``snapshot``/``recover`` in first position
+selects the subcommand; to ask the literal one-word question "batch",
+put the flags (if any) first and separate the question with ``--``:
 ``python -m repro --domains cars -- batch``.
 """
 
@@ -48,6 +60,8 @@ __all__ = [
     "build_arg_parser",
     "build_batch_parser",
     "build_load_parser",
+    "build_recover_parser",
+    "build_snapshot_parser",
     "main",
 ]
 
@@ -238,6 +252,172 @@ def build_load_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON instead of text",
     )
     return parser
+
+
+def build_snapshot_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro snapshot",
+        description=(
+            "Write an atomic snapshot of the durable database in DIR "
+            "and rotate its WAL generation.  A fresh DIR is first "
+            "provisioned (synthetic ads; every insert WAL-logged)."
+        ),
+    )
+    parser.add_argument(
+        "directory", help="durable storage directory (WAL + snapshots)"
+    )
+    _add_provisioning_arguments(parser)
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "off"),
+        default="interval",
+        help="WAL fsync policy while provisioning (default interval)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    return parser
+
+
+def build_recover_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro recover",
+        description=(
+            "Rebuild the database persisted in DIR from its newest "
+            "valid snapshot plus WAL-tail replay, and print the "
+            "recovery report."
+        ),
+    )
+    parser.add_argument(
+        "directory", help="durable storage directory (WAL + snapshots)"
+    )
+    parser.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report damaged WAL tails without truncating the files",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also print the recovered state fingerprint (sha256)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    return parser
+
+
+def _snapshot_main(argv: list[str]) -> int:
+    from repro.errors import StorageError
+    from repro.store import FileSystem, open_database
+    from repro.store.snapshot import list_generations
+
+    args = build_snapshot_parser().parse_args(argv)
+    snapshots, wals = list_generations(FileSystem(), args.directory)
+    provisioned = False
+    if not snapshots and not wals:
+        # Fresh directory: provision a synthetic system into it so the
+        # snapshot has something to persist (the demo/bootstrap path).
+        domains = args.domains
+        if domains is None and args.domain is not None:
+            domains = [args.domain]
+        print(f"provisioning CQAds into {args.directory} ...", file=sys.stderr)
+        builder = (
+            SystemBuilder()
+            .ads_per_domain(args.ads)
+            .with_seed(args.seed)
+            .storage(args.directory, fsync=args.fsync)
+        )
+        if domains is not None:
+            builder = builder.with_domains(domains)
+        if args.shards is not None:
+            builder = builder.shards(args.shards)
+        system = builder.build()
+        database, backend = system.database, system.storage
+        provisioned = True
+    else:
+        print(f"opening {args.directory} ...", file=sys.stderr)
+        try:
+            database, backend, _ = open_database(
+                args.directory, fsync=args.fsync
+            )
+        except StorageError as error:
+            print(f"cannot open {args.directory!r}: {error}", file=sys.stderr)
+            return 1
+    try:
+        backend.snapshot()
+    finally:
+        backend.close()
+    summary = {
+        "directory": args.directory,
+        "provisioned": provisioned,
+        "generation": backend.generation,
+        "tables": len(database),
+        "records": sum(len(table) for table in database),
+        "wal": backend.stats.as_dict(),
+    }
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"directory:   {summary['directory']}")
+    print(f"provisioned: {'yes' if provisioned else 'no (opened existing)'}")
+    print(f"generation:  {summary['generation']}")
+    print(f"tables:      {summary['tables']}")
+    print(f"records:     {summary['records']}")
+    stats = summary["wal"]
+    print(
+        f"wal:         {stats['frames_appended']} frames appended, "
+        f"{stats['snapshots_written']} snapshot(s) written"
+    )
+    return 0
+
+
+def _recover_main(argv: list[str]) -> int:
+    from repro.errors import StorageError
+    from repro.store import database_fingerprint, recover_database
+
+    args = build_recover_parser().parse_args(argv)
+    try:
+        database, report = recover_database(
+            args.directory, repair=not args.no_repair
+        )
+    except StorageError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    payload = report.as_dict()
+    if args.verify:
+        payload["fingerprint"] = database_fingerprint(database)
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"directory:       {report.directory}")
+    print(f"generation:      {report.generation}")
+    base = report.snapshot if report.snapshot else "empty (no snapshot)"
+    print(f"base:            {base}")
+    for rejected in report.snapshots_rejected:
+        print(f"rejected:        {rejected}")
+    print(
+        f"replayed:        {report.frames_replayed} frames from "
+        f"{len(report.wals_replayed)} WAL file(s)"
+    )
+    for path, (reason, offset) in report.truncated.items():
+        action = "reported" if args.no_repair else "truncated"
+        print(f"damaged tail:    {path} ({reason}; {action} at {offset})")
+    print(f"tables:          {report.tables}")
+    print(f"records:         {report.records}")
+    print(
+        f"timing:          snapshot {report.snapshot_load_seconds * 1000:.1f} ms, "
+        f"replay {report.replay_seconds * 1000:.1f} ms"
+    )
+    if args.verify:
+        print(f"fingerprint:     {payload['fingerprint']}")
+    return 0
 
 
 def _provision_service(args: argparse.Namespace) -> AnswerService:
@@ -517,6 +697,10 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "load":
         return _load_main(argv[1:])
+    if argv and argv[0] == "snapshot":
+        return _snapshot_main(argv[1:])
+    if argv and argv[0] == "recover":
+        return _recover_main(argv[1:])
     return _ask_main(argv)
 
 

@@ -63,6 +63,9 @@ class SystemBuilder:
         self._async_limits: dict[str, object] = {}
         self._partitioner = None
         self._scatter_workers: int | None = None
+        self._storage_directory = None
+        self._storage_options: dict[str, object] = {}
+        self._storage_backend = None
         self._cqads_options: dict[str, object] = {}
 
     # -- domains and scale ---------------------------------------------
@@ -200,6 +203,42 @@ class SystemBuilder:
         self._async_limits.update(limits)
         return self
 
+    def storage(self, directory, **options) -> "SystemBuilder":
+        """Persist the built system to *directory* (WAL + snapshots).
+
+        Every table creation and mutation — including the provisioning
+        inserts — is appended to a write-ahead log of the typed
+        mutation deltas, with periodic atomic snapshots; restart with
+        :func:`repro.store.open_database` (or ``python -m repro
+        recover DIR``).  *options* are
+        :class:`~repro.store.WalBackend` keywords (``fsync``,
+        ``fsync_interval_s``, ``snapshot_every``,
+        ``keep_generations``, ...).  Each :meth:`build` call opens a
+        **fresh** backend on the directory, so the one-recipe-many-
+        systems contract holds — but two live systems must not share a
+        directory.  A pre-built :class:`~repro.store.StorageBackend`
+        instance is also accepted (single build only).  ``None``
+        removes a previously-configured storage.
+        """
+        from repro.store import StorageBackend
+
+        self._storage_backend = None
+        self._storage_directory = None
+        self._storage_options = {}
+        if directory is None:
+            return self
+        if isinstance(directory, StorageBackend):
+            if options:
+                raise TypeError(
+                    "storage options only apply when passing a directory; "
+                    "configure the backend instance directly"
+                )
+            self._storage_backend = directory
+            return self
+        self._storage_directory = directory
+        self._storage_options = dict(options)
+        return self
+
     # -- provisioning strategy -----------------------------------------
     def lazy(self, lazy: bool = True) -> "SystemBuilder":
         """Defer per-domain provisioning to first use.
@@ -213,9 +252,23 @@ class SystemBuilder:
         return self
 
     # -- terminal operations -------------------------------------------
+    def _storage_for_build(self):
+        if self._storage_backend is not None:
+            backend = self._storage_backend
+            # An attached backend cannot serve a second build; surface
+            # the single-build contract instead of a late attach error.
+            self._storage_backend = None
+            return backend
+        if self._storage_directory is None:
+            return None
+        from repro.store import WalBackend
+
+        return WalBackend(self._storage_directory, **self._storage_options)
+
     def build(self) -> BuiltSystem:
         """Provision and return the system."""
         return build_system(
+            storage=self._storage_for_build(),
             domain_names=self._domains,
             ads_per_domain=self._ads_per_domain,
             sessions_per_domain=self._sessions_per_domain,

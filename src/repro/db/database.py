@@ -24,10 +24,17 @@ class Database:
     every table's :class:`~repro.db.table.MutationEvent`, including
     tables created after subscription — this is what the fragment,
     plan and answer caches hang their auto-invalidation on.
+
+    An optional storage backend (``storage=`` /
+    :meth:`attach_storage`) observes the same stream plus a
+    table-creation hook and makes it durable; the default stays pure
+    in-memory (see :mod:`repro.store`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, storage=None) -> None:
         self._tables: dict[str, Table] = {}
+        #: The durability backend, or ``None`` for pure in-memory.
+        self._storage = None
         #: Catalog-level listeners, attached to every current and
         #: future table.  The default plan cache's hygiene hook is
         #: always present: plans hold no table data (invalidation is
@@ -36,10 +43,34 @@ class Database:
         self._listeners: list[Callable[[MutationEvent], None]] = [
             _drop_default_plans
         ]
+        if storage is not None:
+            self.attach_storage(storage)
 
     @staticmethod
     def _canonical(name: str) -> str:
         return name.strip().lower().replace(" ", "_")
+
+    @property
+    def storage(self):
+        """The attached storage backend, or ``None`` (in-memory)."""
+        return self._storage
+
+    def attach_storage(self, storage, *, attached: bool = False) -> None:
+        """Wire *storage* as this catalog's durability backend.
+
+        The backend subscribes to the full delta stream (its listener
+        covers current and future tables) and gets
+        ``on_create_table`` for configuration that deltas cannot
+        carry.  One backend per catalog; ``attached=True`` skips the
+        ``storage.attach(self)`` call for the recovery path, which
+        subscribes the backend first (it needs the resume generation)
+        and only then registers it here.
+        """
+        if self._storage is not None:
+            raise ValueError("database already has a storage backend")
+        self._storage = storage
+        if not attached:
+            storage.attach(self)
 
     def add_listener(self, listener: Callable[[MutationEvent], None]) -> None:
         """Subscribe *listener* to mutations of every table.
@@ -102,13 +133,41 @@ class Database:
         for listener in self._listeners:
             table.add_listener(listener)
         self._tables[name] = table
+        if self._storage is not None:
+            # After registration, before any row can exist: the logged
+            # create frame always precedes the table's insert frames.
+            self._storage.on_create_table(
+                table,
+                substring_gram=substring_gram,
+                shards=shards,
+                partitioner=partitioner,
+            )
         return table
 
     def drop_table(self, name: str) -> None:
+        """Remove the table from the catalog — and tell every listener.
+
+        Dropping is a mutation like any other: catalog listeners get a
+        ``kind="drop"`` event (``record_id=-1``) so the plan, fragment
+        and answer caches sweep the dead table's entries and a storage
+        backend logs the drop — without this, a recreated same-name
+        table could be served results cached from the dropped one.
+        Catalog listeners are then detached from the dead table object
+        (mutating a stale reference no longer reaches the caches) and
+        a sharded facade's scatter executor is released.
+        """
         canonical = self._canonical(name)
-        if canonical not in self._tables:
+        table = self._tables.pop(canonical, None)
+        if table is None:
             raise UnknownTableError(name)
-        del self._tables[canonical]
+        event = MutationEvent(table, "drop", -1, table.epoch)
+        for listener in list(self._listeners):
+            listener(event)
+        for listener in self._listeners:
+            table.remove_listener(listener)
+        close = getattr(table, "close", None)
+        if close is not None:
+            close()
 
     def table(self, name: str) -> Table:
         canonical = self._canonical(name)

@@ -113,6 +113,19 @@ class DataGenerationError(ReproError):
     """The synthetic-data substrate was configured inconsistently."""
 
 
+class StorageError(ReproError):
+    """A durable-storage operation failed (`repro.store`).
+
+    Raised when a WAL append exhausts its retry budget, a snapshot
+    cannot be written or verified, a recovery directory holds no
+    loadable state, or a table's configuration cannot be persisted
+    (e.g. a custom partitioner the codec cannot name).  Torn or
+    corrupt WAL *tails* do **not** raise — recovery truncates them by
+    contract — so hitting this during recovery means the directory is
+    damaged beyond the crash-consistency model.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for service-tier failures (`repro.api` / `repro.serve`).
 

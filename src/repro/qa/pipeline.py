@@ -286,10 +286,12 @@ class CQAds:
         if isinstance(fragment_cache, int):
             fragment_cache = FragmentCache(fragment_cache)
         self.fragment_cache = fragment_cache
-        if fragment_cache is not None:
-            # Epoch keying already makes stale hits impossible; the
-            # listener reclaims the dead generation's memory eagerly.
-            database.add_listener(self._on_table_mutation)
+        # Epoch keying already makes stale hits impossible; the
+        # listener reclaims dead generations' memory eagerly — and,
+        # regardless of the fragment cache, reacts to table drops
+        # (detaching the dead table's ranking resources), which is why
+        # it is registered even with the cache disabled.
+        database.add_listener(self._on_table_mutation)
         # Each N-1 query contributes at most this many candidates —
         # the paper's per-query retrieval cap ("up to 30 (in)exact
         # matched records"), widened 3x so the ranker has slack.
@@ -315,6 +317,9 @@ class CQAds:
         self._default_pipeline: "QueryPipeline | None" = None
 
     def _on_table_mutation(self, event: MutationEvent) -> None:
+        if event.kind == "drop":
+            self._on_table_drop(event)
+            return
         if self.fragment_cache is None:
             return
         if self.cache_maintenance == "delta" and self.fragment_cache.absorb(
@@ -337,6 +342,25 @@ class CQAds:
         # that per-shard caching exists to provide.
         live = {(index, shard.epoch) for index, shard in enumerate(shards)}
         self.fragment_cache.invalidate_stale(event.table.name, live)
+
+    def _on_table_drop(self, event: MutationEvent) -> None:
+        """A table left the catalog: sweep everything keyed on it.
+
+        Epoch keying is **not** enough here — a recreated same-name
+        table starts a fresh epoch sequence (and a sharded one can
+        re-reach a dropped shard's epoch tag), so the dropped table's
+        fragments are swept wholesale rather than by staleness, and
+        the domain's ranking resources are detached from the dead
+        table object (:meth:`context` re-attaches them lazily to the
+        recreated table on next use).
+        """
+        if self.fragment_cache is not None:
+            self.fragment_cache.invalidate(event.table.name)
+        domain = self.registered_domain_for_table(event.table.name)
+        if domain is not None:
+            resources = self._contexts[domain].resources
+            if resources is not None and resources.table is event.table:
+                resources.detach_table()
 
     def close(self) -> None:
         """Detach this engine's mutation listeners from the catalog.

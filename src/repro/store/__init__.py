@@ -1,0 +1,66 @@
+"""Durable storage: delta WAL, checksummed snapshots, crash recovery.
+
+The packages above this one never made a byte durable — the whole
+system lived and died with the process.  ``repro.store`` closes that
+gap without touching the hot path's shape: a
+:class:`~repro.store.backend.StorageBackend` subscribes to the same
+typed mutation-delta stream the caches consume, so durability is one
+more listener, not a second write path.
+
+* :mod:`repro.store.wal` — length-prefixed CRC32 JSON frames, the
+  append writer (fsync policies, bounded retry) and the tolerant
+  reader that truncates at the first bad frame;
+* :mod:`repro.store.snapshot` — atomic generation-numbered snapshots
+  (tmp + verify + rename) pairing with per-generation WAL files;
+* :mod:`repro.store.codec` — deltas/schemas/tables ↔ frames;
+* :mod:`repro.store.backend` — the protocol, the in-memory default,
+  and :class:`WalBackend`;
+* :mod:`repro.store.recovery` — :func:`open_database` /
+  :func:`recover_database`;
+* :mod:`repro.store.faults` — the fault-injection harness the crash
+  tests drive (torn writes, short reads, transient errors, crash
+  points between append/fsync/rename);
+* :mod:`repro.store.parity` — canonical state digests the recovery
+  tests (and ``python -m repro recover --verify``) compare.
+
+See ``PERFORMANCE.md``, "Durability", for the format, the recovery
+rules and the fault matrix.
+"""
+
+from repro.store.backend import MemoryBackend, StorageBackend, WalBackend, WalStats
+from repro.store.faults import (
+    CrashAfter,
+    CrashBefore,
+    CrashPoint,
+    FaultPlan,
+    FaultyFile,
+    FaultyFS,
+    FlipByte,
+    Transient,
+    TornWrite,
+)
+from repro.store.fs import FileSystem
+from repro.store.parity import database_fingerprint, database_state
+from repro.store.recovery import RecoveryReport, open_database, recover_database
+
+__all__ = [
+    "CrashAfter",
+    "CrashBefore",
+    "CrashPoint",
+    "FaultPlan",
+    "FaultyFS",
+    "FaultyFile",
+    "FileSystem",
+    "FlipByte",
+    "MemoryBackend",
+    "RecoveryReport",
+    "StorageBackend",
+    "Transient",
+    "TornWrite",
+    "WalBackend",
+    "WalStats",
+    "database_fingerprint",
+    "database_state",
+    "open_database",
+    "recover_database",
+]

@@ -1,0 +1,255 @@
+"""Fault injection for the storage layer: torn writes, crashes, retries.
+
+The harness wraps the real :class:`~repro.store.fs.FileSystem` in a
+:class:`FaultyFS` driven by a :class:`FaultPlan`.  Every *mutating*
+fault point the storage layer passes — each file ``write``, each
+``fsync``, each snapshot ``rename`` (and the directory fsync after
+it) — advances a global counter; the plan's schedule maps counter
+values to faults:
+
+========================  ===================================================
+:class:`CrashBefore`       raise :class:`CrashPoint` before the operation
+                           runs (a crash that loses the in-flight bytes)
+:class:`CrashAfter`        run the operation, then raise (the bytes/rename
+                           landed, the process still died)
+:class:`TornWrite`         write only the first ``keep`` bytes, then crash
+                           — the canonical torn tail
+:class:`FlipByte`          silently corrupt one byte of the written data
+                           (no crash — models latent media corruption,
+                           caught later by the CRC)
+:class:`Transient`         fail once with ``OSError`` after writing half
+                           the data — exercises the WAL writer's
+                           rewind-and-retry path
+========================  ===================================================
+
+``short_reads=True`` additionally halves every read, proving the
+readers' ``_read_exact`` loops never mistake a short read for EOF.
+
+A "crash" is simulated by letting :class:`CrashPoint` propagate out of
+the mutating call and then **abandoning** the database/backend objects
+— files are unbuffered (see :mod:`repro.store.fs`), so the disk holds
+exactly the bytes written before the fault, same as a killed process.
+Recovery then runs against a clean filesystem.
+"""
+
+from __future__ import annotations
+
+import errno
+from dataclasses import dataclass
+
+__all__ = [
+    "CrashAfter",
+    "CrashBefore",
+    "CrashPoint",
+    "FaultPlan",
+    "FaultyFS",
+    "FaultyFile",
+    "FlipByte",
+    "Transient",
+    "TornWrite",
+]
+
+
+class CrashPoint(Exception):
+    """The simulated process death; never caught by the storage layer
+    itself (it is not an ``OSError``, so retry loops let it through)."""
+
+    def __init__(self, point: str, index: int) -> None:
+        super().__init__(f"injected crash at fault point #{index} ({point})")
+        self.point = point
+        self.index = index
+
+
+@dataclass(frozen=True)
+class CrashBefore:
+    """Die before the operation takes effect."""
+
+
+@dataclass(frozen=True)
+class CrashAfter:
+    """Let the operation take effect, then die."""
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """Write the first *keep* bytes of the data, then die."""
+
+    keep: int = 0
+
+
+@dataclass(frozen=True)
+class FlipByte:
+    """Silently XOR one byte of the written data (offset clamped)."""
+
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Transient:
+    """Write half the data, raise ``OSError(EIO)`` once; the WAL
+    writer's retry must rewind over the partial write and succeed."""
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over the mutating fault points.
+
+    ``schedule`` maps the 1-based global fault-point index to a fault;
+    points without an entry behave normally.  ``cursor`` counts points
+    consulted so far, so a no-fault dry run measures how many points a
+    workload passes (the property test draws crash indices from that
+    range).  ``fired`` records ``(index, point_name, fault)`` for every
+    fault actually injected.
+    """
+
+    def __init__(self, schedule=None, *, short_reads: bool = False) -> None:
+        self.schedule: dict[int, object] = dict(schedule or {})
+        self.short_reads = short_reads
+        self.cursor = 0
+        self.fired: list[tuple[int, str, object]] = []
+
+    def take(self, point: str):
+        """Advance the counter; return the fault due at this point."""
+        self.cursor += 1
+        fault = self.schedule.get(self.cursor)
+        if fault is not None:
+            self.fired.append((self.cursor, point, fault))
+        return fault
+
+    def crash(self, point: str) -> CrashPoint:
+        return CrashPoint(point, self.cursor)
+
+
+class FaultyFile:
+    """A file handle that consults the plan on every write (and read)."""
+
+    def __init__(self, handle, plan: FaultPlan, tag: str) -> None:
+        self._handle = handle
+        self._plan = plan
+        self._tag = tag
+
+    # -- faulted operations --------------------------------------------
+    def write(self, data: bytes) -> int:
+        point = f"{self._tag}.write"
+        fault = self._plan.take(point)
+        if isinstance(fault, CrashBefore):
+            raise self._plan.crash(point)
+        if isinstance(fault, TornWrite):
+            self._handle.write(data[: max(0, min(fault.keep, len(data)))])
+            raise self._plan.crash(point)
+        if isinstance(fault, Transient):
+            self._handle.write(data[: len(data) // 2])
+            raise OSError(errno.EIO, "injected transient write error")
+        if isinstance(fault, FlipByte):
+            corrupted = bytearray(data)
+            if corrupted:
+                offset = min(max(fault.offset, 0), len(corrupted) - 1)
+                corrupted[offset] ^= 0xFF
+            return self._handle.write(bytes(corrupted))
+        written = self._handle.write(data)
+        if isinstance(fault, CrashAfter):
+            raise self._plan.crash(point)
+        return written
+
+    def read(self, count: int = -1) -> bytes:
+        if self._plan.short_reads and count is not None and count > 1:
+            count = max(1, count // 2)
+        return self._handle.read(count)
+
+    # -- transparent delegation ----------------------------------------
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._handle.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        return self._handle.truncate(size)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FaultyFS:
+    """Wraps a :class:`~repro.store.fs.FileSystem` with a fault plan.
+
+    Write handles come back as :class:`FaultyFile` s tagged by role
+    (``wal`` / ``snap``), fsyncs and renames are fault points of their
+    own, and reads honour ``short_reads``.  Non-durability bookkeeping
+    (``listdir``, ``remove``, ``exists``, ``makedirs``) is passed
+    through unfaulted — those are not part of the crash-consistency
+    surface under test.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self.plan = plan
+
+    # -- pass-through bookkeeping --------------------------------------
+    def makedirs(self, path: str) -> None:
+        self._inner.makedirs(path)
+
+    def exists(self, path: str) -> bool:
+        return self._inner.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self._inner.listdir(path)
+
+    def remove(self, path: str) -> None:
+        self._inner.remove(path)
+
+    # -- faulted handles ------------------------------------------------
+    def open_wal(self, path: str):
+        return FaultyFile(self._inner.open_wal(path), self.plan, "wal")
+
+    def open_write(self, path: str):
+        return FaultyFile(self._inner.open_write(path), self.plan, "snap")
+
+    def open_read(self, path: str):
+        return FaultyFile(self._inner.open_read(path), self.plan, "read")
+
+    # -- faulted durability points --------------------------------------
+    def fsync(self, handle) -> None:
+        point = "fsync"
+        fault = self.plan.take(point)
+        if isinstance(fault, CrashBefore):
+            raise self.plan.crash(point)
+        if isinstance(fault, Transient):
+            raise OSError(errno.EIO, "injected transient fsync error")
+        inner = handle._handle if isinstance(handle, FaultyFile) else handle
+        self._inner.fsync(inner)
+        if isinstance(fault, CrashAfter):
+            raise self.plan.crash(point)
+
+    def fsync_dir(self, path: str) -> None:
+        point = "dir_fsync"
+        fault = self.plan.take(point)
+        if isinstance(fault, CrashBefore):
+            raise self.plan.crash(point)
+        self._inner.fsync_dir(path)
+        if isinstance(fault, CrashAfter):
+            raise self.plan.crash(point)
+
+    def replace(self, source: str, destination: str) -> None:
+        point = "rename"
+        fault = self.plan.take(point)
+        if isinstance(fault, CrashBefore):
+            raise self.plan.crash(point)
+        self._inner.replace(source, destination)
+        if isinstance(fault, CrashAfter):
+            raise self.plan.crash(point)

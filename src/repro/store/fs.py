@@ -1,0 +1,80 @@
+"""The thin OS surface the storage layer writes through.
+
+Everything in :mod:`repro.store` that touches the disk goes through a
+:class:`FileSystem` instance instead of calling :mod:`os`/:func:`open`
+directly.  The indirection exists for exactly one reason: the
+fault-injection harness (:mod:`repro.store.faults`) substitutes a
+wrapper that tears writes, crashes between append/fsync/rename and
+shortens reads — the production code path and the crash-tested code
+path are the same code.
+
+Write handles are opened **unbuffered** (``buffering=0``): every
+``write()`` reaches the OS immediately, so a simulated crash (abandon
+the handles mid-operation) leaves the file holding exactly the bytes
+written so far — no interpreter-level buffer whose flush timing would
+make crash outcomes nondeterministic.  Durability against *power
+loss* is still fsync's job; the policies live in
+:class:`repro.store.wal.WalWriter`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["FileSystem"]
+
+
+class FileSystem:
+    """Real-OS implementation of the storage layer's file operations."""
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    # -- handles --------------------------------------------------------
+    def open_wal(self, path: str):
+        """An append-capable handle on *path* (created when missing).
+
+        Opened ``r+b`` rather than ``ab`` so the writer can seek back
+        and :meth:`~io.IOBase.truncate` a partially-written frame
+        before retrying — append mode would force every write to the
+        end regardless of the seek.  The caller positions the handle.
+        """
+        if not os.path.exists(path):
+            # Create-then-reopen keeps a single code path for the
+            # r+b contract (x+b would race a concurrent creator, which
+            # the backend's lock already excludes).
+            with open(path, "ab", buffering=0):
+                pass
+        return open(path, "r+b", buffering=0)
+
+    def open_write(self, path: str):
+        """A fresh write handle (truncates) — snapshot tmp files."""
+        return open(path, "wb", buffering=0)
+
+    def open_read(self, path: str):
+        return open(path, "rb")
+
+    # -- durability points ---------------------------------------------
+    def fsync(self, handle) -> None:
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, path: str) -> None:
+        """Persist a directory entry (the rename publishing a snapshot)."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, source: str, destination: str) -> None:
+        """Atomically publish *source* as *destination* (POSIX rename)."""
+        os.replace(source, destination)

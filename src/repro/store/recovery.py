@@ -1,0 +1,199 @@
+"""Crash recovery: newest valid snapshot + WAL tail replay.
+
+The composition rule (see :mod:`repro.store.snapshot`): pick the
+newest snapshot that loads and verifies, then replay every WAL file of
+that generation and later, in generation order.  Within each WAL, only
+the valid frame prefix is replayed — the first torn, truncated or
+checksum-corrupt frame truncates the tail (and, with ``repair=True``,
+the file itself, so a resumed writer appends over the garbage).  When
+the newest snapshot is damaged, recovery falls back generation by
+generation; the older snapshot plus the *extra* WAL file reproduce the
+exact same state, so a corrupt snapshot costs replay time, never data.
+
+:func:`recover_database` is the read-only(ish) core;
+:func:`open_database` is the lifecycle entry point — recover (or start
+fresh), attach a :class:`~repro.store.backend.WalBackend` that resumes
+appending at the valid prefix, and hand back both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.errors import StorageError
+from repro.store.backend import WalBackend
+from repro.store.codec import apply_frame
+from repro.store.fs import FileSystem
+from repro.store.snapshot import (
+    list_generations,
+    load_snapshot,
+    snapshot_path,
+    wal_path,
+)
+from repro.store.wal import read_frames
+
+__all__ = ["RecoveryReport", "open_database", "recover_database"]
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery did, and how long it took."""
+
+    directory: str
+    #: The generation appends resume at (the newest on disk).
+    generation: int = 0
+    #: The snapshot generation actually loaded (0 = empty base: the
+    #: directory's history starts at wal-000000).
+    base_generation: int = 0
+    snapshot: str | None = None
+    #: Snapshots that failed to load, newest first, with reasons.
+    snapshots_rejected: list[str] = field(default_factory=list)
+    #: WAL files replayed, in order.
+    wals_replayed: list[str] = field(default_factory=list)
+    frames_replayed: int = 0
+    #: Damaged WAL tails: path -> (reason, truncation offset).
+    truncated: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: Byte offset where the resume-generation WAL's valid prefix ends.
+    wal_position: int = 0
+    tables: int = 0
+    records: int = 0
+    snapshot_load_seconds: float = 0.0
+    replay_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "directory": self.directory,
+            "generation": self.generation,
+            "base_generation": self.base_generation,
+            "snapshot": self.snapshot,
+            "snapshots_rejected": list(self.snapshots_rejected),
+            "wals_replayed": list(self.wals_replayed),
+            "frames_replayed": self.frames_replayed,
+            "truncated": {
+                path: {"reason": reason, "offset": offset}
+                for path, (reason, offset) in self.truncated.items()
+            },
+            "wal_position": self.wal_position,
+            "tables": self.tables,
+            "records": self.records,
+            "snapshot_load_seconds": self.snapshot_load_seconds,
+            "replay_seconds": self.replay_seconds,
+        }
+
+
+def recover_database(
+    directory, *, fs: FileSystem | None = None, repair: bool = True
+) -> tuple[Database, RecoveryReport]:
+    """Rebuild the database persisted in *directory*.
+
+    Returns a fresh, storage-less :class:`Database` (attach a backend
+    via :func:`open_database` to keep writing) plus the report.  With
+    ``repair=True`` (the default), damaged WAL tails are physically
+    truncated at the first bad frame so a resumed writer appends onto
+    a clean prefix.  Raises :class:`~repro.errors.StorageError` when
+    the directory holds no recoverable state (no snapshot loads and no
+    generation-0 WAL exists to replay from empty).
+    """
+    fs = fs if fs is not None else FileSystem()
+    directory = str(directory)
+    report = RecoveryReport(directory=directory)
+    snapshots, wals = list_generations(fs, directory)
+    if not snapshots and not wals:
+        raise StorageError(
+            f"no snapshots or WAL files in {directory!r}; nothing to recover"
+        )
+    report.generation = max(snapshots + wals)
+
+    database = Database()
+    base = 0
+    started = time.perf_counter()
+    for generation in sorted(snapshots, reverse=True):
+        path = snapshot_path(directory, generation)
+        candidate = Database()
+        try:
+            load_snapshot(fs, path, candidate)
+        except StorageError as error:
+            report.snapshots_rejected.append(f"{path}: {error}")
+            continue
+        database = candidate
+        base = generation
+        report.snapshot = path
+        break
+    else:
+        if 0 not in wals:
+            # No snapshot loads and the WAL chain does not reach back
+            # to the empty state — the retained history cannot
+            # reproduce the database.
+            raise StorageError(
+                f"no loadable snapshot in {directory!r} and no "
+                "generation-0 WAL to replay from empty "
+                f"(rejected: {report.snapshots_rejected})"
+            )
+    report.base_generation = base
+    report.snapshot_load_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for generation in range(base, report.generation + 1):
+        path = wal_path(directory, generation)
+        if not fs.exists(path):
+            # Legitimate after a crash between snapshot publication
+            # and the new WAL's creation: the snapshot already covers
+            # everything.
+            continue
+        scan = read_frames(fs, path)
+        if scan.damage is not None:
+            report.truncated[path] = (scan.damage, scan.valid_bytes)
+            if repair:
+                _truncate_file(fs, path, scan.valid_bytes)
+        for frame in scan.frames:
+            apply_frame(database, frame)
+        report.wals_replayed.append(path)
+        report.frames_replayed += len(scan.frames)
+        if generation == report.generation:
+            report.wal_position = scan.valid_bytes
+    report.replay_seconds = time.perf_counter() - started
+
+    report.tables = len(database)
+    report.records = sum(len(table) for table in database)
+    return database, report
+
+
+def _truncate_file(fs, path: str, size: int) -> None:
+    handle = fs.open_wal(path)
+    try:
+        handle.seek(size)
+        handle.truncate()
+    finally:
+        handle.close()
+
+
+def open_database(
+    directory, *, fs: FileSystem | None = None, **backend_options
+) -> tuple[Database, WalBackend, RecoveryReport | None]:
+    """Open (or create) a durable database at *directory*.
+
+    Empty or missing directories start fresh; directories with state
+    are recovered first.  Either way the returned database has a live
+    :class:`~repro.store.backend.WalBackend` attached (configured by
+    *backend_options*) and every further mutation is logged.  The
+    third element is the :class:`RecoveryReport`, or ``None`` for a
+    fresh directory.
+    """
+    fs = fs if fs is not None else FileSystem()
+    directory = str(directory)
+    snapshots, wals = list_generations(fs, directory)
+    backend = WalBackend(directory, fs=fs, **backend_options)
+    if not snapshots and not wals:
+        database = Database()
+        database.attach_storage(backend)
+        return database, backend, None
+    database, report = recover_database(directory, fs=fs)
+    backend.attach(
+        database,
+        generation=report.generation,
+        wal_position=report.wal_position,
+    )
+    database.attach_storage(backend, attached=True)
+    return database, backend, report

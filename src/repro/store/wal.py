@@ -1,0 +1,266 @@
+"""Write-ahead-log frames: length-prefixed, CRC32-checksummed JSON.
+
+One frame on disk is::
+
+    +----------------+----------------+------------------------+
+    | length (4B BE) | CRC32  (4B BE) | UTF-8 JSON body        |
+    +----------------+----------------+------------------------+
+
+The length covers the body only; the CRC32 is over the body bytes.
+Frames are self-delimiting, so a reader needs no index — it walks the
+file frame by frame and **stops at the first bad one** (torn header,
+torn body, checksum mismatch, undecodable JSON, absurd length).  That
+is the crash-consistency contract: an interrupted append can only
+damage the *tail*, so everything before the first bad frame is intact
+by construction and everything after it is unreachable garbage.
+
+:class:`WalWriter` appends frames under one of three fsync policies
+(``"always"`` / ``"interval"`` / ``"off"``) and retries transient
+``OSError`` s with bounded backoff, rewinding over any partial write
+before each retry so a torn attempt can never leave a half-frame in
+the middle of the log.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+import zlib
+
+from repro.errors import StorageError
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "FrameScan",
+    "WalWriter",
+    "encode_frame",
+    "read_frames",
+    "scan_frames",
+]
+
+_HEADER = struct.Struct(">II")
+
+#: Frames larger than this are treated as corruption, not data — the
+#: biggest legitimate frame is a snapshot table image, and a torn
+#: header can otherwise fabricate a multi-gigabyte "length" that makes
+#: the reader try to swallow the rest of the file as one frame.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+FSYNC_POLICIES = ("always", "interval", "off")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize *payload* into one length+CRC32+JSON frame."""
+    body = json.dumps(
+        payload, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def _read_exact(handle, count: int) -> bytes:
+    """Up to *count* bytes, looping over short reads.
+
+    A short read is not corruption — the fault harness (and real
+    filesystems under signal interruption) may return fewer bytes than
+    asked; only a hard EOF ends the loop early.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = handle.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameScan:
+    """Result of walking a frame file: the valid prefix and its end.
+
+    Attributes
+    ----------
+    frames:
+        The decoded payloads of every valid frame, in file order.
+    valid_bytes:
+        File offset just past the last valid frame — the truncation
+        point when the tail is damaged, and the append position when
+        it is not.
+    damage:
+        ``None`` for a clean file, else a short reason string
+        (``"torn header"``, ``"torn body"``, ``"bad checksum"``,
+        ``"bad length"``, ``"undecodable body"``).
+    """
+
+    __slots__ = ("frames", "valid_bytes", "damage")
+
+    def __init__(
+        self, frames: list[dict], valid_bytes: int, damage: str | None
+    ) -> None:
+        self.frames = frames
+        self.valid_bytes = valid_bytes
+        self.damage = damage
+
+
+def scan_frames(handle) -> FrameScan:
+    """Decode the valid frame prefix of *handle* (positioned at 0)."""
+    frames: list[dict] = []
+    offset = 0
+    while True:
+        header = _read_exact(handle, _HEADER.size)
+        if not header:
+            return FrameScan(frames, offset, None)
+        if len(header) < _HEADER.size:
+            return FrameScan(frames, offset, "torn header")
+        length, checksum = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            return FrameScan(frames, offset, "bad length")
+        body = _read_exact(handle, length)
+        if len(body) < length:
+            return FrameScan(frames, offset, "torn body")
+        if zlib.crc32(body) & 0xFFFFFFFF != checksum:
+            return FrameScan(frames, offset, "bad checksum")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            # CRC collisions on garbage are ~2**-32 but cost nothing
+            # to rule out; a frame that checksums but does not parse
+            # still truncates the tail.
+            return FrameScan(frames, offset, "undecodable body")
+        frames.append(payload)
+        offset += _HEADER.size + length
+
+
+def read_frames(fs, path: str) -> FrameScan:
+    """:func:`scan_frames` over the file at *path* via *fs*."""
+    handle = fs.open_read(path)
+    try:
+        return scan_frames(handle)
+    finally:
+        handle.close()
+
+
+class WalWriter:
+    """Appends frames to one WAL file under a configurable fsync policy.
+
+    Parameters
+    ----------
+    fs:
+        The :class:`~repro.store.fs.FileSystem` (or faulty wrapper).
+    path:
+        WAL file; created when missing, appended at *position* (the
+        end of the valid prefix — recovery passes the truncation
+        point, a fresh log passes 0).
+    fsync:
+        ``"always"`` — fsync after every append (each mutation is
+        durable against power loss before its caller returns);
+        ``"interval"`` — fsync when more than *fsync_interval_s* has
+        passed since the last one (bounded-loss window, near-"off"
+        throughput); ``"off"`` — never fsync on append (crash-of-the-
+        process safe via unbuffered writes, power-loss unsafe).
+    retry_attempts / retry_backoff_s:
+        Transient ``OSError`` handling: each failed append rewinds
+        over any partial write, sleeps ``backoff * 2**attempt`` and
+        rewrites the whole frame; exhausting the budget raises
+        :class:`~repro.errors.StorageError`.
+    """
+
+    def __init__(
+        self,
+        fs,
+        path: str,
+        *,
+        position: int | None = None,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        retry_attempts: int = 4,
+        retry_backoff_s: float = 0.001,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self._fs = fs
+        self.path = path
+        self.fsync_policy = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self.retry_attempts = retry_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self._clock = clock
+        self._sleep = sleep
+        self._handle = fs.open_wal(path)
+        if position is None:
+            self._handle.seek(0, 2)
+            self._position = self._handle.tell()
+        else:
+            # Recovery hands us the end of the valid prefix; dropping
+            # the damaged tail here means the next frame overwrites it
+            # instead of appending unreachable garbage after garbage.
+            self._handle.seek(position)
+            self._handle.truncate()
+            self._position = position
+        self._last_sync = clock()
+        self.frames_appended = 0
+        self.retries = 0
+
+    @property
+    def position(self) -> int:
+        """Byte offset of the next append (== current file size)."""
+        return self._position
+
+    def append(self, payload: dict) -> None:
+        """Durably (per policy) append one frame."""
+        frame = encode_frame(payload)
+        self._write_with_retry(frame)
+        self._position += len(frame)
+        self.frames_appended += 1
+        if self.fsync_policy == "always":
+            self.sync()
+        elif self.fsync_policy == "interval":
+            now = self._clock()
+            if now - self._last_sync >= self.fsync_interval_s:
+                self.sync()
+
+    def _write_with_retry(self, frame: bytes) -> None:
+        error: OSError | None = None
+        for attempt in range(self.retry_attempts + 1):
+            if attempt:
+                self.retries += 1
+                self._sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+                # A failed attempt may have landed a partial frame;
+                # rewind and cut it so the retry writes a clean frame
+                # at the same offset (r+b, not append mode, makes the
+                # seek effective).
+                try:
+                    self._handle.seek(self._position)
+                    self._handle.truncate()
+                except OSError as cleanup_error:
+                    error = cleanup_error
+                    continue
+            try:
+                self._handle.write(frame)
+                return
+            except OSError as write_error:
+                error = write_error
+        raise StorageError(
+            f"WAL append to {self.path!r} failed after "
+            f"{self.retry_attempts + 1} attempts: {error}"
+        ) from error
+
+    def sync(self) -> None:
+        """Force an fsync now (policy-independent)."""
+        self._fs.fsync(self._handle)
+        self._last_sync = self._clock()
+
+    def close(self) -> None:
+        """Flush to disk (unless policy ``"off"``) and close the file."""
+        if self._handle.closed:
+            return
+        try:
+            if self.fsync_policy != "off":
+                self.sync()
+        finally:
+            self._handle.close()

@@ -28,6 +28,7 @@ function remains the single implementation both surfaces share.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
@@ -112,21 +113,31 @@ class BuiltSystem:
             name for name in self.requested_domains if name not in self.domains
         )
 
+    @property
+    def storage(self):
+        """The database's storage backend, or ``None`` (in-memory)."""
+        return self.database.storage
+
     def close(self) -> None:
-        """Release per-table scatter executors (sharded builds).
+        """Release per-table scatter executors (sharded builds) and
+        flush/close the storage backend (durable builds).
 
         A sharded table lazily creates a dedicated thread pool for
         parallel scatters (:meth:`repro.shard.table.ShardedTable.close`);
         a long-lived process that builds systems repeatedly should
         close each discarded build so idle executor threads do not
-        accumulate until garbage collection.  Idempotent, and the
-        system stays fully usable — scatters simply run inline
-        afterwards.  Single-table builds are a no-op.
+        accumulate until garbage collection.  Idempotent.  In-memory
+        systems stay fully usable — scatters simply run inline
+        afterwards; a storage-backed system stays readable but further
+        mutations raise :class:`~repro.errors.StorageError` (the WAL
+        is closed).
         """
         for table in self.database:
             close = getattr(table, "close", None)
             if close is not None:
                 close()
+        if self.database.storage is not None:
+            self.database.storage.close()
 
     def __enter__(self) -> "BuiltSystem":
         return self
@@ -228,6 +239,7 @@ def build_system(
     lazy: bool = False,
     partitioner=None,
     scatter_workers: int | None = None,
+    storage=None,
     **cqads_options,
 ) -> BuiltSystem:
     """Provision CQAds over *domain_names* (default: all eight).
@@ -252,9 +264,21 @@ def build_system(
     mutations: delta patching (the default, for high-churn corpora) or
     the epoch-rebuild oracle — bit-identical answers either way (see
     ``PERFORMANCE.md``, "Incremental maintenance").
+
+    ``storage`` attaches a durability backend to the database — a
+    :class:`repro.store.StorageBackend` instance, or a directory path
+    (``str``/``PathLike``) to open a
+    :class:`~repro.store.WalBackend` on with default policies.  Every
+    table creation and mutation of the provisioning run (and after it)
+    is then WAL-logged; see :mod:`repro.store` and
+    :meth:`repro.api.builder.SystemBuilder.storage`.
     """
     names = list(domain_names) if domain_names is not None else list(DOMAIN_NAMES)
-    database = Database()
+    if isinstance(storage, (str, os.PathLike)):
+        from repro.store import WalBackend
+
+        storage = WalBackend(storage)
+    database = Database(storage=storage)
     specs = [build_domain_spec(name) for name in names]
     spec_by_name = {spec.name: spec for spec in specs}
     corpus = generate_corpus(specs, n_documents=corpus_documents, seed=seed)

@@ -599,3 +599,107 @@ def test_churn_battery_delta_vs_rebuild(churn_systems, domain):
         assert _result_signature(delta_result) == _result_signature(
             rebuild_result
         ), f"churn divergence on {question.text!r} (step {index})"
+
+
+# ----------------------------------------------------------------------
+# satellite: partial-batch failure still emits a consistent BatchDelta
+# ----------------------------------------------------------------------
+def test_insert_many_failure_emits_batch_delta_for_applied_prefix():
+    """A mid-batch schema violation leaves the rows before it applied;
+    the one BatchDelta that fires must describe exactly that prefix —
+    its per-row deltas, the last landed id, the final epoch — so every
+    delta consumer (caches, column stores, the WAL) stays consistent
+    with the table it just watched mutate."""
+    from repro.db.table import BatchDelta, InsertDelta
+    from repro.errors import SchemaError
+
+    table = Database().create_table(small_car_schema())
+    events = []
+    table.add_listener(events.append)
+    rows = [
+        {"make": "honda", "model": "accord", "price": 9000},
+        {"make": "toyota", "model": "corolla", "price": 7000},
+        {"make": None, "model": "ghost"},  # Type I violation mid-batch
+        {"make": "mazda", "model": "mx5", "price": 11000},
+    ]
+    with pytest.raises(SchemaError, match="make"):
+        table.insert_many(rows)
+    # The prefix landed; the failing row and everything after did not.
+    assert [record["model"] for record in table.snapshot()] == [
+        "accord", "corolla"
+    ]
+    (delta,) = events
+    assert isinstance(delta, BatchDelta) and delta.kind == "insert"
+    assert all(isinstance(d, InsertDelta) for d in delta.deltas)
+    assert [d.record["model"] for d in delta.deltas] == ["accord", "corolla"]
+    assert delta.record_id == 2  # the last row that landed
+    assert delta.epoch == table.epoch  # the epoch the table settled at
+    assert [d.epoch for d in delta.deltas] == [1, 2]
+
+
+def test_insert_many_failing_on_first_row_emits_nothing():
+    from repro.errors import SchemaError
+
+    table = Database().create_table(small_car_schema())
+    events = []
+    table.add_listener(events.append)
+    before = table.epoch
+    with pytest.raises(SchemaError):
+        table.insert_many([{"make": None}, {"make": "honda", "model": "x"}])
+    assert events == []  # no rows applied -> no delta at all
+    assert len(table) == 0 and table.epoch == before
+
+
+def test_remove_many_unknown_id_notifies_the_deleted_prefix():
+    from repro.db.table import BatchDelta, RemoveDelta
+    from repro.errors import RecordNotFoundError
+
+    table = Database().create_table(small_car_schema())
+    table.insert_many(
+        [
+            {"make": "honda", "model": "accord"},
+            {"make": "toyota", "model": "corolla"},
+            {"make": "mazda", "model": "mx5"},
+        ]
+    )
+    events = []
+    table.add_listener(events.append)
+    with pytest.raises(RecordNotFoundError):
+        table.remove_many([1, 999, 3])
+    assert sorted(table.all_ids()) == [2, 3]  # 1 deleted, 3 untouched
+    (delta,) = events
+    assert isinstance(delta, BatchDelta) and delta.kind == "delete"
+    assert [d.record.record_id for d in delta.deltas] == [1]
+    assert all(isinstance(d, RemoveDelta) for d in delta.deltas)
+    assert delta.record_id == 1 and delta.epoch == table.epoch
+
+
+def test_partial_batch_keeps_fragment_cache_consistent():
+    """The applied-prefix BatchDelta must patch a warm fragment cache
+    to exactly what a cold evaluation over the settled table returns."""
+    from repro.errors import SchemaError
+
+    database = Database()
+    table = database.create_table(small_car_schema())
+    table.insert_many([_random_row(random.Random(91)) for _ in range(6)])
+    cqads = CQAds(database)
+    cache = cqads.fragment_cache
+    executor = SQLExecutor(database)
+    unit = ScoringUnit(conditions=(
+        Condition("make", AttributeType.TYPE_I, ConditionOp.EQ, "honda"),
+    ))
+    unit_id_sets(executor, table, [unit], cache)  # warm
+    with pytest.raises(SchemaError):
+        table.insert_many(
+            [
+                {"make": "honda", "model": "prelude", "price": 5000},
+                {"make": None, "model": "ghost"},
+            ]
+        )
+    (patched,) = unit_id_sets(executor, table, [unit], cache)
+    fresh = {
+        record.record_id
+        for record in table.snapshot()
+        if record["make"] == "honda"
+    }
+    assert patched == fresh  # includes the landed prefix row

@@ -731,6 +731,43 @@ class TestShedPaths:
 
         run(scenario())
 
+    def test_deadline_between_admission_and_dispatch_is_awaiting(
+        self, serve_system
+    ):
+        """A flight can win its gate slot and still die before the
+        executor thread picks it up.  That budget expired *awaiting*
+        (the slot was held), not *queued* — and the request must be
+        terminal exactly once: the orphaned flight finishing later may
+        not retro-count it as completed."""
+
+        async def scenario():
+            svc = AsyncAnswerService(
+                AnswerService(serve_system.cqads),
+                workers=1,
+                max_queue=4,
+                own_service=True,
+            )
+            release = threading.Event()
+            # Park the sole executor thread *without* holding a gate
+            # slot: admission succeeds, dispatch stalls behind it.
+            parked = svc._executor.submit(release.wait, 10.0)
+            hurried = AnswerRequest(
+                question=QUESTION, domain="cars"
+            ).with_options(deadline=0.05)
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                await svc.answer(hurried)
+            assert excinfo.value.phase == "awaiting"
+            release.set()
+            assert parked.result(timeout=10.0)
+            await svc.close()  # drains the orphaned flight
+            stats = svc.stats()
+            assert stats.deadline_expired == 1
+            assert stats.completed == 0 and stats.failed == 0
+            assert stats.submitted == stats.completed + stats.shed == 1
+            assert stats.executed == 1  # the flight itself did run
+
+        run(scenario())
+
     def test_default_deadline_applies_when_options_carry_none(
         self, serve_system
     ):

@@ -1,0 +1,254 @@
+"""Ordered windows + adaptive planning vs scans on range-heavy queries.
+
+Range, comparison and BETWEEN leaves are the one predicate family the
+index stack still paid O(pool) for: ``lookup_range`` bisects but then
+materializes the whole matching id-set, and lexicographic/record-id
+ranges fell back to full scans.  The ordered column windows
+(:mod:`repro.perf.window`) answer the same leaves with two bisects
+into a delta-maintained sorted array, wrapped in a lazy window the
+executor's set algebra intersects without materializing, and the
+selectivity-adaptive planner (:class:`repro.db.sql.executor
+.AccessPlanner`) picks scan vs. index vs. window (or the window's
+complement) per leaf.
+
+The measured stream is the ROADMAP's range-heavy workload: six-unit
+AND questions dominated by BETWEEN/comparison units (make/color
+equality plus price BETWEEN, mileage <, mileage >, year >=) with
+**rng-jittered bounds** — every question is a fresh range, so leaf
+evaluation itself is measured rather than any memo — and one point
+update per question (mutation churn, so the windows must splice
+deltas while being timed).  Three arms run the identical build +
+churn + question stream and differ only in the executor's
+``access_paths`` mode: ``scan`` (full-scan oracle), ``index`` (the
+pre-window sorted-index path) and ``adaptive`` (windows + planner).
+Every arm's per-question id lists are collected and asserted
+bit-identical across arms.
+
+Acceptance: >= 3x speedup (adaptive vs scan) at the 8000-ad scale;
+the snapshot lands in ``BENCH_range.json``.
+
+Quick mode (CI smoke): ``BENCH_RANGE_QUICK=1`` runs the 2000-ad scale
+with fewer rounds and asserts a >= 1.0x tripwire — a broken window
+path pays window bookkeeping on top of the scans it should have
+avoided and measures <= 1.0x, while a healthy one measures several-
+fold higher, so the floor is noise-proof on shared runners.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_range.py -s
+  or: PYTHONPATH=src python benchmarks/bench_range.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+import pytest
+
+try:
+    from benchmarks.conftest import emit
+except ModuleNotFoundError:  # direct `python benchmarks/bench_range.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import emit
+from repro.db.schema import AttributeType
+from repro.db.sql.executor import AccessPlanner, SQLExecutor
+from repro.evaluation.reporting import format_seconds, format_table
+from repro.qa.conditions import (
+    BooleanOperator,
+    Condition,
+    ConditionGroup,
+    ConditionOp,
+    Interpretation,
+)
+from repro.qa.sql_generation import generate_sql
+from repro.system import build_system
+
+RESULT_PATH = pathlib.Path(__file__).parent / "BENCH_range.json"
+
+QUICK = bool(os.environ.get("BENCH_RANGE_QUICK"))
+SCALES = (2000,) if QUICK else (2000, 8000)
+ARMS = ("scan", "index", "adaptive")
+QUESTIONS_PER_ROUND = 5
+ROUNDS = 6 if QUICK else 10
+REPEATS = 2
+MIN_SPEEDUP_AT_8000 = 3.0
+MIN_SPEEDUP_QUICK = 1.0
+
+
+@pytest.fixture(scope="module", params=SCALES)
+def arm_systems(request):
+    """One deterministic cars build per arm (identical records/ids),
+    so each arm's churn cannot contaminate another's baseline."""
+    scale = request.param
+    recipe = dict(
+        ads_per_domain=scale, sessions_per_domain=300, corpus_documents=200
+    )
+    return {arm: build_system(["cars"], **recipe) for arm in ARMS}, scale
+
+
+def _anchor_ids(table) -> list[int]:
+    needed = ("make", "color", "price", "mileage", "year")
+    return sorted(
+        record.record_id
+        for record in table.snapshot()
+        if all(record.get(column) is not None for column in needed)
+    )
+
+
+def _question_statement(table, record, rng: random.Random):
+    """A six-unit AND dominated by range/BETWEEN units, bounds jittered
+    per question so no two questions share a leaf (leaf evaluation is
+    what's being measured, not memoization)."""
+    price = float(record["price"])
+    mileage = float(record["mileage"])
+    year = float(record["year"])
+    spread = rng.uniform(500.0, 3000.0)
+    conditions = [
+        Condition("make", AttributeType.TYPE_I, ConditionOp.EQ,
+                  str(record["make"])),
+        Condition("color", AttributeType.TYPE_II, ConditionOp.EQ,
+                  str(record["color"])),
+        Condition("price", AttributeType.TYPE_III, ConditionOp.BETWEEN,
+                  (price - spread, price + spread)),
+        Condition("mileage", AttributeType.TYPE_III, ConditionOp.LT,
+                  mileage + rng.uniform(1000.0, 20000.0)),
+        Condition("mileage", AttributeType.TYPE_III, ConditionOp.GT,
+                  mileage * rng.uniform(0.2, 0.8)),
+        Condition("year", AttributeType.TYPE_III, ConditionOp.GE,
+                  year - rng.uniform(1.0, 4.0)),
+    ]
+    interpretation = Interpretation(
+        tree=ConditionGroup(BooleanOperator.AND, conditions)
+    )
+    return generate_sql(
+        table.name, interpretation, limit=None, subquery_style=False
+    )
+
+
+def _run_workload(system, mode: str, rounds: int, seed: int):
+    """Wall-clock + per-question id signatures for one arm.
+
+    The same *seed* drives the same victim and question streams on
+    every arm (builds are deterministic, so record ids and column
+    values are identical), which is what makes the collected
+    signatures comparable bit for bit.
+    """
+    database = system.cqads.database
+    table = database.table("car_ads")
+    executor = SQLExecutor(
+        database, access_paths=mode, planner=AccessPlanner()
+    )
+    rng = random.Random(seed)
+    anchors = _anchor_ids(table)
+    signatures: list[list[int]] = []
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for _ in range(QUESTIONS_PER_ROUND):
+            # One point update per question: churn the windows while
+            # they are being timed (splice path, not rebuild).
+            victim = rng.choice(anchors)
+            price = float(table.get(victim)["price"])
+            table.update(victim, {"price": price + 1.0})
+            record = table.get(rng.choice(anchors))
+            statement = _question_statement(table, record, rng)
+            result = executor.execute(statement)
+            signatures.append(sorted(result.record_ids()))
+    return time.perf_counter() - started, signatures
+
+
+def test_range_window_speedup(arm_systems):
+    systems, scale = arm_systems
+
+    # Warm pass (also the first parity gate): every arm must produce
+    # bit-identical per-question answers under the same churn stream.
+    warm = {
+        arm: _run_workload(systems[arm], arm, rounds=1, seed=1000)[1]
+        for arm in ARMS
+    }
+    assert warm["index"] == warm["scan"], "index arm diverged from scan"
+    assert warm["adaptive"] == warm["scan"], "adaptive arm diverged from scan"
+
+    seconds: dict[str, float] = {}
+    for arm in ARMS:
+        best = None
+        for run in range(REPEATS):
+            elapsed, signatures = _run_workload(
+                systems[arm], arm, ROUNDS, seed=run
+            )
+            best = elapsed if best is None else min(best, elapsed)
+            # Parity asserted in every timed arm and repeat: collect
+            # against the scan arm's signatures for the same seed.
+            if arm == "scan":
+                warm[f"scan:{run}"] = signatures
+            else:
+                assert signatures == warm[f"scan:{run}"], (
+                    f"{arm} arm diverged from scan on seed {run}"
+                )
+        seconds[arm] = best
+
+    questions = ROUNDS * QUESTIONS_PER_ROUND
+    speedup_adaptive = seconds["scan"] / seconds["adaptive"]
+    speedup_index = seconds["scan"] / seconds["index"]
+    rows = [
+        ["full scans", format_seconds(seconds["scan"] / questions), "1.00x"],
+        [
+            "sorted indexes",
+            format_seconds(seconds["index"] / questions),
+            f"{speedup_index:.2f}x",
+        ],
+        [
+            "windows + adaptive",
+            format_seconds(seconds["adaptive"] / questions),
+            f"{speedup_adaptive:.2f}x",
+        ],
+    ]
+    emit(
+        format_table(
+            ["access paths", "per-question latency", "speedup"],
+            rows,
+            title=(
+                f"range-heavy six-unit questions, {scale}-record pool, "
+                f"jittered bounds, one point update per question"
+                + (" [quick mode]" if QUICK else "")
+            ),
+        )
+    )
+
+    if not QUICK:
+        snapshot = {}
+        if RESULT_PATH.exists():
+            snapshot = json.loads(RESULT_PATH.read_text())
+        snapshot.setdefault("benchmark", "range_window_adaptive")
+        snapshot.setdefault("rounds", ROUNDS)
+        snapshot.setdefault("questions_per_round", QUESTIONS_PER_ROUND)
+        snapshot.setdefault("updates_per_question", 1)
+        snapshot.setdefault("scales", {})
+        snapshot["scales"][str(scale)] = {
+            "pool_size": scale,
+            "scan_ms_per_question": 1000 * seconds["scan"] / questions,
+            "index_ms_per_question": 1000 * seconds["index"] / questions,
+            "adaptive_ms_per_question": 1000 * seconds["adaptive"] / questions,
+            "speedup_adaptive_vs_scan": speedup_adaptive,
+            "speedup_index_vs_scan": speedup_index,
+        }
+        RESULT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    if QUICK:
+        assert speedup_adaptive >= MIN_SPEEDUP_QUICK, (
+            f"windows+adaptive must be >= {MIN_SPEEDUP_QUICK}x even in "
+            f"quick mode at {scale} ads, measured {speedup_adaptive:.2f}x"
+        )
+    elif scale == 8000:
+        assert speedup_adaptive >= MIN_SPEEDUP_AT_8000, (
+            f"windows+adaptive must be >= {MIN_SPEEDUP_AT_8000}x at 8000 "
+            f"ads, measured {speedup_adaptive:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        os.environ["BENCH_RANGE_QUICK"] = "1"
+    sys.exit(pytest.main([__file__, "-s", "-q"]))

@@ -22,9 +22,12 @@ subplans, ranking fragments and plans automatically.  Every cache is
 versioned by the tables' **mutation epochs**: inserting, deleting or
 updating ads refreshes cached answers by itself — no manual
 ``invalidate_cache`` call is required after mutations (the method
-survives as an override).  See ``PERFORMANCE.md`` for the algorithms
-and knobs, including ``AnswerOptions(top_k=...)`` to bound the ranked
-pool with the columnar top-k engine.
+survives as an override).  Range/BETWEEN predicates are answered by
+ordered column windows under a selectivity-adaptive planner (the
+explain trace shows which access path each leaf took).  See
+``PERFORMANCE.md`` for the algorithms and knobs, including
+``AnswerOptions(top_k=...)`` to bound the ranked pool with the
+columnar top-k engine.
 
 Run:  python examples/quickstart.py
 """
@@ -41,6 +44,7 @@ from repro import (
     SystemBuilder,
     open_database,
 )
+from repro.db.sql.executor import SQLExecutor
 from repro.errors import DeadlineExceededError
 from repro.store import database_fingerprint
 
@@ -179,6 +183,39 @@ def main() -> None:
     print(f"   fragment cache: +{fragments.hits - hits_before} hits, "
           f"+{fragments.misses - misses_before} misses "
           f"(patched forward through every edit — no re-evaluation)")
+
+    # Range predicates: ordered column windows answer <, >, >=, <= and
+    # BETWEEN leaves with two bisects into a delta-maintained sorted
+    # array (spliced in place by the same typed deltas that patch the
+    # caches above), and a selectivity-adaptive planner picks scan vs.
+    # sorted index vs. window — or the window's complement, when the
+    # range matches most of the pool — per leaf (see PERFORMANCE.md,
+    # "Ordered windows & adaptive planning"; BENCH_range.json: ~12x
+    # over full scans at 8000 ads).  The execute stage surfaces its
+    # per-leaf decisions in the explain trace, and a standalone
+    # SQLExecutor exposes them programmatically.
+    print("=" * 72)
+    ranged = service.ask(
+        "Any car priced below $7000 and not less than $2000",
+        domain="cars",
+        explain=True,
+    )
+    print(f"Q: {ranged.question}")
+    print(f"   SQL: {ranged.sql}")
+    for entry in ranged.trace or []:
+        if entry.stage == "execute":
+            print(f"   stage {entry.describe()}")
+    executor = SQLExecutor(service.cqads.database)  # access_paths="adaptive"
+    result = executor.execute_sql(
+        "SELECT * FROM car_ads WHERE price BETWEEN 2000 AND 7000 "
+        "AND mileage < 60000"
+    )
+    print(f"   direct executor: {len(result.record_ids())} rows, "
+          f"access paths: {executor.plan_summary()}")
+    for decision in executor.plan_trace:
+        print(f"     {decision.column} {decision.shape}: {decision.path} "
+              f"(predicted selectivity {decision.predicted:.2f}, "
+              f"observed {decision.observed:.2f})")
 
     # Scale-out: the same recipe partitioned across 4 shards.  Every
     # read scatters and gathers behind the single-table surface, the

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
+from repro.db.sql.executor import SQLExecutor
 from repro.errors import ContradictionError
 from repro.qa.boolean_rules import build_interpretation
 from repro.qa.conditions import Interpretation
@@ -196,18 +197,26 @@ class ExecuteStage:
             limit=ctx.options.max_answers,
             ordered=ctx.options.ordered_evaluation,
         ).to_sql()
+        # One executor for the stage so its access-path decisions
+        # (scan vs. index vs. window per range leaf) can be surfaced
+        # in the explain trace.
+        executor = SQLExecutor(ctx.engine.database)
         records = evaluate_interpretation(
             ctx.engine.database,
             context.domain,
             ctx.interpretation,
             limit=None,
             ordered=ctx.options.ordered_evaluation,
+            executor=executor,
         )
         ctx.exact = [
             Answer(record=record, exact=True, score=float("inf"), similarity_kind="exact")
             for record in records
         ]
-        return f"{len(ctx.exact)} exact matches"
+        return (
+            f"{len(ctx.exact)} exact matches; "
+            f"access paths: {executor.plan_summary()}"
+        )
 
 
 class RelaxStage:

@@ -25,7 +25,37 @@ import bisect
 from collections import defaultdict
 from typing import Iterable
 
-__all__ = ["HashIndex", "SortedIndex", "SubstringIndex"]
+__all__ = ["HashIndex", "NullIndex", "SortedIndex", "SubstringIndex"]
+
+
+class NullIndex:
+    """Ids whose column is NULL (absent key or explicit ``None``).
+
+    The `!=` and NULL-semantics branches of the SQL executor used to
+    re-scan the whole table to find NULL rows on every evaluation; this
+    set makes that O(1).  Maintained by the table alongside the other
+    index families on every insert/delete/update.
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._ids: set[int] = set()
+
+    def add(self, record_id: int) -> None:
+        self._ids.add(record_id)
+
+    def discard(self, record_id: int) -> None:
+        self._ids.discard(record_id)
+
+    def ids(self) -> set[int]:
+        """The live NULL-id set — callers must treat it as read-only."""
+        return self._ids
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
 
 
 class HashIndex:

@@ -14,8 +14,8 @@ NULL handling is two-valued: a NULL value simply fails every predicate
 except ``IS NULL``, which is the behaviour CQAds relies on (an ad that
 omits a property never matches a constraint on it).
 
-Two performance devices keep the WHERE evaluation cheap without
-changing any result set (both are pure set algebra — see
+Three performance devices keep the WHERE evaluation cheap without
+changing any result set (all pure set algebra — see
 ``PERFORMANCE.md``):
 
 * **lazy complements** — ``NOT`` and ``!=`` produce a
@@ -27,7 +27,17 @@ changing any result set (both are pure set algebra — see
   flattened and evaluated cheapest-leaf-first (indexed equality before
   ranges before substring scans before complements), short-circuiting
   as soon as the accumulated intersection is empty (or the union
-  covers the table).
+  covers the table);
+* **ordered windows + adaptive access-path planning** — range,
+  comparison and BETWEEN leaves are answered by bisecting a
+  delta-maintained sorted column window
+  (:mod:`repro.perf.window`) into a lazy :class:`_WindowSet` that
+  intersects by membership instead of materializing, and a
+  per-``(table, column, shape)`` :class:`AccessPlanner` tracks
+  observed selectivity to choose scan vs. index vs. window (or the
+  window's *complement*, when the range matches most of the table)
+  per leaf; every choice is recorded on the executor's ``plan_trace``
+  for explain output.
 
 The pseudo-column ``record_id`` is available on every table; CQAds uses
 it for the paper's ``Car_ID IN (subquery)`` idiom (Example 7).
@@ -36,6 +46,7 @@ it for the paper's ``Car_ID IN (subquery)`` idiom (Example 7).
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -55,10 +66,103 @@ from repro.db.sql.ast import (
 from repro.db.sql.plan_cache import DEFAULT_PLAN_CACHE, PlanCache
 from repro.db.table import Record, Table
 from repro.errors import SQLExecutionError
+from repro.perf.window import ColumnWindow, IdWindow, windows_for
 
-__all__ = ["SQLResult", "SQLExecutor", "execute"]
+__all__ = [
+    "ACCESS_PATH_MODES",
+    "AccessDecision",
+    "AccessPlanner",
+    "DEFAULT_ACCESS_PLANNER",
+    "SQLExecutor",
+    "SQLResult",
+    "execute",
+]
 
 RECORD_ID = "record_id"
+
+#: Valid ``SQLExecutor(access_paths=...)`` values: ``adaptive`` lets
+#: observed selectivity pick per leaf, ``window``/``index``/``scan``
+#: pin every range leaf to one access path (oracles for parity tests
+#: and bench baselines).
+ACCESS_PATH_MODES = ("adaptive", "window", "index", "scan")
+
+#: Adaptive mode flips a range leaf to the *complement* representation
+#: when its predicted selectivity exceeds this fraction (a wide range
+#: has a small outside, so carrying the complement keeps AND chains
+#: cheap).
+COMPLEMENT_THRESHOLD = 0.5
+
+#: Below this many rows adaptive mode skips windows entirely: the
+#: sorted index materializes tiny sets faster than window bookkeeping.
+MIN_WINDOW_ROWS = 64
+
+#: Window-assisted ORDER BY only pays off once the sort is big enough
+#: to beat Timsort on a cached position map.
+WINDOW_ORDER_MIN_ROWS = 512
+
+#: ``plan_trace`` length cap; the oldest half is dropped when hit so
+#: long-lived executors cannot leak unbounded trace memory.
+MAX_PLAN_TRACE = 4096
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """One recorded access-path choice for one WHERE leaf (or sort).
+
+    ``shape`` names the leaf family the planner keys on (``range``,
+    ``between``, ``lex-range``, ``id-range``, ``id-between``,
+    ``order-by``); ``path`` is what was chosen (``window``,
+    ``window-complement``, ``index``, ``scan``, ``window-order``);
+    ``predicted``/``observed`` are the planner's selectivity estimate
+    before the leaf ran and the fraction actually matched (``None``
+    when the leaf never consulted a window).
+    """
+
+    table: str
+    column: str
+    shape: str
+    path: str
+    predicted: float | None
+    observed: float | None
+    rows: int
+
+
+class AccessPlanner:
+    """Running per-``(table, column, shape)`` selectivity estimates.
+
+    An exponentially weighted moving average (``ALPHA = 0.5``) over
+    the observed match fractions: heavy enough smoothing to ignore one
+    odd query, fast enough to flip the access path after a couple of
+    consistently wide (or narrow) ranges.  Thread-safe; the module
+    shares one :data:`DEFAULT_ACCESS_PLANNER` across executors for the
+    same reason the plan cache is shared — executors are built per
+    call, and a per-instance planner would never learn anything.
+    """
+
+    ALPHA = 0.5
+    DEFAULT_SELECTIVITY = 0.25
+
+    def __init__(self) -> None:
+        self._stats: dict[tuple[str, str, str], float] = {}
+        self._lock = threading.Lock()
+
+    def predict(self, key: tuple[str, str, str]) -> float:
+        """The current selectivity estimate for *key* (default prior)."""
+        return self._stats.get(key, self.DEFAULT_SELECTIVITY)
+
+    def observe(self, key: tuple[str, str, str], selectivity: float) -> None:
+        """Fold one observed match fraction into the estimate."""
+        with self._lock:
+            prior = self._stats.get(key)
+            if prior is None:
+                self._stats[key] = selectivity
+            else:
+                self._stats[key] = prior + self.ALPHA * (selectivity - prior)
+
+
+#: Shared planner instance (see :class:`AccessPlanner`); tests pass a
+#: private planner to keep their selectivity history isolated.
+DEFAULT_ACCESS_PLANNER = AccessPlanner()
 
 
 class _IdSet:
@@ -79,7 +183,9 @@ class _IdSet:
     def negated(self) -> "_IdSet":
         return _IdSet(self.ids, not self.complemented)
 
-    def intersect(self, other: "_IdSet") -> "_IdSet":
+    def intersect(self, other: "_IdSet | _WindowSet") -> "_IdSet":
+        if isinstance(other, _WindowSet):
+            return other.intersect(self)  # intersection commutes
         if not self.complemented and not other.complemented:
             return _IdSet(self.ids & other.ids)
         if not self.complemented:
@@ -88,7 +194,9 @@ class _IdSet:
             return _IdSet(other.ids - self.ids)
         return _IdSet(self.ids | other.ids, True)
 
-    def union(self, other: "_IdSet") -> "_IdSet":
+    def union(self, other: "_IdSet | _WindowSet") -> "_IdSet":
+        if isinstance(other, _WindowSet):
+            return other.union(self)  # union commutes
         if not self.complemented and not other.complemented:
             return _IdSet(self.ids | other.ids)
         if not self.complemented:
@@ -110,6 +218,68 @@ class _IdSet:
         if self.complemented:
             return table.all_ids() - self.ids
         return self.ids
+
+
+class _WindowSet:
+    """A lazy range-leaf result: an :class:`~repro.perf.window.IdWindow`
+    participating in the :class:`_IdSet` algebra without materializing.
+
+    As long as it only meets plain (non-complemented) sets it stays a
+    window: emptiness/universality are slice arithmetic, and an
+    intersection probes membership (one record fetch + bounds check
+    per candidate) when the other side is smaller than the window —
+    the payoff case, since a selective AND chain evaluates its cheap
+    equality leaves first.  Any operation that genuinely needs the
+    ids (union, complement-vs-complement) forces a one-time
+    materialization into a plain :class:`_IdSet`.
+    """
+
+    __slots__ = ("window", "complemented")
+
+    def __init__(self, window: IdWindow, complemented: bool = False) -> None:
+        self.window = window
+        self.complemented = complemented
+
+    def negated(self) -> "_WindowSet":
+        return _WindowSet(self.window, not self.complemented)
+
+    def _plain(self) -> _IdSet:
+        return _IdSet(self.window.materialize(), self.complemented)
+
+    def is_empty(self) -> bool:
+        return not self.complemented and self.window.count() == 0
+
+    def is_universal(self) -> bool:
+        # The complement of an empty window is every id, NULLs included.
+        return self.complemented and self.window.count() == 0
+
+    def intersect(self, other: "_IdSet | _WindowSet") -> _IdSet:
+        if isinstance(other, _WindowSet):
+            other = other._plain()
+        if not other.complemented:
+            if not self.complemented:
+                if self.window.count() <= len(other.ids):
+                    return _IdSet(self.window.materialize() & other.ids)
+                return _IdSet(
+                    {rid for rid in other.ids if rid in self.window}
+                )
+            # complemented window ∩ plain set: keep the ids *outside*
+            # the range (NULL values are outside by definition).
+            return _IdSet({rid for rid in other.ids if rid not in self.window})
+        if not self.complemented:
+            return _IdSet(self.window.materialize() - other.ids)
+        return _IdSet(self.window.materialize() | other.ids, True)
+
+    def union(self, other: "_IdSet | _WindowSet") -> _IdSet:
+        if isinstance(other, _WindowSet):
+            other = other._plain()
+        return self._plain().union(other)
+
+    def materialize(self, table: Table) -> set[int]:
+        ids = self.window.materialize()
+        if self.complemented:
+            return table.all_ids() - ids
+        return ids
 
 
 def _flatten_chain(expr: BinaryExpr) -> list[Expr]:
@@ -196,13 +366,50 @@ class SQLExecutor:
     :data:`~repro.db.sql.plan_cache.DEFAULT_PLAN_CACHE` is shared when
     none is given (executors are routinely constructed per call, so a
     per-instance cache would never get warm).
+
+    ``access_paths`` picks how range/comparison/BETWEEN leaves are
+    answered (see :data:`ACCESS_PATH_MODES`); every mode is
+    bit-identical by construction, so ``scan`` doubles as the parity
+    oracle for the window path.  ``planner`` supplies the selectivity
+    stats for ``adaptive`` mode (shared
+    :data:`DEFAULT_ACCESS_PLANNER` when omitted).  Each evaluated
+    range leaf appends an :class:`AccessDecision` to ``plan_trace``,
+    which the explain pipeline surfaces.
     """
 
     def __init__(
-        self, database: Database, plan_cache: PlanCache | None = None
+        self,
+        database: Database,
+        plan_cache: PlanCache | None = None,
+        access_paths: str = "adaptive",
+        planner: AccessPlanner | None = None,
     ) -> None:
+        if access_paths not in ACCESS_PATH_MODES:
+            raise ValueError(
+                f"access_paths must be one of {ACCESS_PATH_MODES}, "
+                f"got {access_paths!r}"
+            )
         self.database = database
         self.plan_cache = plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
+        self.access_paths = access_paths
+        self.planner = planner if planner is not None else DEFAULT_ACCESS_PLANNER
+        self.plan_trace: list[AccessDecision] = []
+
+    def _record(self, decision: AccessDecision) -> None:
+        if len(self.plan_trace) >= MAX_PLAN_TRACE:
+            del self.plan_trace[: MAX_PLAN_TRACE // 2]
+        self.plan_trace.append(decision)
+
+    def plan_summary(self) -> str:
+        """Compact ``path xN`` rendering of ``plan_trace`` for explain."""
+        counts: dict[str, int] = {}
+        for decision in self.plan_trace:
+            counts[decision.path] = counts.get(decision.path, 0) + 1
+        if not counts:
+            return "no planned leaves"
+        return ", ".join(
+            f"{path} x{count}" for path, count in sorted(counts.items())
+        )
 
     # ------------------------------------------------------------------
     def execute(self, statement: SelectStatement) -> SQLResult:
@@ -274,7 +481,9 @@ class SQLExecutor:
                 value = self._record_value(record, key.column)
                 return (value is None, value if value is not None else 0, record.record_id)
 
-            ordered = sorted(records, key=single)
+            ordered = self._window_sorted(table, records, column)
+            if ordered is None:
+                ordered = sorted(records, key=single)
             if key.descending:
                 present = [r for r in ordered if r.get(column) is not None or column == RECORD_ID]
                 absent = [r for r in ordered if r.get(column) is None and column != RECORD_ID]
@@ -282,6 +491,52 @@ class SQLExecutor:
                 return present + absent
             return ordered
         return sorted(records, key=sort_key)
+
+    def _window_sorted(
+        self, table: Table, records: list[Record], column: str
+    ) -> list[Record] | None:
+        """Order *records* via the column window's cached position map.
+
+        The window's id array is already ``(value asc, id asc)`` —
+        exactly the single-key sort order for present values — so a
+        big enough sort becomes a position lookup per record plus one
+        integer sort, instead of Timsort over tuple keys.  Declines
+        (``None``) for small inputs, sharded facades (per-shard
+        positions don't merge), non-numeric keys and ``record_id``
+        (already id-sorted by ``fetch``).
+        """
+        if self.access_paths not in ("adaptive", "window"):
+            return None
+        if column == RECORD_ID or getattr(table, "shards", None) is not None:
+            return None
+        if len(records) < WINDOW_ORDER_MIN_ROWS:
+            return None
+        if not table.schema.has_column(column):
+            return None
+        if not table.schema.column(column).is_numeric:
+            return None
+        positions = windows_for(table).window(column).order_positions()
+        present: list[tuple[int, Record]] = []
+        absent: list[Record] = []
+        for record in records:  # fetch() order: id-ascending
+            position = positions.get(record.record_id)
+            if position is None:
+                absent.append(record)  # NULL sorts last, id-ascending
+            else:
+                present.append((position, record))
+        present.sort(key=lambda pair: pair[0])
+        self._record(
+            AccessDecision(
+                table.name,
+                column,
+                "order-by",
+                "window-order",
+                None,
+                None,
+                len(records),
+            )
+        )
+        return [record for _, record in present] + absent
 
     def _record_value(self, record: Record, column: ColumnRef) -> object:
         if column.name == RECORD_ID:
@@ -371,7 +626,7 @@ class SQLExecutor:
         if isinstance(expr, Comparison):
             return self._eval_comparison(table, expr)
         if isinstance(expr, BetweenExpr):
-            return _IdSet(self._eval_between(table, expr))
+            return self._eval_between(table, expr)
         if isinstance(expr, LikeExpr):
             return _IdSet(self._eval_like(table, expr))
         if isinstance(expr, InExpr):
@@ -453,22 +708,127 @@ class SQLExecutor:
             return RECORD_ID
         return table.schema.column(column.name).name
 
-    def _eval_comparison(self, table: Table, expr: Comparison) -> _IdSet:
+    # Operator -> (low?, high?, include_low, include_high) for the
+    # window/index range translation; `=`/`!=` are handled separately.
+    _RANGE_BOUNDS = {
+        "<": (False, True, True, False),
+        "<=": (False, True, True, True),
+        ">": (True, False, False, True),
+        ">=": (True, False, True, True),
+    }
+
+    def _eval_range(
+        self,
+        table: Table,
+        name: str,
+        kind: str,
+        low: object | None,
+        high: object | None,
+        include_low: bool,
+        include_high: bool,
+        shape: str,
+    ) -> "_IdSet | _WindowSet | None":
+        """Answer one range leaf through the window layer (or decline).
+
+        Returns ``None`` when the legacy index path should run instead
+        (``index`` mode, or ``adaptive`` on a table too small for
+        windows to pay off); otherwise builds the column's
+        :class:`~repro.perf.window.IdWindow` — one segment per shard —
+        observes its selectivity, and returns either the lazy window or
+        (adaptive, predicted-wide ranges) its complement as a plain
+        outside-ids set.  Every outcome lands on ``plan_trace``.
+        """
+        rows = len(table)
+        if self.access_paths == "index" or (
+            self.access_paths == "adaptive" and rows < MIN_WINDOW_ROWS
+        ):
+            self._record(
+                AccessDecision(table.name, name, shape, "index", None, None, rows)
+            )
+            return None
+        windows = windows_for(table).column_windows(name)
+        window = IdWindow(
+            table, name, kind, low, high, include_low, include_high, windows
+        )
+        observed = (window.count() / rows) if rows else 0.0
+        key = (table.name, name, shape)
+        predicted = self.planner.predict(key)
+        self.planner.observe(key, observed)
+        if self.access_paths == "adaptive" and predicted > COMPLEMENT_THRESHOLD:
+            # Predicted wide: carry the (small) complement instead.
+            # The complement of "in range" is "outside the range or
+            # NULL", so the NULL ids join the outside set.
+            outside = window.outside()
+            if kind != ColumnWindow.RECORD_ID:
+                outside |= table.null_ids(name)
+            self._record(
+                AccessDecision(
+                    table.name,
+                    name,
+                    shape,
+                    "window-complement",
+                    predicted,
+                    observed,
+                    rows,
+                )
+            )
+            return _IdSet(outside, complemented=True)
+        self._record(
+            AccessDecision(
+                table.name, name, shape, "window", predicted, observed, rows
+            )
+        )
+        return _WindowSet(window)
+
+    def _eval_comparison(
+        self, table: Table, expr: Comparison
+    ) -> "_IdSet | _WindowSet":
         name = self._check_column(table, expr.column)
         value = expr.value.value
         operator = "!=" if expr.operator == "<>" else expr.operator
         if value is None:
-            null_ids = table.scan(lambda record: record.get(name) is None)
+            if operator not in ("=", "!="):
+                raise SQLExecutionError("NULL only supports = / != comparisons")
+            if name != RECORD_ID and self.access_paths != "scan":
+                # Delta-maintained null index; copied because _IdSet
+                # results can escape into caches.
+                null_ids = set(table.null_ids(name))
+            else:
+                # Legacy scan — also the deliberate path for the
+                # record_id pseudo-column, where `record.get(...)` is
+                # always None and `= NULL` therefore matches every
+                # record (a quirk callers rely on).
+                null_ids = table.scan(lambda record: record.get(name) is None)
             if operator == "=":
                 return _IdSet(null_ids)
-            if operator == "!=":
-                return _IdSet(null_ids, complemented=True)
-            raise SQLExecutionError("NULL only supports = / != comparisons")
+            return _IdSet(null_ids, complemented=True)
         if name == RECORD_ID:
             try:
                 target = int(value)  # type: ignore[arg-type]
             except (TypeError, ValueError):
                 return _IdSet(set())
+            if self.access_paths not in ("scan", "index"):
+                if operator == "=":
+                    present = table.get(target) is not None
+                    return _IdSet({target} if present else set())
+                if operator == "!=":
+                    present = table.get(target) is not None
+                    return _IdSet(
+                        {target} if present else set(), complemented=True
+                    )
+                bounds = self._RANGE_BOUNDS[operator]
+                result = self._eval_range(
+                    table,
+                    RECORD_ID,
+                    ColumnWindow.RECORD_ID,
+                    target if bounds[0] else None,
+                    target if bounds[1] else None,
+                    bounds[2],
+                    bounds[3],
+                    "id-range",
+                )
+                if result is not None:
+                    return result
             return _IdSet(
                 {
                     record_id
@@ -484,12 +844,27 @@ class SQLExecutor:
                 raise SQLExecutionError(
                     f"numeric column {name!r} compared to non-number {value!r}"
                 ) from None
+            if self.access_paths == "scan":
+                return self._scan_numeric(table, name, operator, number)
             if operator == "=":
                 return _IdSet(table.lookup_range(name, number, number))
             if operator == "!=":
                 return _IdSet(
                     table.lookup_range(name, number, number), complemented=True
                 )
+            bounds = self._RANGE_BOUNDS[operator]
+            result = self._eval_range(
+                table,
+                name,
+                ColumnWindow.NUMERIC,
+                number if bounds[0] else None,
+                number if bounds[1] else None,
+                bounds[2],
+                bounds[3],
+                "range",
+            )
+            if result is not None:
+                return result
             if operator == "<":
                 return _IdSet(
                     table.lookup_range(name, None, number, include_high=False)
@@ -502,16 +877,32 @@ class SQLExecutor:
                 )
             return _IdSet(table.lookup_range(name, number, None))
         text = str(value).lower()
+        if self.access_paths == "scan":
+            return self._scan_categorical(table, name, operator, text)
         if operator == "=":
             return _IdSet(table.lookup_equal(name, text))
         if operator == "!=":
-            matched = table.lookup_equal(name, text)
             # NULLs fail every predicate, != included: complement the
-            # matches *and* the NULLs (same set as non_null - matched,
-            # without copying all_ids()).
-            null_ids = table.scan(lambda record: record.get(name) is None)
-            return _IdSet(matched | null_ids, complemented=True)
-        # Lexicographic comparisons on categorical columns: full scan.
+            # matches *and* the NULLs.  The delta-maintained null
+            # index replaces what used to be a full-table re-scan; the
+            # `|` allocates a fresh set, leaving the live index alone.
+            matched = table.lookup_equal(name, text)
+            return _IdSet(matched | table.null_ids(name), complemented=True)
+        # Lexicographic comparisons on categorical columns: the sorted
+        # categorical window (string-keyed) replaces the full scan.
+        bounds = self._RANGE_BOUNDS[operator]
+        result = self._eval_range(
+            table,
+            name,
+            ColumnWindow.CATEGORICAL,
+            text if bounds[0] else None,
+            text if bounds[1] else None,
+            bounds[2],
+            bounds[3],
+            "lex-range",
+        )
+        if result is not None:
+            return result
         return _IdSet(
             table.scan(
                 lambda record: record.get(name) is not None
@@ -519,11 +910,72 @@ class SQLExecutor:
             )
         )
 
-    def _eval_between(self, table: Table, expr: BetweenExpr) -> set[int]:
+    def _scan_numeric(
+        self, table: Table, name: str, operator: str, number: float
+    ) -> _IdSet:
+        """Full-scan oracle for numeric comparisons (``scan`` mode)."""
+        if operator == "!=":
+            # Same complemented representation as the index path, so
+            # NULL semantics match exactly.
+            return _IdSet(
+                table.scan(
+                    lambda record: record.get(name) is not None
+                    and float(record.get(name)) == number  # type: ignore[arg-type]
+                ),
+                complemented=True,
+            )
+        return _IdSet(
+            table.scan(
+                lambda record: record.get(name) is not None
+                and _compare(float(record.get(name)), operator, number)  # type: ignore[arg-type]
+            )
+        )
+
+    def _scan_categorical(
+        self, table: Table, name: str, operator: str, text: str
+    ) -> _IdSet:
+        """Full-scan oracle for categorical comparisons (``scan`` mode)."""
+        if operator == "=":
+            return _IdSet(
+                table.scan(lambda record: record.get(name) == text)
+            )
+        if operator == "!=":
+            return _IdSet(
+                table.scan(
+                    lambda record: record.get(name) == text
+                    or record.get(name) is None
+                ),
+                complemented=True,
+            )
+        return _IdSet(
+            table.scan(
+                lambda record: record.get(name) is not None
+                and _compare(str(record.get(name)), operator, text)
+            )
+        )
+
+    def _eval_between(
+        self, table: Table, expr: BetweenExpr
+    ) -> "_IdSet | _WindowSet":
         name = self._check_column(table, expr.column)
         if name == RECORD_ID:
             low, high = int(expr.low.value), int(expr.high.value)  # type: ignore[arg-type]
-            return {rid for rid in table.all_ids() if low <= rid <= high}
+            if self.access_paths not in ("scan", "index"):
+                result = self._eval_range(
+                    table,
+                    RECORD_ID,
+                    ColumnWindow.RECORD_ID,
+                    low,
+                    high,
+                    True,
+                    True,
+                    "id-between",
+                )
+                if result is not None:
+                    return result
+            return _IdSet(
+                {rid for rid in table.all_ids() if low <= rid <= high}
+            )
         column = table.schema.column(name)
         if not column.is_numeric:
             raise SQLExecutionError(
@@ -533,7 +985,27 @@ class SQLExecutor:
         high_value = expr.high.value
         if low_value is None or high_value is None:
             raise SQLExecutionError("BETWEEN bounds must not be NULL")
-        return table.lookup_range(name, float(low_value), float(high_value))  # type: ignore[arg-type]
+        low_f, high_f = float(low_value), float(high_value)  # type: ignore[arg-type]
+        if self.access_paths == "scan":
+            return _IdSet(
+                table.scan(
+                    lambda record: record.get(name) is not None
+                    and low_f <= float(record.get(name)) <= high_f  # type: ignore[arg-type]
+                )
+            )
+        result = self._eval_range(
+            table,
+            name,
+            ColumnWindow.NUMERIC,
+            low_f,
+            high_f,
+            True,
+            True,
+            "between",
+        )
+        if result is not None:
+            return result
+        return _IdSet(table.lookup_range(name, low_f, high_f))
 
     def _eval_like(self, table: Table, expr: LikeExpr) -> set[int]:
         name = self._check_column(table, expr.column)

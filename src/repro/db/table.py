@@ -34,7 +34,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
-from repro.db.indexes import HashIndex, SortedIndex, SubstringIndex
+from repro.db.indexes import HashIndex, NullIndex, SortedIndex, SubstringIndex
 from repro.db.schema import AttributeType, TableSchema
 from repro.errors import RecordNotFoundError, SchemaError
 
@@ -200,6 +200,11 @@ class Table:
         self._hash_indexes: dict[str, HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
         self._substring_indexes: dict[str, SubstringIndex] = {}
+        #: Per-column NULL-id sets (every schema column), so `!=`
+        #: complements and NULL-semantics checks never re-scan.
+        self._null_indexes: dict[str, NullIndex] = {
+            column.name: NullIndex(column.name) for column in schema.columns
+        }
         for column in schema.columns:
             if column.is_numeric:
                 self._sorted_indexes[column.name] = SortedIndex(column.name)
@@ -386,6 +391,13 @@ class Table:
         return record
 
     def _index_record(self, record: Record, add: bool) -> None:
+        # NULL tracking must sweep the schema, not the record: a NULL
+        # can be an absent key, which record.items() never yields.
+        for column_name, null_index in self._null_indexes.items():
+            if record.get(column_name) is None:
+                (null_index.add if add else null_index.discard)(
+                    record.record_id
+                )
         for column_name, value in record.items():
             hash_index = self._hash_indexes.get(column_name)
             if hash_index is not None:
@@ -436,6 +448,15 @@ class Table:
 
     def all_ids(self) -> set[int]:
         return set(self._records.keys())
+
+    def null_ids(self, column_name: str) -> set[int]:
+        """Ids whose *column_name* is NULL (absent or ``None``).
+
+        Returns the **live** index set for speed — callers must treat
+        it as read-only and copy before mutating or storing it.
+        """
+        index = self._null_indexes.get(column_name)
+        return index.ids() if index is not None else set()
 
     # ------------------------------------------------------------------
     # index-backed lookups (used by the SQL executor's planner)

@@ -14,6 +14,12 @@ invalidation contracts):
 * :mod:`repro.perf.fragment_cache` — cross-question memoization of
   relaxation-unit id-sets, keyed on the table's mutation epoch so
   entries can never be served stale;
+* :mod:`repro.perf.window` — per-epoch ordered column windows: sorted
+  ``array``-backed (value, id) views maintained incrementally through
+  the typed-delta path, answering range/BETWEEN/lexicographic leaves
+  with two bisects instead of materialized index sets (the SQL
+  executor's selectivity-adaptive planner picks scan vs. index vs.
+  window per leaf);
 * :mod:`repro.perf.lru` — the generic bounded, thread-safe LRU the
   caches are built on (stdlib-only, importable from any layer —
   :mod:`repro.db.sql.plan_cache` builds on it);
@@ -30,18 +36,32 @@ so importing them eagerly here would cycle when the db layer pulls
 from repro.perf.answer_cache import AnswerCache
 from repro.perf.fragment_cache import FragmentCache
 from repro.perf.lru import LRUCache
+from repro.perf.window import (
+    ColumnWindow,
+    IdWindow,
+    ShardedWindows,
+    TableWindows,
+    parse_numeric,
+    windows_for,
+)
 
 __all__ = [
     "AnswerCache",
     "ColumnStore",
+    "ColumnWindow",
     "FragmentCache",
+    "IdWindow",
     "LRUCache",
+    "ShardedWindows",
+    "TableWindows",
     "columnar_rank_units",
     "drop_intersections",
+    "parse_numeric",
     "shared_partial_candidates",
     "sharded_rank_units",
     "unit_expression",
     "unit_id_sets",
+    "windows_for",
 ]
 
 _SUBPLAN_EXPORTS = frozenset(

@@ -54,6 +54,7 @@ from repro.db.table import (
     Table,
     UpdateDelta,
 )
+from repro.perf.window import parse_numeric
 from repro.qa.conditions import Condition, ConditionOp
 from repro.ranking.num_sim import condition_num_sim
 from repro.ranking.rank_sim import (
@@ -154,13 +155,13 @@ class ColumnStore:
     # ------------------------------------------------------------------
     @staticmethod
     def _parse_numeric(value: object) -> float | None:
-        """Exactly the build-time float parse, for bit-identical slots."""
-        if value is None:
-            return None
-        try:
-            return float(value)  # type: ignore[arg-type]
-        except (TypeError, ValueError):
-            return None
+        """Exactly the build-time float parse, for bit-identical slots.
+
+        Delegates to :func:`repro.perf.window.parse_numeric` — the one
+        definition the ordered windows also use, so "what counts as a
+        numeric value" cannot drift between the two accelerators.
+        """
+        return parse_numeric(value)
 
     def apply(
         self, delta: MutationEvent, epoch: int | None = None

@@ -49,6 +49,16 @@ Cached id-sets are shared between the cache and every consumer;
 callers must treat them as immutable — :meth:`absorb` therefore
 patches copy-on-write (a membership change allocates a fresh set; an
 untouched entry is re-keyed without copying).
+
+The ordered-window access path (:mod:`repro.perf.window`) changes
+nothing here by design: ``eval_where`` materializes every cached
+fragment into a plain id-set regardless of whether a leaf was
+answered by a scan, an index lookup or a bisected window, so
+window-computed range fragments enter the cache in the same shape as
+always and :meth:`absorb` patches them forward identically.  The
+windows themselves version by table/shard epoch on their own
+(:class:`~repro.perf.window.TableWindows` splices the same typed
+deltas this cache absorbs).
 """
 
 from __future__ import annotations

@@ -215,6 +215,7 @@ def shared_partial_candidates(
     exclude: set[int],
     pool_cap: int | None,
     fragment_cache: "FragmentCache | None" = None,
+    executor: SQLExecutor | None = None,
 ) -> dict[int, Record]:
     """The N-1 candidate pool via shared subplans.
 
@@ -223,10 +224,14 @@ def shared_partial_candidates(
     drops run in unit order, every pool is finalized with the
     executor's own ordering code, and earlier drops win ties.
     ``fragment_cache`` short-circuits unit evaluation across questions
-    (see :func:`unit_id_sets`).
+    (see :func:`unit_id_sets`).  Passing ``executor`` lets callers pin
+    an access-path mode or collect its ``plan_trace``; by default a
+    fresh (adaptive) executor is built, which shares the module-level
+    plan cache and selectivity planner anyway.
     """
     table = database.table(domain.schema.table_name)
-    executor = SQLExecutor(database)
+    if executor is None:
+        executor = SQLExecutor(database)
     pools = drop_intersections(
         unit_id_sets(executor, table, units, fragment_cache)
     )

@@ -179,12 +179,15 @@ def evaluate_interpretation(
     interpretation: Interpretation,
     limit: int | None = None,
     ordered: bool = True,
+    executor: "SQLExecutor | None" = None,
 ) -> list[Record]:
     """Execute *interpretation* with the paper's evaluation order.
 
     The WHERE (steps 1-3) runs without a LIMIT so the superlative
     (step 4) sees every qualifying record; the limit applies to the
-    final answer list.
+    final answer list.  ``executor`` lets callers reuse one executor
+    across calls — the explain pipeline does this to read the
+    accumulated access-path ``plan_trace`` afterwards.
     """
     # Internal evaluation uses the direct-expression rendering: the
     # Example 7 subquery shape is semantically identical but
@@ -197,7 +200,8 @@ def evaluate_interpretation(
         ordered=ordered,
         subquery_style=False,
     )
-    executor = SQLExecutor(database)
+    if executor is None:
+        executor = SQLExecutor(database)
     result = executor.execute(statement)
     records = result.records
     if interpretation.superlative is not None:

@@ -397,6 +397,10 @@ class ShardedTable:
             ids |= shard.all_ids()
         return ids
 
+    def null_ids(self, column_name: str) -> set[int]:
+        """Ids whose column is NULL, unioned across shards (fresh set)."""
+        return self._union(lambda shard: shard.null_ids(column_name))
+
     # ------------------------------------------------------------------
     # index-backed lookups (scatter to every shard, union the gathers)
     # ------------------------------------------------------------------

@@ -1,0 +1,340 @@
+"""Ordered window indexes + selectivity-adaptive planning.
+
+Three batteries:
+
+* **mutation-storm parity** — a seeded storm of inserts, updates,
+  deletes and bulk batches (duplicate values, NULL columns, empty
+  windows included) over a plain table and sharded facades
+  (shards ∈ {1, 2, 4}); after every round, a range-heavy query battery
+  must agree between the ``scan`` oracle executor and the ``window``
+  and ``adaptive`` access paths, and the delta-maintained per-column
+  null index must agree with a fresh scan;
+* **planner decisions** — observed selectivity flips a leaf from the
+  lazy window to its complement representation, with identical
+  results, and every choice lands on the executor's ``plan_trace``;
+* **delta maintenance** — an instrumented rebuild counter proves a
+  point update splices the window in place (no rebuild), while an
+  epoch gap (detached listener) or a pending-queue overflow triggers
+  exactly one rebuild.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.conftest import SMALL_CAR_ROWS, small_car_schema
+from repro.db.database import Database
+from repro.db.sql.executor import (
+    AccessPlanner,
+    SQLExecutor,
+)
+from repro.perf.window import MAX_PENDING_DELTAS, windows_for
+
+MODES = ("scan", "window", "adaptive")
+
+MAKES = ("honda", "toyota", "ford", "bmw", "chevy", "kia")
+MODELS = ("accord", "civic", "camry", "corolla", "focus", "malibu", "rio")
+COLORS = ("blue", "red", "white", "black", "silver", None)
+TRANSMISSIONS = ("automatic", "manual", None)
+
+#: Range-heavy battery: numeric ranges (incl. an empty window and a
+#: nearly-universal one), BETWEEN, record_id ranges/BETWEEN, string-lex
+#: comparisons, != with NULLs in play, NULL tests, and combinations.
+BATTERY = (
+    "SELECT * FROM car_ads WHERE price < 8000",
+    "SELECT * FROM car_ads WHERE price <= 8500",
+    "SELECT * FROM car_ads WHERE price > 900000",
+    "SELECT * FROM car_ads WHERE price >= 500",
+    "SELECT * FROM car_ads WHERE mileage > 120000",
+    "SELECT * FROM car_ads WHERE price BETWEEN 4000 AND 9000",
+    "SELECT * FROM car_ads WHERE year BETWEEN 2000 AND 2006",
+    "SELECT * FROM car_ads WHERE record_id BETWEEN 3 AND 17",
+    "SELECT * FROM car_ads WHERE record_id > 5",
+    "SELECT * FROM car_ads WHERE record_id <= 10",
+    "SELECT * FROM car_ads WHERE year != 2004",
+    "SELECT * FROM car_ads WHERE color != 'blue'",
+    "SELECT * FROM car_ads WHERE color > 'blue'",
+    "SELECT * FROM car_ads WHERE color < 'silver'",
+    "SELECT * FROM car_ads WHERE color IS NULL",
+    "SELECT * FROM car_ads WHERE transmission IS NOT NULL",
+    "SELECT * FROM car_ads WHERE make = 'honda' AND price < 9000",
+    "SELECT * FROM car_ads WHERE price < 5000 OR mileage > 150000",
+    "SELECT * FROM car_ads WHERE NOT (price BETWEEN 4000 AND 9000)",
+    "SELECT * FROM car_ads WHERE make = 'honda' AND price BETWEEN 3000 "
+    "AND 12000 AND mileage < 150000",
+)
+
+
+def _fresh_database(shards: int | None):
+    database = Database()
+    table = database.create_table(small_car_schema(), shards=shards)
+    table.insert_many(SMALL_CAR_ROWS)
+    return database, table
+
+
+def _executors(database) -> dict[str, SQLExecutor]:
+    # Private planners keep selectivity history isolated per test.
+    return {
+        mode: SQLExecutor(database, access_paths=mode, planner=AccessPlanner())
+        for mode in MODES
+    }
+
+
+def _random_row(rng: random.Random) -> dict[str, object]:
+    # price quantized to 500s to force duplicate values in the window.
+    return {
+        "make": rng.choice(MAKES),
+        "model": rng.choice(MODELS),
+        "color": rng.choice(COLORS),
+        "transmission": rng.choice(TRANSMISSIONS),
+        "year": rng.choice((None, rng.randint(1990, 2011))),
+        "price": rng.choice((None, float(rng.randrange(500, 20000, 500)))),
+        "mileage": rng.choice((None, rng.randint(0, 250000))),
+    }
+
+
+def _mutate(table, rng: random.Random, live: list[int]) -> None:
+    roll = rng.random()
+    if roll < 0.40 or not live:
+        live.append(table.insert(_random_row(rng)).record_id)
+    elif roll < 0.60:
+        victim = rng.choice(live)
+        column = rng.choice(("color", "transmission", "year", "price", "mileage"))
+        table.update(victim, {column: _random_row(rng)[column]})
+    elif roll < 0.75:
+        victim = live.pop(rng.randrange(len(live)))
+        table.delete(victim)
+    elif roll < 0.90:
+        for record in table.insert_many(
+            [_random_row(rng) for _ in range(3)]
+        ):
+            live.append(record.record_id)
+    else:
+        count = min(len(live), 2)
+        victims = [live.pop(rng.randrange(len(live))) for _ in range(count)]
+        if victims:
+            table.remove_many(victims)
+
+
+def _assert_battery_parity(executors: dict[str, SQLExecutor]) -> None:
+    for sql in BATTERY:
+        oracle = sorted(executors["scan"].execute_sql(sql).record_ids())
+        for mode in ("window", "adaptive"):
+            got = sorted(executors[mode].execute_sql(sql).record_ids())
+            assert got == oracle, f"{mode} diverged from scan on {sql!r}"
+
+
+def _assert_null_index_parity(table) -> None:
+    for column in ("make", "color", "transmission", "year", "price", "mileage"):
+        expected = table.scan(lambda record: record.get(column) is None)
+        assert set(table.null_ids(column)) == expected
+
+
+@pytest.mark.parametrize("shards", [None, 1, 2, 4])
+def test_mutation_storm_parity(shards):
+    database, table = _fresh_database(shards)
+    executors = _executors(database)
+    rng = random.Random(2026_08_08 + (shards or 0))
+    live = sorted(table.all_ids())
+    _assert_battery_parity(executors)
+    for _ in range(6):
+        for _ in range(12):
+            _mutate(table, rng, live)
+        _assert_battery_parity(executors)
+        _assert_null_index_parity(table)
+
+
+def test_empty_table_and_empty_window():
+    database = Database()
+    database.create_table(small_car_schema())
+    executors = _executors(database)
+    for sql in BATTERY:
+        for mode in MODES:
+            assert executors[mode].execute_sql(sql).record_ids() == []
+
+
+def test_record_id_between_bisects_not_scans():
+    """Satellite: record_id BETWEEN agrees with the all_ids scan."""
+    database, table = _fresh_database(None)
+    table.delete(3)  # a hole inside the range
+    executors = _executors(database)
+    sql = "SELECT * FROM car_ads WHERE record_id BETWEEN 2 AND 6"
+    oracle = sorted(executors["scan"].execute_sql(sql).record_ids())
+    assert oracle == [2, 4, 5, 6]
+    assert sorted(executors["window"].execute_sql(sql).record_ids()) == oracle
+    assert sorted(executors["adaptive"].execute_sql(sql).record_ids()) == oracle
+
+
+# ----------------------------------------------------------------------
+# planner decisions
+# ----------------------------------------------------------------------
+def _bulk_database(rows: int = 400):
+    rng = random.Random(99)
+    database = Database()
+    table = database.create_table(small_car_schema())
+    table.insert_many(
+        {
+            "make": rng.choice(MAKES),
+            "model": rng.choice(MODELS),
+            "color": rng.choice(COLORS),
+            "transmission": rng.choice(TRANSMISSIONS),
+            "year": rng.randint(1990, 2011),
+            "price": float(rng.randrange(500, 40000, 100)),
+            "mileage": rng.randint(0, 250000),
+        }
+        for _ in range(rows)
+    )
+    return database, table
+
+
+def test_selectivity_flip_switches_access_path():
+    database, table = _bulk_database()
+    planner = AccessPlanner()
+    adaptive = SQLExecutor(database, planner=planner)
+    oracle = SQLExecutor(database, access_paths="scan")
+
+    narrow = "SELECT * FROM car_ads WHERE price < 600"
+    adaptive.execute_sql(narrow)
+    first = adaptive.plan_trace[-1]
+    assert first.path == "window"
+    assert first.shape == "range"
+    assert first.table == "car_ads" and first.column == "price"
+    assert first.rows == len(table)
+    assert first.observed is not None and 0.0 <= first.observed <= 1.0
+
+    # Consistently wide ranges drive the EWMA past the complement
+    # threshold; the decision flips and the answers must not move.
+    wide = "SELECT * FROM car_ads WHERE price > 0"
+    paths = []
+    for _ in range(4):
+        got = sorted(adaptive.execute_sql(wide).record_ids())
+        assert got == sorted(oracle.execute_sql(wide).record_ids())
+        paths.append(adaptive.plan_trace[-1].path)
+    assert paths[0] == "window"
+    assert paths[-1] == "window-complement"
+
+
+def test_plan_trace_records_index_path_on_tiny_tables():
+    database, _ = _fresh_database(None)  # 8 rows < MIN_WINDOW_ROWS
+    adaptive = SQLExecutor(database, planner=AccessPlanner())
+    adaptive.execute_sql("SELECT * FROM car_ads WHERE price < 8000")
+    assert adaptive.plan_trace[-1].path == "index"
+    assert "index" in adaptive.plan_summary()
+
+
+def test_plan_summary_counts_paths():
+    database, _ = _bulk_database()
+    executor = SQLExecutor(database, planner=AccessPlanner())
+    assert executor.plan_summary() == "no planned leaves"
+    executor.execute_sql("SELECT * FROM car_ads WHERE price < 600")
+    executor.execute_sql("SELECT * FROM car_ads WHERE price < 600")
+    assert "window x2" in executor.plan_summary()
+
+
+def test_invalid_access_path_mode_rejected():
+    database, _ = _fresh_database(None)
+    with pytest.raises(ValueError):
+        SQLExecutor(database, access_paths="psychic")
+
+
+def test_window_assisted_order_by_matches_sort():
+    database, table = _bulk_database(rows=600)
+    # Sprinkle NULL prices so the absent-last rule is exercised.
+    for record_id in list(table.all_ids())[:25]:
+        table.update(record_id, {"price": None})
+    adaptive = SQLExecutor(database, planner=AccessPlanner())
+    oracle = SQLExecutor(database, access_paths="scan")
+    for sql in (
+        "SELECT * FROM car_ads ORDER BY price",
+        "SELECT * FROM car_ads ORDER BY price DESC",
+        "SELECT * FROM car_ads ORDER BY price LIMIT 40",
+    ):
+        assert (
+            adaptive.execute_sql(sql).record_ids()
+            == oracle.execute_sql(sql).record_ids()
+        )
+    assert any(d.path == "window-order" for d in adaptive.plan_trace)
+    assert all(d.path != "window-order" for d in oracle.plan_trace)
+
+
+# ----------------------------------------------------------------------
+# delta maintenance (instrumented rebuild counter)
+# ----------------------------------------------------------------------
+def _window_ids_by_price(table) -> list[int]:
+    records = sorted(
+        (record for record in table if record.get("price") is not None),
+        key=lambda record: (float(record["price"]), record.record_id),
+    )
+    return [record.record_id for record in records]
+
+
+def test_point_update_patches_window_in_place():
+    database, table = _fresh_database(None)
+    table_windows = windows_for(table)
+    window = table_windows.window("price")
+    assert table_windows.rebuild_count("price") == 1
+    table.update(1, {"price": 9100.0})
+    table.update(2, {"color": "black"})  # untouched column: epoch-only
+    patched = table_windows.window("price")
+    assert patched is window  # same object, spliced — no re-sort
+    assert table_windows.rebuild_count("price") == 1
+    assert list(patched.ids) == _window_ids_by_price(table)
+    assert patched.epoch == table.epoch
+
+
+def test_batch_deltas_splice_without_rebuild():
+    database, table = _fresh_database(None)
+    table_windows = windows_for(table)
+    table_windows.window("price")
+    table.insert_many(
+        [
+            {"make": "kia", "model": "rio", "price": 9000.0},
+            {"make": "kia", "model": "rio", "price": 100.0},
+            {"make": "kia", "model": "rio", "price": None},
+        ]
+    )
+    table.remove_many([1, 2])
+    window = table_windows.window("price")
+    assert table_windows.rebuild_count("price") == 1
+    assert list(window.ids) == _window_ids_by_price(table)
+
+
+def test_epoch_gap_forces_rebuild():
+    database, table = _fresh_database(None)
+    table_windows = windows_for(table)
+    table_windows.window("price")
+    # Simulate a missed delta: detach the listener, mutate, re-attach.
+    table.remove_listener(table_windows._on_delta)
+    table.update(1, {"price": 100.0})
+    table.add_listener(table_windows._on_delta)
+    window = table_windows.window("price")
+    assert table_windows.rebuild_count("price") == 2
+    assert list(window.ids) == _window_ids_by_price(table)
+
+
+def test_pending_overflow_rebuilds_once():
+    database, table = _fresh_database(None)
+    table_windows = windows_for(table)
+    table_windows.window("price")
+    for i in range(MAX_PENDING_DELTAS + 1):
+        table.update(1, {"price": 500.0 + i})
+    window = table_windows.window("price")
+    assert table_windows.rebuild_count("price") == 2
+    assert list(window.ids) == _window_ids_by_price(table)
+
+
+def test_sharded_windows_stay_live_across_sibling_mutations():
+    database, facade = _fresh_database(4)
+    windows = windows_for(facade)
+    segments = {id(w): w.epoch for w in windows.column_windows("price")}
+    # Mutate one record: exactly one shard's window should move.
+    victim = min(facade.all_ids())
+    facade.update(victim, {"price": 123.0})
+    moved = 0
+    for window in windows.column_windows("price"):
+        if window.epoch != segments[id(window)]:
+            moved += 1
+    assert moved == 1
+    assert windows.rebuild_count("price") == 4  # one initial build per shard

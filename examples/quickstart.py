@@ -7,10 +7,15 @@ then exercises the three :class:`AnswerService` entry points —
 pagination past the paper's 30-answer cap) — then the async service
 tier (:class:`~repro.serve.AsyncAnswerService`): single-flight
 coalescing, admission control and deadlines over the same engine —
-and finishes with durability: ``.storage(directory)`` logs every
+then durability: ``.storage(directory)`` logs every
 mutation to a checksummed write-ahead log, and
 :func:`repro.open_database` recovers the bit-identical database
-after a restart (or crash; see PERFORMANCE.md, "Durability").
+after a restart (or crash; see PERFORMANCE.md, "Durability") —
+and finishes with observability: ``.observability(obs)`` threads one
+:class:`~repro.obs.Observability` bundle (metrics registry + tracer)
+through every layer, printing a connected span tree for one request
+and a Prometheus snapshot of the cache counters
+(see PERFORMANCE.md, "Observability", and ``python -m repro stats``).
 
 Legacy API note: ``build_system(["cars"]).cqads.answer(question)``
 still works and returns bit-identical answers — it is a thin shim over
@@ -41,8 +46,12 @@ import time
 from repro import (
     AnswerRequest,
     AsyncAnswerService,
+    InMemoryTraceSink,
+    MetricsRegistry,
+    Observability,
     SystemBuilder,
     open_database,
+    set_default_registry,
 )
 from repro.db.sql.executor import SQLExecutor
 from repro.errors import DeadlineExceededError
@@ -317,6 +326,42 @@ def main() -> None:
                   f"{recovered.table('car_ads').get(posted.record_id) is not None}")
         finally:
             backend.close()
+
+    # Observability: one Observability bundle (metrics registry +
+    # tracer) rides through every layer.  Each answered request opens a
+    # root span whose children cover the pipeline stages, executor
+    # leaves, shard scatters, cache lookups and WAL appends; the
+    # registry accumulates counters and latency histograms the
+    # Prometheus exporter renders.  install() points the always-on
+    # hooks (caches, WAL, stages) at this registry; restoring the
+    # previous default afterwards keeps the demo self-contained
+    # (see PERFORMANCE.md, "Observability", and
+    # `python -m repro stats --trace` for the CLI equivalent).
+    print("=" * 72)
+    print("Observability: one traced request -> span tree + Prometheus ...")
+    obs = Observability(MetricsRegistry())
+    sink = InMemoryTraceSink()
+    obs.tracer.add_sink(sink)
+    previous = obs.install()
+    try:
+        observed = (
+            SystemBuilder()
+            .with_domains("cars")
+            .ads_per_domain(200)
+            .answer_cache(64)
+            .observability(obs)
+            .build_service()
+        )
+        observed.ask(question, domain="cars")
+        observed.ask(question, domain="cars")  # second run hits the caches
+    finally:
+        set_default_registry(previous)
+    richest = max(sink.roots, key=lambda root: sum(1 for _ in root.walk()))
+    print(richest.describe())
+    print("   Prometheus snapshot (cache families):")
+    for line in obs.render_prometheus().splitlines():
+        if "repro_cache_requests_total" in line:
+            print(f"     {line}")
 
 
 if __name__ == "__main__":

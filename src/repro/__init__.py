@@ -47,6 +47,11 @@ Public surface:
 * :mod:`repro.store` — durable storage: a delta write-ahead log with
   checksummed snapshots and crash recovery
   (``SystemBuilder().storage(dir)`` / :func:`open_database`);
+* :mod:`repro.obs` — unified observability: the
+  :class:`MetricsRegistry` (counters / gauges / latency histograms),
+  request-scoped span tracing across every executor boundary, and the
+  Prometheus/JSON-lines exporters
+  (``SystemBuilder().observability()`` / ``python -m repro stats``);
 * :mod:`repro.ranking` — Rank_Sim and the four baseline rankers;
 * :mod:`repro.datagen` — the synthetic-data generators;
 * :mod:`repro.evaluation` — the paper's metrics and experiment harness.
@@ -61,6 +66,13 @@ from repro.api import (
     SystemBuilder,
 )
 from repro.db.database import Database
+from repro.obs import (
+    InMemoryTraceSink,
+    MetricsRegistry,
+    Observability,
+    render_prometheus,
+    set_default_registry,
+)
 from repro.qa.conditions import Condition, ConditionOp, Interpretation, Superlative
 from repro.qa.domain import AdsDomain
 from repro.qa.pipeline import MAX_ANSWERS, Answer, CQAds, QuestionResult
@@ -73,7 +85,7 @@ from repro.store import (
 )
 from repro.system import BuiltDomain, BuiltSystem, build_system
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Database",
@@ -99,6 +111,11 @@ __all__ = [
     "RecoveryReport",
     "SystemBuilder",
     "WalBackend",
+    "Observability",
+    "MetricsRegistry",
+    "InMemoryTraceSink",
+    "render_prometheus",
+    "set_default_registry",
     "open_database",
     "recover_database",
     "__version__",

@@ -35,12 +35,22 @@ Two modes:
     Rebuild the database persisted in DIR (newest valid snapshot plus
     WAL-tail replay, truncating torn tails) and print the recovery
     report.  ``--verify`` also prints the recovered state fingerprint;
-    ``--json`` emits the report as JSON.
+    ``--json`` emits the report as JSON (including the registry-fed
+    WAL damage taxonomy and recovery phase timings).
 
-The word ``batch``/``load``/``snapshot``/``recover`` in first position
-selects the subcommand; to ask the literal one-word question "batch",
-put the flags (if any) first and separate the question with ``--``:
-``python -m repro --domains cars -- batch``.
+``python -m repro stats``
+    Observability smoke: provision a small WAL-backed system with the
+    unified observability layer attached (:mod:`repro.obs`), drive a
+    short traced workload through the async service tier, and print
+    the resulting metrics as Prometheus text exposition (``--json``
+    for the snapshot dict, ``--trace`` to also print a request's span
+    tree).  ``--check`` additionally asserts the export parses and the
+    core metric families are non-zero — the CI smoke mode.
+
+The word ``batch``/``load``/``snapshot``/``recover``/``stats`` in
+first position selects the subcommand; to ask the literal one-word
+question "batch", put the flags (if any) first and separate the
+question with ``--``: ``python -m repro --domains cars -- batch``.
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ __all__ = [
     "build_load_parser",
     "build_recover_parser",
     "build_snapshot_parser",
+    "build_stats_parser",
     "main",
 ]
 
@@ -311,6 +322,183 @@ def build_recover_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description=(
+            "Drive a short traced workload through a small WAL-backed "
+            "system and print the unified observability metrics as "
+            "Prometheus text exposition."
+        ),
+    )
+    _add_provisioning_arguments(parser)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=24,
+        help="requests to drive through the async service (default 24)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics snapshot as JSON instead of Prometheus text",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also print one traced request's span tree (to stderr)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "smoke mode: assert the Prometheus export parses and the "
+            "core metric families (cache hit/miss, stage latencies, "
+            "serve counters, WAL ops) are non-zero; exit 1 otherwise"
+        ),
+    )
+    return parser
+
+
+def _stats_workload(args: argparse.Namespace, obs) -> str:
+    """Provision, drive the traced workload, and return the export."""
+    import tempfile
+
+    from repro.db.sql.executor import execute
+
+    domains = args.domains
+    if domains is None:
+        domains = [args.domain] if args.domain is not None else ["cars"]
+    with tempfile.TemporaryDirectory(prefix="repro-stats-") as directory:
+        builder = (
+            SystemBuilder()
+            .with_domains(domains)
+            .ads_per_domain(args.ads)
+            .with_seed(args.seed)
+            .storage(directory, fsync="off")
+        )
+        if args.shards is not None:
+            builder = builder.shards(args.shards)
+        system = builder.build()
+        service = system.async_service(
+            cache=64, observability=obs, workers=2, max_queue=16
+        )
+        cqads = system.cqads
+
+        from repro.datagen.questions import make_generator
+
+        generator = make_generator(
+            system.domain(domains[0]).dataset, seed=args.seed
+        )
+        pool = [generator.generate().text for _ in range(6)]
+
+        async def drive() -> None:
+            # Duplicate-heavy so the answer cache and the singleflight
+            # table both see hits; sequential re-asks hit the cache,
+            # concurrent duplicates coalesce.
+            for index in range(max(1, args.requests)):
+                await service.ask(
+                    pool[index % len(pool)], domain=domains[0]
+                )
+            await service.answer_batch(
+                [pool[0]] * 4, return_exceptions=True
+            )
+            await service.close()
+
+        asyncio.run(drive())
+
+        schema = cqads.domain(domains[0]).schema
+        numeric = next(
+            (c.name for c in schema.columns if c.is_numeric), "record_id"
+        )
+        # A textual SQL range query exercises the plan cache (parse +
+        # re-parse hit) and the ordered-window access path.
+        sql = (
+            f"SELECT record_id FROM {schema.table_name} "
+            f"WHERE {numeric} < 100000000"
+        )
+        execute(cqads.database, sql)
+        execute(cqads.database, sql)
+        system.close()
+
+        if args.trace:
+            from repro.obs import InMemoryTraceSink
+
+            for sink in obs.tracer.sinks:
+                if isinstance(sink, InMemoryTraceSink) and sink.roots:
+                    # The richest retained tree (a coalesced hit keeps
+                    # no children; a full engine pass keeps them all).
+                    root = max(
+                        sink.roots, key=lambda r: sum(1 for _ in r.walk())
+                    )
+                    print(root.describe(), file=sys.stderr)
+                    break
+    return obs.render_prometheus()
+
+
+def _check_stats_export(rendered: str) -> list[str]:
+    """The CI smoke assertions; returns human-readable failures."""
+    from repro.obs import parse_prometheus_text
+
+    failures: list[str] = []
+    try:
+        parsed = parse_prometheus_text(rendered)
+    except ValueError as error:
+        return [f"export does not parse: {error}"]
+    samples = parsed["samples"]
+
+    def total(name: str, **labels) -> float:
+        wanted = tuple(sorted(labels.items()))
+        return sum(
+            value
+            for (sample_name, sample_labels), value in samples.items()
+            if sample_name == name
+            and all(pair in sample_labels for pair in wanted)
+        )
+
+    for family in ("answer", "fragment", "plan", "window", "singleflight"):
+        if total("repro_cache_requests_total", cache=family) <= 0:
+            failures.append(f"cache family {family!r} recorded no lookups")
+    if total("repro_stage_seconds_count") <= 0:
+        failures.append("no pipeline stage latencies recorded")
+    if total("repro_serve_requests_total", outcome="completed") <= 0:
+        failures.append("serve tier recorded no completed requests")
+    if total("repro_wal_ops_total") <= 0:
+        failures.append("no WAL operations recorded")
+    if total("repro_serve_request_seconds_count") <= 0:
+        failures.append("no serve latency observations recorded")
+    return failures
+
+
+def _stats_main(argv: list[str]) -> int:
+    from repro.obs import InMemoryTraceSink, MetricsRegistry, Observability
+
+    args = build_stats_parser().parse_args(argv)
+    obs = Observability(MetricsRegistry())
+    obs.tracer.add_sink(InMemoryTraceSink(capacity=8))
+    previous = obs.install()
+    try:
+        print("provisioning CQAds (observability on) ...", file=sys.stderr)
+        rendered = _stats_workload(args, obs)
+    finally:
+        from repro.obs import set_default_registry
+
+        set_default_registry(previous)
+    if args.json:
+        json.dump(obs.snapshot().as_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        sys.stdout.write(rendered)
+    if args.check:
+        failures = _check_stats_export(rendered)
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("smoke ok: export parses, core metrics non-zero", file=sys.stderr)
+    return 0
+
+
 def _snapshot_main(argv: list[str]) -> int:
     from repro.errors import StorageError
     from repro.store import FileSystem, open_database
@@ -379,9 +567,14 @@ def _snapshot_main(argv: list[str]) -> int:
 
 def _recover_main(argv: list[str]) -> int:
     from repro.errors import StorageError
+    from repro.obs import MetricsRegistry, set_default_registry
     from repro.store import database_fingerprint, recover_database
 
     args = build_recover_parser().parse_args(argv)
+    # A fresh process-default registry isolates this run's recovery
+    # metrics (damage taxonomy counts, phase timings) for the report.
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
     try:
         database, report = recover_database(
             args.directory, repair=not args.no_repair
@@ -389,7 +582,25 @@ def _recover_main(argv: list[str]) -> int:
     except StorageError as error:
         print(f"recovery failed: {error}", file=sys.stderr)
         return 1
+    finally:
+        set_default_registry(previous)
+    snapshot = registry.snapshot()
+    damage_counts = snapshot.counters_by_label(
+        "repro_wal_damage_total", "reason"
+    )
+
+    def _phase_seconds(phase: str) -> float:
+        sample = snapshot.histogram("repro_recovery_seconds", phase=phase)
+        return sample.sum if sample is not None else 0.0
+
     payload = report.as_dict()
+    payload["metrics"] = {
+        "wal_damage_total": damage_counts,
+        "recovery_seconds": {
+            "snapshot_load": _phase_seconds("snapshot_load"),
+            "replay": _phase_seconds("replay"),
+        },
+    }
     if args.verify:
         payload["fingerprint"] = database_fingerprint(database)
     if args.json:
@@ -409,6 +620,12 @@ def _recover_main(argv: list[str]) -> int:
     for path, (reason, offset) in report.truncated.items():
         action = "reported" if args.no_repair else "truncated"
         print(f"damaged tail:    {path} ({reason}; {action} at {offset})")
+    if damage_counts:
+        taxonomy = ", ".join(
+            f"{reason}: {count}"
+            for reason, count in sorted(damage_counts.items())
+        )
+        print(f"damage taxonomy: {taxonomy}")
     print(f"tables:          {report.tables}")
     print(f"records:         {report.records}")
     print(
@@ -603,6 +820,10 @@ async def _drive_open_loop(
         "engine_invocations": stats.executed,
         "coalesced": stats.coalesced,
         "coalescing_hit_rate": stats.coalescing_hit_rate,
+        # Service-side view: the serve tier's own latency histogram
+        # (admission to completion), estimated from fixed buckets —
+        # complements the client-observed p50_ms/p99_ms above.
+        "latency_hist": stats.latency.as_dict() if stats.latency else None,
         "stats": stats.as_dict(),
     }
 
@@ -675,6 +896,14 @@ def _load_main(argv: list[str]) -> int:
     print(f"completed:          {report['completed']}")
     print(f"p50 latency:        {report['p50_ms']:.1f} ms")
     print(f"p99 latency:        {report['p99_ms']:.1f} ms")
+    hist = report["latency_hist"]
+    if hist:
+        print(
+            f"service histogram:  p50 {hist['p50'] * 1000:.1f} ms, "
+            f"p95 {hist['p95'] * 1000:.1f} ms, "
+            f"p99 {hist['p99'] * 1000:.1f} ms "
+            f"({hist['count']} observed)"
+        )
     print(f"engine invocations: {report['engine_invocations']}")
     print(
         f"coalesced:          {report['coalesced']} "
@@ -701,6 +930,8 @@ def main(argv: list[str] | None = None) -> int:
         return _snapshot_main(argv[1:])
     if argv and argv[0] == "recover":
         return _recover_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
     return _ask_main(argv)
 
 

@@ -33,6 +33,7 @@ from repro.classify.naive_bayes import NaiveBayesClassifier
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.serve.service import AsyncAnswerService
+from repro.obs import Observability
 from repro.perf.answer_cache import AnswerCache
 from repro.system import BuiltSystem, build_system
 
@@ -66,6 +67,7 @@ class SystemBuilder:
         self._storage_directory = None
         self._storage_options: dict[str, object] = {}
         self._storage_backend = None
+        self._observability: Observability | None = None
         self._cqads_options: dict[str, object] = {}
 
     # -- domains and scale ---------------------------------------------
@@ -239,6 +241,30 @@ class SystemBuilder:
         self._storage_options = dict(options)
         return self
 
+    def observability(
+        self, obs: "Observability | bool | None" = True
+    ) -> "SystemBuilder":
+        """Attach an observability bundle to the built services.
+
+        ``True`` (the default) creates an :class:`~repro.obs.Observability`
+        over the process-default metrics registry with tracing
+        configured but no sinks (add them via
+        ``service.observability.tracer.add_sink(...)``); pass a
+        configured :class:`~repro.obs.Observability` to control the
+        registry, trace sinks and slow-query threshold; ``None`` /
+        ``False`` removes a previously-configured bundle.  The bundle
+        flows into :meth:`build_service` and (inherited by the async
+        tier) :meth:`build_async_service`: request roots, stage spans,
+        executor/shard/cache/WAL child spans and the service latency
+        histograms all hang off it.
+        """
+        if obs is True:
+            obs = Observability()
+        elif obs is False:
+            obs = None
+        self._observability = obs
+        return self
+
     # -- provisioning strategy -----------------------------------------
     def lazy(self, lazy: bool = True) -> "SystemBuilder":
         """Defer per-domain provisioning to first use.
@@ -294,7 +320,10 @@ class SystemBuilder:
             else None
         )
         return AnswerService(
-            self.build().cqads, cache=cache, max_workers=self._batch_workers
+            self.build().cqads,
+            cache=cache,
+            max_workers=self._batch_workers,
+            observability=self._observability,
         )
 
     def build_async_service(self, **limits) -> "AsyncAnswerService":

@@ -31,12 +31,21 @@ context manager) to release it and unsubscribe the mutation listener.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Hashable, Iterable, Sequence
 
 from repro.db.table import MutationEvent
 from repro.errors import ServiceClosedError
+from repro.obs import (
+    Observability,
+    cache_event,
+    current_span,
+    propagate,
+    span,
+)
+from repro.obs.registry import get_default_registry
 from repro.perf.answer_cache import AnswerCache
 from repro.qa.pipeline import CQAds, QuestionResult
 
@@ -56,10 +65,12 @@ class AnswerService:
         pipeline: QueryPipeline | None = None,
         cache: AnswerCache | int | None = None,
         max_workers: int = 4,
+        observability: Observability | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.cqads = cqads
+        self.observability = observability
         self.pipeline = pipeline if pipeline is not None else cqads.pipeline()
         if isinstance(cache, int):
             cache = AnswerCache(cache)
@@ -179,6 +190,28 @@ class AnswerService:
         request = AnswerRequest.of(request)
         if self._closed:
             raise ServiceClosedError("AnswerService")
+        # Root-or-child tracing: under an active trace (the serve tier,
+        # or a batch sibling) this nests; with configured observability
+        # and no active trace it opens a root that exports on exit.
+        if self.observability is not None and current_span() is None:
+            context = self.observability.trace(
+                "api.answer", question=request.question, domain=request.domain
+            )
+        else:
+            context = span("api.answer", question=request.question)
+        started = time.perf_counter()
+        with context as node:
+            result = self._answer(request)
+            if node is not None:
+                node.set_attribute("domain", result.domain)
+                node.set_attribute("answers", len(result.answers))
+        get_default_registry().histogram("repro_api_request_seconds").observe(
+            time.perf_counter() - started
+        )
+        return result
+
+    def _answer(self, request: AnswerRequest) -> QuestionResult:
+        """The cache-or-pipeline path proper (traced by :meth:`answer`)."""
         if self.cache is None:
             return self.pipeline.run(self.cqads, request)
         options = ResolvedOptions.resolve(request.options, self.cqads)
@@ -186,6 +219,7 @@ class AnswerService:
             return self.pipeline.run(self.cqads, request)
         key = self._cache_key(request, options)
         cached = self.cache.lookup(key)
+        cache_event("answer", cached is not None)
         if cached is not None:
             return replace(
                 cached,
@@ -300,7 +334,12 @@ class AnswerService:
         if effective <= 1 or len(order) <= 1:
             results = [self.answer(request) for request in order]
         else:
-            results = list(self._pool(effective).map(self.answer, order))
+            # propagate() carries the caller's active span (if any)
+            # into the pool's worker threads so per-request child spans
+            # attach to the batch's tree rather than vanishing.
+            results = list(
+                self._pool(effective).map(propagate(self.answer), order)
+            )
         by_request = dict(zip(order, results))
         return [by_request[request] for request in items]
 

@@ -36,6 +36,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 from repro.db.sql.executor import SQLExecutor
 from repro.errors import ContradictionError
+from repro.obs import observe_stage, span
 from repro.qa.boolean_rules import build_interpretation
 from repro.qa.conditions import Interpretation
 from repro.qa.pipeline import Answer, CQAds, QuestionResult
@@ -201,14 +202,28 @@ class ExecuteStage:
         # (scan vs. index vs. window per range leaf) can be surfaced
         # in the explain trace.
         executor = SQLExecutor(ctx.engine.database)
-        records = evaluate_interpretation(
-            ctx.engine.database,
-            context.domain,
-            ctx.interpretation,
-            limit=None,
-            ordered=ctx.options.ordered_evaluation,
-            executor=executor,
-        )
+        with span("executor.evaluate", table=context.domain.schema.table_name) as node:
+            records = evaluate_interpretation(
+                ctx.engine.database,
+                context.domain,
+                ctx.interpretation,
+                limit=None,
+                ordered=ctx.options.ordered_evaluation,
+                executor=executor,
+            )
+            if node is not None:
+                node.set_attribute("plan", executor.plan_summary())
+                node.set_attribute("rows", len(records))
+                # One event per access-path leaf decision, bounded so a
+                # pathological plan cannot bloat the trace.
+                for decision in executor.plan_trace[:64]:
+                    node.add_event(
+                        "access",
+                        column=decision.column,
+                        shape=decision.shape,
+                        path=decision.path,
+                        rows=decision.rows,
+                    )
         ctx.exact = [
             Answer(record=record, exact=True, score=float("inf"), similarity_kind="exact")
             for record in records
@@ -316,9 +331,13 @@ class QueryPipeline:
                     )
                 continue
             started = time.perf_counter()
-            detail = stage.run(ctx)
+            with span(f"stage.{stage.name}") as node:
+                detail = stage.run(ctx)
+                if node is not None and detail:
+                    node.set_attribute("detail", detail)
             elapsed = time.perf_counter() - started
             ctx.timings[stage.name] = ctx.timings.get(stage.name, 0.0) + elapsed
+            observe_stage(stage.name, elapsed)
             if options.explain:
                 trace.append(StageTrace(stage.name, elapsed, detail or ""))
         return self._assemble(ctx, trace if options.explain else None)

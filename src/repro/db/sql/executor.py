@@ -66,6 +66,8 @@ from repro.db.sql.ast import (
 from repro.db.sql.plan_cache import DEFAULT_PLAN_CACHE, PlanCache
 from repro.db.table import Record, Table
 from repro.errors import SQLExecutionError
+from repro.obs.registry import get_default_registry
+from repro.obs.trace import current_span
 from repro.perf.window import ColumnWindow, IdWindow, windows_for
 
 __all__ = [
@@ -394,22 +396,44 @@ class SQLExecutor:
         self.access_paths = access_paths
         self.planner = planner if planner is not None else DEFAULT_ACCESS_PLANNER
         self.plan_trace: list[AccessDecision] = []
+        #: Decisions evicted by the ``MAX_PLAN_TRACE`` cap — surfaced in
+        #: :meth:`plan_summary` so a truncated trace is never mistaken
+        #: for a complete one.
+        self.plan_dropped = 0
 
     def _record(self, decision: AccessDecision) -> None:
         if len(self.plan_trace) >= MAX_PLAN_TRACE:
-            del self.plan_trace[: MAX_PLAN_TRACE // 2]
+            evicted = MAX_PLAN_TRACE // 2
+            del self.plan_trace[:evicted]
+            self.plan_dropped += evicted
+            get_default_registry().counter(
+                "repro_plan_trace_dropped_total"
+            ).value += evicted
+            current = current_span()
+            if current is not None:
+                current.add_event(
+                    "plan_trace_dropped", evicted=evicted, total=self.plan_dropped
+                )
         self.plan_trace.append(decision)
 
     def plan_summary(self) -> str:
-        """Compact ``path xN`` rendering of ``plan_trace`` for explain."""
+        """Compact ``path xN`` rendering of ``plan_trace`` for explain.
+
+        Reports ``dropped N`` when the trace cap evicted decisions, so
+        the counts are known to be a floor rather than exact.
+        """
         counts: dict[str, int] = {}
         for decision in self.plan_trace:
             counts[decision.path] = counts.get(decision.path, 0) + 1
-        if not counts:
+        if not counts and not self.plan_dropped:
             return "no planned leaves"
-        return ", ".join(
+        summary = ", ".join(
             f"{path} x{count}" for path, count in sorted(counts.items())
         )
+        if self.plan_dropped:
+            suffix = f"dropped {self.plan_dropped}"
+            summary = f"{summary}, {suffix}" if summary else suffix
+        return summary
 
     # ------------------------------------------------------------------
     def execute(self, statement: SelectStatement) -> SQLResult:

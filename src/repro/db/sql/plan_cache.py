@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.db.sql.ast import SelectStatement
 from repro.db.sql.parser import parse_select
+from repro.obs.hooks import cache_event
 from repro.perf.lru import LRUCache
 
 __all__ = ["PlanCache", "DEFAULT_PLAN_CACHE"]
@@ -53,6 +54,7 @@ class PlanCache:
     def get(self, sql: str) -> SelectStatement:
         """The parsed plan for *sql*, parsing (and caching) on a miss."""
         plan = self._plans.get(sql)
+        cache_event("plan", plan is not None)
         if plan is not None:
             return plan  # type: ignore[return-value]
         # Parse outside any lock: statements are immutable, so two

@@ -1,0 +1,154 @@
+"""Exporters: Prometheus text exposition + a minimal parser.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.registry.MetricsSnapshot`
+(or a live registry, snapshotted on the way in) into the Prometheus
+text format v0.0.4 — counters and gauges as single samples, histograms
+as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+:func:`parse_prometheus_text` is the inverse for *this renderer's
+output only* (it understands the subset we emit).  It exists so the CI
+smoke step and the tests can assert round-trips without external
+dependencies, per the no-new-packages constraint.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry, MetricsSnapshot
+
+__all__ = ["parse_prometheus_text", "render_prometheus"]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN (dead gauge callback)
+        return "NaN"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_le(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def render_prometheus(source: MetricsRegistry | MetricsSnapshot) -> str:
+    """Render a registry or snapshot as Prometheus text exposition."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for sample in snapshot.counters:
+        type_line(sample.name, "counter")
+        lines.append(
+            f"{sample.name}{_render_labels(sample.labels)} {sample.value}"
+        )
+    for sample in snapshot.gauges:
+        type_line(sample.name, "gauge")
+        lines.append(
+            f"{sample.name}{_render_labels(sample.labels)} {_format_value(sample.value)}"
+        )
+    for sample in snapshot.histograms:
+        type_line(sample.name, "histogram")
+        cumulative = 0
+        bounds = tuple(sample.buckets) + (float("inf"),)
+        for bound, count in zip(bounds, sample.counts):
+            cumulative += count
+            lines.append(
+                f"{sample.name}_bucket"
+                f"{_render_labels(sample.labels, (('le', _format_le(bound)),))}"
+                f" {cumulative}"
+            )
+        lines.append(
+            f"{sample.name}_sum{_render_labels(sample.labels)} {_format_value(sample.sum)}"
+        )
+        lines.append(
+            f"{sample.name}_count{_render_labels(sample.labels)} {sample.count}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(body: str) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    index = 0
+    while index < len(body):
+        if body[index] == ",":
+            index += 1
+            continue
+        eq = body.index("=", index)
+        key = body[index:eq]
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {body!r}")
+        value_chars: list[str] = []
+        cursor = eq + 2
+        while body[cursor] != '"':
+            ch = body[cursor]
+            if ch == "\\":
+                cursor += 1
+                escaped = body[cursor]
+                ch = {"n": "\n", "\\": "\\", '"': '"'}.get(escaped, escaped)
+            value_chars.append(ch)
+            cursor += 1
+        pairs.append((key, "".join(value_chars)))
+        index = cursor + 1
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse renderer output back into ``{"types": ..., "samples": ...}``.
+
+    ``types`` maps metric name → declared type; ``samples`` maps
+    ``(name, labels)`` → float value, where labels is a sorted tuple of
+    pairs.  Raises :class:`ValueError` on lines this renderer would
+    never emit — which is exactly what the CI smoke step wants.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple[str, tuple], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in {"counter", "gauge", "histogram"}:
+                raise ValueError(f"unknown metric type: {line!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {line!r}")
+        if "{" in name_part:
+            name, _, label_body = name_part.partition("{")
+            if not label_body.endswith("}"):
+                raise ValueError(f"malformed labels: {line!r}")
+            labels = _parse_labels(label_body[:-1])
+        else:
+            name, labels = name_part, ()
+        if value_part == "+Inf":
+            value = float("inf")
+        elif value_part == "NaN":
+            value = float("nan")
+        else:
+            value = float(value_part)
+        samples[(name, labels)] = value
+    return {"types": types, "samples": samples}

@@ -1,0 +1,126 @@
+"""Always-on instrumentation hooks shared by every layer.
+
+These helpers are the narrow waist between the stack and the
+observability core: the caches, stages, WAL and recovery code call
+them unconditionally, and they record into the **process-default
+registry** (swap it with
+:func:`~repro.obs.registry.set_default_registry` — e.g. via
+``Observability.install()`` — to isolate or reset).  Each also emits a
+span event / child span when a trace is active, so the same call site
+feeds both the metrics and the tracing sides.
+
+Metric name taxonomy (all prefixed ``repro_``):
+
+==============================  ===========  ==========================
+name                            type         labels
+==============================  ===========  ==========================
+repro_cache_requests_total      counter      cache ∈ {answer, fragment,
+                                             plan, window, singleflight},
+                                             outcome ∈ {hit, miss}
+repro_stage_seconds             histogram    stage (pipeline stage name)
+repro_wal_ops_total             counter      op ∈ {append, fsync,
+                                             snapshot}
+repro_wal_op_seconds            histogram    op (same values)
+repro_wal_damage_total          counter      reason (FrameScan damage
+                                             taxonomy)
+repro_recovery_seconds          histogram    phase ∈ {snapshot_load,
+                                             replay}
+repro_plan_trace_dropped_total  counter      —
+repro_serve_requests_total      counter      outcome (Counters fields)
+repro_serve_request_seconds     histogram    —
+repro_api_request_seconds       histogram    —
+==============================  ===========  ==========================
+
+Cost stance: each hook is a dict lookup on the default registry plus
+one integer/float update, and a single ContextVar read on the tracing
+side.  That keeps the instrumentation inside the ≤5% budget enforced
+by ``benchmarks/bench_api_overhead.py --quick``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .registry import get_default_registry
+from .trace import _CURRENT_SPAN, span
+
+__all__ = [
+    "CACHE_FAMILIES",
+    "cache_event",
+    "observe_stage",
+    "record_recovery_damage",
+    "record_recovery_timings",
+    "wal_op",
+]
+
+#: The five cache families the unified layer accounts for.
+CACHE_FAMILIES = ("answer", "fragment", "plan", "window", "singleflight")
+
+
+def cache_event(cache: str, hit: bool) -> None:
+    """Record one cache lookup: a labelled counter + a span event."""
+    outcome = "hit" if hit else "miss"
+    get_default_registry().counter(
+        "repro_cache_requests_total", cache=cache, outcome=outcome
+    ).value += 1
+    current = _CURRENT_SPAN.get()
+    if current is not None:
+        current.add_event("cache", cache=cache, outcome=outcome)
+
+
+def observe_stage(stage: str, seconds: float) -> None:
+    """Record one pipeline-stage duration into its histogram."""
+    get_default_registry().histogram(
+        "repro_stage_seconds", stage=stage
+    ).observe(seconds)
+
+
+class _WalOpTimer:
+    """Times a WAL operation into counter + histogram (+ child span)."""
+
+    __slots__ = ("_op", "_attrs", "_start", "_span_cm")
+
+    def __init__(self, op: str, attrs: dict) -> None:
+        self._op = op
+        self._attrs = attrs
+        self._start = 0.0
+        self._span_cm = None
+
+    def __enter__(self):
+        if _CURRENT_SPAN.get() is not None:
+            self._span_cm = span(f"wal.{self._op}", **self._attrs)
+            self._span_cm.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        registry = get_default_registry()
+        registry.counter("repro_wal_ops_total", op=self._op).value += 1
+        registry.histogram("repro_wal_op_seconds", op=self._op).observe(elapsed)
+        if self._span_cm is not None:
+            self._span_cm.__exit__(exc_type, exc, tb)
+        return False
+
+
+def wal_op(op: str, **attrs) -> _WalOpTimer:
+    """Context manager timing one WAL append/fsync/snapshot operation."""
+    return _WalOpTimer(op, attrs)
+
+
+def record_recovery_damage(reason: str) -> None:
+    """Count one damaged WAL tail by its `FrameScan` damage taxonomy."""
+    get_default_registry().counter(
+        "repro_wal_damage_total", reason=reason
+    ).value += 1
+
+
+def record_recovery_timings(snapshot_load_seconds: float, replay_seconds: float) -> None:
+    """Record one recovery's phase timings into the registry."""
+    registry = get_default_registry()
+    registry.histogram(
+        "repro_recovery_seconds", phase="snapshot_load"
+    ).observe(snapshot_load_seconds)
+    registry.histogram(
+        "repro_recovery_seconds", phase="replay"
+    ).observe(replay_seconds)

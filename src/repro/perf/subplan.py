@@ -40,6 +40,7 @@ from repro.db.database import Database
 from repro.db.sql.builder import QueryBuilder
 from repro.db.sql.executor import SQLExecutor
 from repro.db.table import Record, Table
+from repro.obs import cache_event, span
 from repro.qa.conditions import Interpretation
 from repro.qa.domain import AdsDomain
 from repro.qa.sql_generation import (
@@ -116,6 +117,8 @@ def unit_id_sets(
             if fragment_cache is not None
             else None
         )
+        if fragment_cache is not None:
+            cache_event("fragment", ids is not None)
         if ids is None:
             expression = unit_expression(builder, unit)
             assert expression is not None  # units always carry >= 1 condition
@@ -155,11 +158,17 @@ def _sharded_unit_id_sets(
                 if fragment_cache is not None
                 else None
             )
+            if fragment_cache is not None:
+                cache_event("fragment", ids is not None)
             if ids is None:
                 if expression is None:
                     expression = unit_expression(builder, unit)
                     assert expression is not None
-                ids = executor.eval_where(shard, expression)
+                # This scatter is sequential (the executor's set algebra
+                # gathers in place); a traced request still sees one
+                # span per shard evaluation, like map_shards' spans.
+                with span("shard.scatter", shard=index, table=table.name):
+                    ids = executor.eval_where(shard, expression)
                 if fragment_cache is not None:
                     fragment_cache.put(table.name, shard_epoch, unit, ids)
             merged |= ids

@@ -60,6 +60,7 @@ from repro.db.table import (
     Table,
     UpdateDelta,
 )
+from repro.obs.hooks import cache_event
 
 __all__ = [
     "ColumnWindow",
@@ -451,7 +452,9 @@ class TableWindows:
         with self._lock:
             self._fold()
             window = self._windows.get(column)
-            if window is None or window.epoch != table.epoch:
+            hit = window is not None and window.epoch == table.epoch
+            cache_event("window", hit)
+            if not hit:
                 window = self._build(table, column)
                 self._windows[column] = window
             return window

@@ -43,7 +43,7 @@ Typed failure modes live in :mod:`repro.errors`:
 from repro.serve.admission import AdmissionGate
 from repro.serve.service import AsyncAnswerService
 from repro.serve.singleflight import Flight, SingleFlight
-from repro.serve.stats import Counters, ServiceStats
+from repro.serve.stats import Counters, LatencySummary, ServiceStats
 from repro.serve.tokens import RateLimiter, TokenBucket
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "Flight",
     "SingleFlight",
     "Counters",
+    "LatencySummary",
     "ServiceStats",
     "RateLimiter",
     "TokenBucket",

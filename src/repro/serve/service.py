@@ -66,6 +66,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Hashable, Iterable, Mapping, Sequence
 
+import time
+
 from repro.api.requests import AnswerOptions, AnswerRequest, ResolvedOptions
 from repro.api.service import AnswerService
 from repro.db.table import MutationEvent
@@ -75,11 +77,13 @@ from repro.errors import (
     RateLimitedError,
     ServiceClosedError,
 )
+from repro.obs import Observability, cache_event, propagate
+from repro.obs.registry import Histogram
 from repro.qa.pipeline import CQAds, QuestionResult
 
 from repro.serve.admission import AdmissionGate
 from repro.serve.singleflight import Flight, SingleFlight
-from repro.serve.stats import Counters, ServiceStats
+from repro.serve.stats import Counters, LatencySummary, ServiceStats
 from repro.serve.tokens import RateLimiter
 
 __all__ = ["AsyncAnswerService"]
@@ -132,6 +136,7 @@ class AsyncAnswerService:
         default_deadline: float | None = None,
         coalesce: bool = True,
         own_service: bool | None = None,
+        observability: Observability | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -156,7 +161,23 @@ class AsyncAnswerService:
         self._limiter = rate_limiter
         self._gate = AdmissionGate(workers, max_queue)
         self._flights = SingleFlight()
-        self._counters = Counters()
+        # Inherit the wrapped sync service's observability when none is
+        # given, so builder-configured tracing spans the whole stack.
+        if observability is None:
+            observability = getattr(service, "observability", None)
+        self.observability = observability
+        self._counters = Counters(
+            observability.registry if observability is not None else None
+        )
+        # The end-to-end latency histogram is always on (stats() and the
+        # CLI load report need percentiles without any configuration);
+        # with observability it lives in the exported registry instead.
+        if observability is not None:
+            self._latency = observability.registry.histogram(
+                "repro_serve_request_seconds"
+            )
+        else:
+            self._latency = Histogram("repro_serve_request_seconds")
         self._tasks: set[asyncio.Task] = set()
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="async-answer"
@@ -184,10 +205,14 @@ class AsyncAnswerService:
 
     def stats(self) -> ServiceStats:
         """An immutable snapshot of counters and admission gauges."""
+        latency = None
+        if self._latency.count:
+            latency = LatencySummary.from_histogram(self._latency.sample())
         return self._counters.snapshot(
             queue_depth=self._gate.queue_depth,
             in_flight=self._gate.in_flight,
             open_flights=len(self._flights),
+            latency=latency,
         )
 
     # ------------------------------------------------------------------
@@ -246,6 +271,24 @@ class AsyncAnswerService:
         request = AnswerRequest.of(request)
         if self._closed:
             raise ServiceClosedError("AsyncAnswerService")
+        started = time.perf_counter()
+        if self.observability is not None:
+            with self.observability.trace(
+                "serve.request",
+                question=request.question,
+                domain=request.domain,
+                tenant=tenant,
+            ):
+                result = await self._answer(request, tenant)
+        else:
+            result = await self._answer(request, tenant)
+        self._latency.observe(time.perf_counter() - started)
+        return result
+
+    async def _answer(
+        self, request: AnswerRequest, tenant: Hashable
+    ) -> QuestionResult:
+        """The admission path proper (traced by :meth:`answer`)."""
         loop = asyncio.get_running_loop()
         counters = self._counters
         counters.submitted += 1
@@ -271,6 +314,9 @@ class AsyncAnswerService:
                 counters.coalesced += 1
             else:
                 flight = self._flights.begin(key)
+            # The singleflight table is the fifth cache family: a
+            # joined flight is a hit, a fresh flight a miss.
+            cache_event("singleflight", coalesced)
         else:
             flight = Flight(key=None, future=loop.create_future())
         if not coalesced:
@@ -340,8 +386,11 @@ class AsyncAnswerService:
         self._counters.admitted += 1
         try:
             self._counters.executed += 1
+            # run_in_executor does not carry contextvars across the
+            # thread hop; propagate() re-pins the caller's span (a
+            # no-op returning the bare bound method when untraced).
             result = await asyncio.get_running_loop().run_in_executor(
-                self._executor, self.service.answer, request
+                self._executor, propagate(self.service.answer), request
             )
         except BaseException as exc:
             self._flights.finish(flight)

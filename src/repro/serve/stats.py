@@ -6,6 +6,15 @@ on the event loop (no locks); :meth:`Counters.snapshot` freezes it —
 together with the admission gauges — into an immutable
 :class:`ServiceStats` callers can log or assert on.
 
+Since the unified observability layer (:mod:`repro.obs`), each field is
+backed by a real :class:`~repro.obs.registry.Counter` instrument named
+``repro_serve_requests_total{outcome=<field>}``; the attribute surface
+(``counters.submitted += 1``, ``counters.completed``) is a view over
+those instruments and stays bit-identical to the old dataclass.
+Instruments are private to the service by default; pass a
+:class:`~repro.obs.registry.MetricsRegistry` to adopt them into an
+exported registry (`render_prometheus` then exposes every shed reason).
+
 Accounting model (each request increments exactly one terminal
 counter):
 
@@ -30,26 +39,67 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Counters", "ServiceStats"]
+from repro.obs.registry import Counter, HistogramSample, MetricsRegistry
+
+__all__ = ["Counters", "LatencySummary", "ServiceStats"]
 
 
-@dataclass
 class Counters:
-    """Event-loop-confined mutable counters (see module docstring)."""
+    """Event-loop-confined mutable counters (see module docstring).
 
-    submitted: int = 0
-    completed: int = 0
-    failed: int = 0
-    coalesced: int = 0
-    admitted: int = 0
-    executed: int = 0
-    rate_limited: int = 0
-    queue_full: int = 0
-    deadline_expired: int = 0
-    closed_while_queued: int = 0
+    Attribute reads and writes resolve to the backing
+    :class:`~repro.obs.registry.Counter` instruments, preserving the
+    original dataclass semantics exactly (including direct assignment,
+    which some tests and benches use to reset a field).
+    """
+
+    FIELDS = (
+        "submitted",
+        "completed",
+        "failed",
+        "coalesced",
+        "admitted",
+        "executed",
+        "rate_limited",
+        "queue_full",
+        "deadline_expired",
+        "closed_while_queued",
+    )
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        counters = {}
+        for field in self.FIELDS:
+            if registry is not None:
+                counter = registry.counter(
+                    "repro_serve_requests_total", outcome=field
+                )
+            else:
+                counter = Counter(
+                    "repro_serve_requests_total", (("outcome", field),)
+                )
+            counters[field] = counter
+        object.__setattr__(self, "_counters", counters)
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        try:
+            self._counters[name].value = value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def snapshot(
-        self, queue_depth: int, in_flight: int, open_flights: int
+        self,
+        queue_depth: int,
+        in_flight: int,
+        open_flights: int,
+        latency: "LatencySummary | None" = None,
     ) -> "ServiceStats":
         return ServiceStats(
             submitted=self.submitted,
@@ -65,7 +115,35 @@ class Counters:
             queue_depth=queue_depth,
             in_flight=in_flight,
             open_flights=open_flights,
+            latency=latency,
         )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p95/p99 estimates frozen out of one latency histogram."""
+
+    count: int
+    p50: float | None
+    p95: float | None
+    p99: float | None
+
+    @classmethod
+    def from_histogram(cls, sample: HistogramSample) -> "LatencySummary":
+        return cls(
+            count=sample.count,
+            p50=sample.percentile(0.50),
+            p95=sample.percentile(0.95),
+            p99=sample.percentile(0.99),
+        )
+
+    def as_dict(self) -> dict[str, float | int | None]:
+        return {
+            "count": self.count,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
 
 
 @dataclass(frozen=True)
@@ -73,7 +151,9 @@ class ServiceStats:
     """An immutable point-in-time view of the service's counters.
 
     The first block are monotonic counters; ``queue_depth``,
-    ``in_flight`` and ``open_flights`` are instantaneous gauges.
+    ``in_flight`` and ``open_flights`` are instantaneous gauges;
+    ``latency`` (when the service recorded completions) summarizes the
+    end-to-end request histogram.
     """
 
     submitted: int
@@ -89,6 +169,7 @@ class ServiceStats:
     queue_depth: int
     in_flight: int
     open_flights: int
+    latency: "LatencySummary | None" = None
 
     @property
     def shed(self) -> int:
@@ -112,7 +193,7 @@ class ServiceStats:
 
     def as_dict(self) -> dict[str, float]:
         """A flat dict (counters, gauges and derived rates) for JSON."""
-        return {
+        stats = {
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
@@ -130,3 +211,6 @@ class ServiceStats:
             "shed_rate": self.shed_rate,
             "coalescing_hit_rate": self.coalescing_hit_rate,
         }
+        if self.latency is not None:
+            stats["latency"] = self.latency.as_dict()
+        return stats

@@ -60,6 +60,7 @@ from repro.db.table import (
     Table,
     batch_notifications,
 )
+from repro.obs.trace import current_span, propagate, span
 from repro.shard.partition import HashPartitioner, Partitioner
 
 __all__ = ["ShardedTable"]
@@ -235,6 +236,18 @@ class ShardedTable:
         racing the fan-out falls the whole scatter back to an inline
         pass (possibly re-running tasks already submitted).
         """
+        if current_span() is not None:
+            # Traced request: wrap each leaf in a per-shard span.  The
+            # wrapper also carries the caller's span into the scatter
+            # executor's worker threads (contextvars do not cross the
+            # submit boundary on their own).
+            inner = task
+
+            def traced_task(index: int, shard: Table) -> T:
+                with span("shard.scatter", shard=index, table=self.name):
+                    return inner(index, shard)
+
+            task = propagate(traced_task)
         if self.scatter_workers <= 1 or self.shard_count == 1:
             return [task(index, shard) for index, shard in enumerate(self.shards)]
         executor = self._scatter_executor()

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.db.table import MutationEvent
 from repro.errors import StorageError
+from repro.obs.hooks import wal_op
 from repro.store.codec import create_frame, frames_for_event
 from repro.store.fs import FileSystem
 from repro.store.snapshot import (
@@ -301,23 +302,24 @@ class WalBackend:
     def _snapshot_locked(self) -> str:
         assert self._database is not None and self._writer is not None
         generation = self._generation + 1
-        # Everything the snapshot covers must be on disk before the
-        # snapshot claims to cover it.
-        self._writer.sync()
-        try:
-            path = write_snapshot(
-                self._fs, self.directory, generation, self._database
-            )
-        except OSError as error:
-            raise StorageError(
-                f"snapshot generation {generation} failed: {error}"
-            ) from error
-        self._writer.close()
-        self._generation = generation
-        self._writer = self._open_writer(generation)
-        self._frames_since_snapshot = 0
-        self.stats.snapshots_written += 1
-        self._cleanup_locked()
+        with wal_op("snapshot", generation=generation):
+            # Everything the snapshot covers must be on disk before the
+            # snapshot claims to cover it.
+            self._writer.sync()
+            try:
+                path = write_snapshot(
+                    self._fs, self.directory, generation, self._database
+                )
+            except OSError as error:
+                raise StorageError(
+                    f"snapshot generation {generation} failed: {error}"
+                ) from error
+            self._writer.close()
+            self._generation = generation
+            self._writer = self._open_writer(generation)
+            self._frames_since_snapshot = 0
+            self.stats.snapshots_written += 1
+            self._cleanup_locked()
         return path
 
     def _cleanup_locked(self) -> None:

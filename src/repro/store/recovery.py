@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 from repro.db.database import Database
 from repro.errors import StorageError
+from repro.obs.hooks import record_recovery_damage, record_recovery_timings
+from repro.obs.trace import span
 from repro.store.backend import WalBackend
 from repro.store.codec import apply_frame
 from repro.store.fs import FileSystem
@@ -109,19 +111,20 @@ def recover_database(
     database = Database()
     base = 0
     started = time.perf_counter()
-    for generation in sorted(snapshots, reverse=True):
-        path = snapshot_path(directory, generation)
-        candidate = Database()
-        try:
-            load_snapshot(fs, path, candidate)
-        except StorageError as error:
-            report.snapshots_rejected.append(f"{path}: {error}")
-            continue
-        database = candidate
-        base = generation
-        report.snapshot = path
-        break
-    else:
+    with span("recovery.snapshot_load", directory=directory):
+        for generation in sorted(snapshots, reverse=True):
+            path = snapshot_path(directory, generation)
+            candidate = Database()
+            try:
+                load_snapshot(fs, path, candidate)
+            except StorageError as error:
+                report.snapshots_rejected.append(f"{path}: {error}")
+                continue
+            database = candidate
+            base = generation
+            report.snapshot = path
+            break
+    if report.snapshot is None:
         if 0 not in wals:
             # No snapshot loads and the WAL chain does not reach back
             # to the empty state — the retained history cannot
@@ -135,25 +138,28 @@ def recover_database(
     report.snapshot_load_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    for generation in range(base, report.generation + 1):
-        path = wal_path(directory, generation)
-        if not fs.exists(path):
-            # Legitimate after a crash between snapshot publication
-            # and the new WAL's creation: the snapshot already covers
-            # everything.
-            continue
-        scan = read_frames(fs, path)
-        if scan.damage is not None:
-            report.truncated[path] = (scan.damage, scan.valid_bytes)
-            if repair:
-                _truncate_file(fs, path, scan.valid_bytes)
-        for frame in scan.frames:
-            apply_frame(database, frame)
-        report.wals_replayed.append(path)
-        report.frames_replayed += len(scan.frames)
-        if generation == report.generation:
-            report.wal_position = scan.valid_bytes
+    with span("recovery.replay", directory=directory):
+        for generation in range(base, report.generation + 1):
+            path = wal_path(directory, generation)
+            if not fs.exists(path):
+                # Legitimate after a crash between snapshot publication
+                # and the new WAL's creation: the snapshot already covers
+                # everything.
+                continue
+            scan = read_frames(fs, path)
+            if scan.damage is not None:
+                report.truncated[path] = (scan.damage, scan.valid_bytes)
+                record_recovery_damage(scan.damage)
+                if repair:
+                    _truncate_file(fs, path, scan.valid_bytes)
+            for frame in scan.frames:
+                apply_frame(database, frame)
+            report.wals_replayed.append(path)
+            report.frames_replayed += len(scan.frames)
+            if generation == report.generation:
+                report.wal_position = scan.valid_bytes
     report.replay_seconds = time.perf_counter() - started
+    record_recovery_timings(report.snapshot_load_seconds, report.replay_seconds)
 
     report.tables = len(database)
     report.records = sum(len(table) for table in database)

@@ -29,6 +29,7 @@ import time
 import zlib
 
 from repro.errors import StorageError
+from repro.obs.hooks import wal_op
 
 __all__ = [
     "FSYNC_POLICIES",
@@ -214,7 +215,8 @@ class WalWriter:
     def append(self, payload: dict) -> None:
         """Durably (per policy) append one frame."""
         frame = encode_frame(payload)
-        self._write_with_retry(frame)
+        with wal_op("append", bytes=len(frame)):
+            self._write_with_retry(frame)
         self._position += len(frame)
         self.frames_appended += 1
         if self.fsync_policy == "always":
@@ -252,7 +254,8 @@ class WalWriter:
 
     def sync(self) -> None:
         """Force an fsync now (policy-independent)."""
-        self._fs.fsync(self._handle)
+        with wal_op("fsync"):
+            self._fs.fsync(self._handle)
         self._last_sync = self._clock()
 
     def close(self) -> None:

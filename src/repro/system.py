@@ -146,35 +146,48 @@ class BuiltSystem:
         self.close()
 
     def service(
-        self, cache: int | None = None, max_workers: int = 4
+        self,
+        cache: int | None = None,
+        max_workers: int = 4,
+        observability=None,
     ) -> "AnswerService":
         """An :class:`~repro.api.service.AnswerService` over this system.
 
         ``cache`` attaches a bounded answer cache of that capacity
         (see :meth:`repro.api.builder.SystemBuilder.answer_cache`);
-        ``max_workers`` sizes the service's persistent batch pool.
+        ``max_workers`` sizes the service's persistent batch pool;
+        ``observability`` attaches a :class:`~repro.obs.Observability`
+        bundle (request tracing + metric registration).
         """
         from repro.api.service import AnswerService
 
-        return AnswerService(self.cqads, cache=cache, max_workers=max_workers)
+        return AnswerService(
+            self.cqads,
+            cache=cache,
+            max_workers=max_workers,
+            observability=observability,
+        )
 
     def async_service(
-        self, cache: int | None = None, **limits
+        self, cache: int | None = None, observability=None, **limits
     ) -> "AsyncAnswerService":
         """An admission-controlled asyncio front-end over this system.
 
         Builds a fresh synchronous :class:`AnswerService` (with an
-        answer cache of capacity *cache* when given) and wraps it in
-        an :class:`~repro.serve.service.AsyncAnswerService`, which
-        owns it — ``await async_service.close()`` releases both.
-        *limits* are the async service's knobs (``workers``,
-        ``max_queue``, ``rate``/``burst``, ``tenant_rates``,
-        ``default_deadline``, ``coalesce``); see :mod:`repro.serve`.
+        answer cache of capacity *cache* when given, and the
+        *observability* bundle when given) and wraps it in an
+        :class:`~repro.serve.service.AsyncAnswerService`, which owns it
+        — ``await async_service.close()`` releases both.  *limits* are
+        the async service's knobs (``workers``, ``max_queue``,
+        ``rate``/``burst``, ``tenant_rates``, ``default_deadline``,
+        ``coalesce``); see :mod:`repro.serve`.
         """
         from repro.serve.service import AsyncAnswerService
 
         return AsyncAnswerService(
-            self.service(cache=cache), own_service=True, **limits
+            self.service(cache=cache, observability=observability),
+            own_service=True,
+            **limits,
         )
 
 

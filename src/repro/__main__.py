@@ -112,6 +112,16 @@ def _add_provisioning_arguments(parser: argparse.ArgumentParser) -> None:
             "are bit-identical either way)"
         ),
     )
+    parser.add_argument(
+        "--scatter-mode",
+        choices=("thread", "process"),
+        default=None,
+        help=(
+            "scatter execution tier for sharded builds: 'thread' (default) "
+            "or 'process' (shared-memory worker pool, true multi-core; "
+            "falls back to threads automatically when unavailable)"
+        ),
+    )
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -378,7 +388,7 @@ def _stats_workload(args: argparse.Namespace, obs) -> str:
             .storage(directory, fsync="off")
         )
         if args.shards is not None:
-            builder = builder.shards(args.shards)
+            builder = builder.shards(args.shards, scatter_mode=args.scatter_mode)
         system = builder.build()
         service = system.async_service(
             cache=64, observability=obs, workers=2, max_queue=16
@@ -419,6 +429,21 @@ def _stats_workload(args: argparse.Namespace, obs) -> str:
         )
         execute(cqads.database, sql)
         execute(cqads.database, sql)
+
+        if args.shards is not None:
+            # One real record move per sharded run: the rebalance-moves
+            # counter and the per-shard row gauges surface in the
+            # export with live values (and --check asserts them).
+            table = cqads.database.table(schema.table_name)
+            sizes = table.shard_sizes()
+            donor = max(range(len(sizes)), key=lambda index: sizes[index])
+            receiver = min(range(len(sizes)), key=lambda index: sizes[index])
+            if donor != receiver and sizes[donor]:
+                mover = max(
+                    record.record_id
+                    for record in table.shards[donor].snapshot()
+                )
+                table.move_records([mover], receiver)
         system.close()
 
         if args.trace:
@@ -436,7 +461,7 @@ def _stats_workload(args: argparse.Namespace, obs) -> str:
     return obs.render_prometheus()
 
 
-def _check_stats_export(rendered: str) -> list[str]:
+def _check_stats_export(rendered: str, sharded: bool = False) -> list[str]:
     """The CI smoke assertions; returns human-readable failures."""
     from repro.obs import parse_prometheus_text
 
@@ -467,6 +492,18 @@ def _check_stats_export(rendered: str) -> list[str]:
         failures.append("no WAL operations recorded")
     if total("repro_serve_request_seconds_count") <= 0:
         failures.append("no serve latency observations recorded")
+    if sharded:
+        rows = [
+            value
+            for (name, _labels), value in samples.items()
+            if name == "repro_shard_rows" and value == value  # drop NaN
+        ]
+        if not rows or sum(rows) <= 0:
+            failures.append("per-shard row gauges absent or all zero")
+        if total("repro_shard_scatter_seconds_count") <= 0:
+            failures.append("no per-shard scatter latencies recorded")
+        if total("repro_rebalance_moves_total") <= 0:
+            failures.append("rebalance move counter never incremented")
     return failures
 
 
@@ -490,7 +527,7 @@ def _stats_main(argv: list[str]) -> int:
     else:
         sys.stdout.write(rendered)
     if args.check:
-        failures = _check_stats_export(rendered)
+        failures = _check_stats_export(rendered, sharded=args.shards is not None)
         if failures:
             for failure in failures:
                 print(f"SMOKE FAIL: {failure}", file=sys.stderr)
@@ -523,7 +560,7 @@ def _snapshot_main(argv: list[str]) -> int:
         if domains is not None:
             builder = builder.with_domains(domains)
         if args.shards is not None:
-            builder = builder.shards(args.shards)
+            builder = builder.shards(args.shards, scatter_mode=args.scatter_mode)
         system = builder.build()
         database, backend = system.database, system.storage
         provisioned = True
@@ -646,7 +683,7 @@ def _provision_service(args: argparse.Namespace) -> AnswerService:
     if domains is not None:
         builder = builder.with_domains(domains)
     if args.shards is not None:
-        builder = builder.shards(args.shards)
+        builder = builder.shards(args.shards, scatter_mode=args.scatter_mode)
     return builder.build_service()
 
 
@@ -841,7 +878,7 @@ def _load_main(argv: list[str]) -> int:
     if domains is not None:
         builder = builder.with_domains(domains)
     if args.shards is not None:
-        builder = builder.shards(args.shards)
+        builder = builder.shards(args.shards, scatter_mode=args.scatter_mode)
     system = builder.build()
 
     from repro.datagen.questions import make_generator

@@ -99,6 +99,7 @@ class Database:
         shards: int | None = None,
         partitioner=None,
         scatter_workers: int | None = None,
+        scatter_mode: str | None = None,
     ) -> Table:
         """Create and register a table for *schema*; name must be new.
 
@@ -112,6 +113,12 @@ class Database:
         attach to the facade, which relays every shard's typed
         mutation deltas re-stamped with the aggregated epoch, the
         owning shard's index and that shard's own epoch.
+
+        ``scatter_mode="process"`` routes the facade's heavy scatter
+        paths through the shared-memory worker-process pool (see
+        :mod:`repro.shard.procpool`); it is a runtime execution
+        policy, not part of the persisted table identity — recovery
+        recreates tables with the default mode.
         """
         name = self._canonical(schema.table_name)
         if name in self._tables:
@@ -129,6 +136,7 @@ class Database:
                 partitioner=partitioner,
                 substring_gram=substring_gram,
                 scatter_workers=scatter_workers,
+                scatter_mode=scatter_mode or "thread",
             )
         for listener in self._listeners:
             table.add_listener(listener)

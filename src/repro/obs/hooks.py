@@ -29,6 +29,9 @@ repro_plan_trace_dropped_total  counter      —
 repro_serve_requests_total      counter      outcome (Counters fields)
 repro_serve_request_seconds     histogram    —
 repro_api_request_seconds       histogram    —
+repro_shard_rows                gauge (fn)   table, shard
+repro_shard_scatter_seconds     histogram    table, shard
+repro_rebalance_moves_total     counter      table
 ==============================  ===========  ==========================
 
 Cost stance: each hook is a dict lookup on the default registry plus
@@ -40,6 +43,7 @@ by ``benchmarks/bench_api_overhead.py --quick``.
 from __future__ import annotations
 
 import time
+import weakref
 
 from .registry import get_default_registry
 from .trace import _CURRENT_SPAN, span
@@ -48,8 +52,11 @@ __all__ = [
     "CACHE_FAMILIES",
     "cache_event",
     "observe_stage",
+    "record_rebalance_moves",
     "record_recovery_damage",
     "record_recovery_timings",
+    "register_shard_rows_gauge",
+    "shard_scatter_observe",
     "wal_op",
 ]
 
@@ -57,12 +64,25 @@ __all__ = [
 CACHE_FAMILIES = ("answer", "fragment", "plan", "window", "singleflight")
 
 
+#: Per-registry memo of the ten cache-family counters, so the hot
+#: fragment/plan lookups skip label normalization and the registry
+#: lock-free get.  Weak keys let a swapped-out registry be collected.
+_CACHE_COUNTERS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def cache_event(cache: str, hit: bool) -> None:
     """Record one cache lookup: a labelled counter + a span event."""
     outcome = "hit" if hit else "miss"
-    get_default_registry().counter(
-        "repro_cache_requests_total", cache=cache, outcome=outcome
-    ).value += 1
+    registry = get_default_registry()
+    memo = _CACHE_COUNTERS.get(registry)
+    if memo is None:
+        memo = _CACHE_COUNTERS[registry] = {}
+    counter = memo.get((cache, outcome))
+    if counter is None:
+        counter = memo[(cache, outcome)] = registry.counter(
+            "repro_cache_requests_total", cache=cache, outcome=outcome
+        )
+    counter.value += 1
     current = _CURRENT_SPAN.get()
     if current is not None:
         current.add_event("cache", cache=cache, outcome=outcome)
@@ -124,3 +144,40 @@ def record_recovery_timings(snapshot_load_seconds: float, replay_seconds: float)
     registry.histogram(
         "repro_recovery_seconds", phase="replay"
     ).observe(replay_seconds)
+
+
+def register_shard_rows_gauge(table, shard_index: int) -> None:
+    """Register the callback gauge tracking one shard's row count.
+
+    The callback holds only a weak reference to the facade, so a
+    dropped table's gauge decays to ``NaN`` at the next snapshot
+    instead of pinning the whole record store in the registry; a
+    rebuilt table with the same name re-registers the label set and
+    takes the gauge over (latest wins).
+    """
+    table_ref = weakref.ref(table)
+    table_name = table.name
+
+    def shard_rows() -> float:
+        facade = table_ref()
+        if facade is None or shard_index >= len(facade.shards):
+            return float("nan")
+        return float(len(facade.shards[shard_index]))
+
+    get_default_registry().gauge_fn(
+        "repro_shard_rows", shard_rows, table=table_name, shard=str(shard_index)
+    )
+
+
+def shard_scatter_observe(table_name: str, shard_index: int, seconds: float) -> None:
+    """Record one per-shard scatter-leaf duration (thread or process)."""
+    get_default_registry().histogram(
+        "repro_shard_scatter_seconds", table=table_name, shard=str(shard_index)
+    ).observe(seconds)
+
+
+def record_rebalance_moves(table_name: str, moves: int = 1) -> None:
+    """Count records moved between shards by rebalancing."""
+    get_default_registry().counter(
+        "repro_rebalance_moves_total", table=table_name
+    ).value += moves

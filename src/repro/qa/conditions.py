@@ -95,6 +95,28 @@ class Condition:
         if self.op is not ConditionOp.BETWEEN and isinstance(self.value, tuple):
             raise ValueError(f"{self.op} condition cannot take a tuple value")
 
+    def __hash__(self) -> int:
+        # Fragment-cache keys and the scatter pool's units tokens hash
+        # conditions (and tuples of them) dozens of times per question;
+        # the generated dataclass hash re-tuples all five fields each
+        # call, so memoize it on first use.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash(
+                (self.column, self.attribute_type, self.op, self.value, self.negated)
+            )
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # str hashes are salted per process (PYTHONHASHSEED), so a
+        # memoized hash must never cross the pickle boundary to a
+        # scatter worker — equal conditions with unequal hashes would
+        # corrupt the worker's memo dicts.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     # ------------------------------------------------------------------
     def negate(self) -> "Condition":
         """The logical complement of this condition.

@@ -54,6 +54,20 @@ class ScoringUnit:
     conditions: tuple[Condition, ...]
     mode: str = "all"  # "all" | "any"
 
+    def __hash__(self) -> int:
+        # Same memoization (and pickle hygiene) as Condition: units are
+        # fragment-cache keys, hashed dozens of times per question.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.conditions, self.mode))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     def satisfied_by(self, record: Record) -> bool:
         if self.mode == "any":
             return any(

@@ -39,8 +39,27 @@ scatter issued from inside ``answer_batch`` can never deadlock the
 pool it was issued from (every batch worker would otherwise be able to
 block on sub-tasks queued behind other batch workers).  The executor
 is created lazily and only when ``scatter_workers > 1``; the default
-follows the machine (``min(shards, cpu_count)``), so a single-core box
-runs scatters inline and pays no thread overhead.
+follows the machine (``min(shards, cpu_count)``, overridable via the
+``REPRO_SCATTER_WORKERS`` env var), so a single-core box runs
+scatters inline and pays no thread overhead.
+
+With ``scatter_mode="process"`` the heavy scatter paths (columnar
+top-k scoring, relaxation-unit id-sets) additionally run on a
+persistent **worker-process pool** reading the shards out of
+shared-memory column segments (:mod:`repro.shard.procpool`); the
+thread path above stays wired as the parity oracle and the automatic
+fallback whenever the pool cannot serve (unexportable layouts, pool
+death, stale-epoch handshakes, platforms without
+``multiprocessing.shared_memory``).
+
+**Placement is dynamic.**  The partitioner's verdict (frozen at the
+construction-time modulus) is only the *base* placement; an
+override map (per moved record) and a redirect map (per merged-away
+shard) sit in front of it so :meth:`split_shard` / :meth:`merge_shard`
+/ :meth:`rebalance` can move records between shards online.  A move
+is an ordinary delete + insert under the write lock — downstream
+caches, window indexes and WAL durability see plain typed deltas and
+need no new invalidation machinery.
 """
 
 from __future__ import annotations
@@ -48,9 +67,10 @@ from __future__ import annotations
 import heapq
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Callable, Iterable, Iterator, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, TypeVar
 
 from repro.db.schema import TableSchema
 from repro.db.table import (
@@ -60,10 +80,23 @@ from repro.db.table import (
     Table,
     batch_notifications,
 )
+from repro.obs.hooks import (
+    record_rebalance_moves,
+    register_shard_rows_gauge,
+    shard_scatter_observe,
+)
 from repro.obs.trace import current_span, propagate, span
 from repro.shard.partition import HashPartitioner, Partitioner
 
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.shard.procpool import ProcessScatterPool
+    from repro.shard.rebalance import RebalancePlan
+
 __all__ = ["ShardedTable"]
+
+#: Fresh pools spawned after worker death before the facade gives up
+#: and degrades to thread scatter permanently.
+_MAX_POOL_RESPAWNS = 3
 
 T = TypeVar("T")
 
@@ -87,10 +120,22 @@ class ShardedTable:
     substring_gram:
         Passed through to each shard's substring indexes.
     scatter_workers:
-        Thread count for parallel scatter operations.  ``None`` sizes
-        to ``min(shard_count, cpu_count)``; values <= 1 run scatters
-        inline (no executor is ever created).  The executor is
-        dedicated to this facade — never a shared service pool.
+        Thread count for parallel scatter operations (and the worker
+        count of the process pool in ``scatter_mode="process"``).
+        ``None`` sizes to ``min(shard_count, cpu_count)`` — or to the
+        ``REPRO_SCATTER_WORKERS`` env var when set, so CI machines
+        with many cores don't oversubscribe the quick benches; values
+        <= 1 run thread scatters inline (no executor is ever
+        created).  The executor is dedicated to this facade — never a
+        shared service pool.
+    scatter_mode:
+        ``"thread"`` (default) keeps all scatter work in-process;
+        ``"process"`` additionally routes columnar scoring and
+        relaxation-unit evaluation through the shared-memory worker
+        pool (:mod:`repro.shard.procpool`), falling back to the
+        thread path automatically whenever the pool cannot serve.
+        Platforms without ``multiprocessing.shared_memory`` silently
+        degrade to ``"thread"``.
     """
 
     def __init__(
@@ -100,13 +145,19 @@ class ShardedTable:
         partitioner: Partitioner | None = None,
         substring_gram: int = 3,
         scatter_workers: int | None = None,
+        scatter_mode: str = "thread",
     ) -> None:
         if shard_count < 1:
             raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        if scatter_mode not in ("thread", "process"):
+            raise ValueError(
+                f"scatter_mode must be 'thread' or 'process', got {scatter_mode!r}"
+            )
         self.schema = schema
         self.name = schema.table_name
         self.shard_count = shard_count
         self.partitioner = partitioner if partitioner is not None else HashPartitioner()
+        self._substring_gram = substring_gram
         self.shards: list[Table] = []
         for index in range(shard_count):
             shard = Table(schema, substring_gram=substring_gram)
@@ -129,11 +180,51 @@ class ShardedTable:
         #: suppresses notifications; emitted as one BatchDelta.
         self._pending_deltas: list[MutationEvent] = []
         if scatter_workers is None:
-            scatter_workers = min(shard_count, os.cpu_count() or 1)
+            base = os.cpu_count() or 1
+            env_value = os.environ.get("REPRO_SCATTER_WORKERS", "").strip()
+            if env_value:
+                try:
+                    parsed = int(env_value)
+                except ValueError:
+                    parsed = 0
+                if parsed > 0:
+                    base = parsed
+            scatter_workers = min(shard_count, base)
         self.scatter_workers = scatter_workers
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._closed = False
+        # -- dynamic placement (split/merge/rebalance) ----------------
+        #: The partitioner modulus is frozen at construction: shards
+        #: appended later (`add_shard`) receive records only through
+        #: rebalancing, so adding capacity never silently reshuffles
+        #: the id->shard map out from under routed lookups.
+        self._placement_modulus = shard_count
+        #: record_id -> shard index, for records moved off their base
+        #: placement; checked before the partitioner.
+        self._overrides: dict[int, int] = {}
+        #: source shard -> target shard for merged-away shards; base
+        #: placements are followed through this map transitively.
+        self._redirects: dict[int, int] = {}
+        #: Shards merged away: never receive inserts, excluded from
+        #: rebalance targets.  Their Table objects stay (empty) so
+        #: shard indexes remain stable for caches and metrics.
+        self._retired: set[int] = set()
+        # -- process scatter tier -------------------------------------
+        if scatter_mode == "process":
+            from repro.shard.procpool import process_scatter_supported
+
+            if not process_scatter_supported():  # pragma: no cover
+                scatter_mode = "thread"
+        self.scatter_mode = scatter_mode
+        self._pool: "ProcessScatterPool | None" = None
+        self._pool_respawns = 0
+        # -- per-shard load gauges ------------------------------------
+        #: Scatter-leaf latency EWMA per shard (None until observed);
+        #: feeds latency-aware rebalance planning.
+        self._scatter_ewma: list[float | None] = [None] * shard_count
+        for index in range(shard_count):
+            register_shard_rows_gauge(self, index)
 
     # ------------------------------------------------------------------
     # epoch and listeners (the Table contract, aggregated)
@@ -210,8 +301,26 @@ class ShardedTable:
     # placement
     # ------------------------------------------------------------------
     def shard_of(self, record_id: int) -> int:
-        """The shard index owning *record_id* (whether stored or not)."""
-        return self.partitioner.shard_of(record_id, self.shard_count)
+        """The shard index owning *record_id* (whether stored or not).
+
+        Rebalance overrides win over the partitioner's base placement;
+        base placements landing on a merged-away shard follow its
+        redirect chain.
+        """
+        override = self._overrides.get(record_id)
+        if override is not None:
+            return override
+        return self._base_shard_of(record_id)
+
+    def _base_shard_of(self, record_id: int) -> int:
+        index = self.partitioner.shard_of(record_id, self._placement_modulus)
+        redirects = self._redirects
+        for _hop in range(len(redirects)):
+            forwarded = redirects.get(index)
+            if forwarded is None:
+                break
+            index = forwarded
+        return index
 
     def shard_for(self, record_id: int) -> Table:
         """The shard table owning *record_id*."""
@@ -220,6 +329,16 @@ class ShardedTable:
     def shard_sizes(self) -> list[int]:
         """Record count per shard (diagnostics and balance tests)."""
         return [len(shard) for shard in self.shards]
+
+    @property
+    def retired_shards(self) -> frozenset[int]:
+        """Indexes merged away by :meth:`merge_shard` (always empty
+        tables; never insert targets)."""
+        return frozenset(self._retired)
+
+    def scatter_latency(self) -> list[float | None]:
+        """Per-shard scatter-leaf latency EWMA (None = never observed)."""
+        return list(self._scatter_ewma)
 
     # ------------------------------------------------------------------
     # scatter execution
@@ -248,6 +367,16 @@ class ShardedTable:
                     return inner(index, shard)
 
             task = propagate(traced_task)
+        leaf = task
+
+        def timed_task(index: int, shard: Table) -> T:
+            started = time.perf_counter()
+            try:
+                return leaf(index, shard)
+            finally:
+                self.observe_scatter(index, time.perf_counter() - started)
+
+        task = timed_task
         if self.scatter_workers <= 1 or self.shard_count == 1:
             return [task(index, shard) for index, shard in enumerate(self.shards)]
         executor = self._scatter_executor()
@@ -277,17 +406,71 @@ class ShardedTable:
                 )
             return self._executor
 
+    def observe_scatter(self, shard_index: int, seconds: float) -> None:
+        """Record one scatter-leaf duration: histogram + planning EWMA."""
+        shard_scatter_observe(self.name, shard_index, seconds)
+        if shard_index < len(self._scatter_ewma):
+            previous = self._scatter_ewma[shard_index]
+            self._scatter_ewma[shard_index] = (
+                seconds if previous is None else previous * 0.8 + seconds * 0.2
+            )
+
+    def process_pool(self) -> "ProcessScatterPool | None":
+        """The live worker-process pool, or ``None`` (thread fallback).
+
+        Lazily creates the pool on first use in ``scatter_mode=
+        "process"``.  A broken pool (worker death, pipe loss) is torn
+        down and replaced up to ``_MAX_POOL_RESPAWNS`` times, after
+        which — or as soon as the table's layout proves unexportable —
+        the facade degrades to ``scatter_mode="thread"`` permanently.
+        """
+        if self.scatter_mode != "process":
+            return None
+        with self._executor_lock:
+            if self._closed:
+                return None
+            pool = self._pool
+            if pool is not None and pool.broken:
+                self.remove_listener(pool.on_mutation)
+                pool.close()
+                self._pool = pool = None
+                self._pool_respawns += 1
+            if pool is not None and pool.unsupported:
+                self.remove_listener(pool.on_mutation)
+                pool.close()
+                self._pool = None
+                self.scatter_mode = "thread"
+                return None
+            if pool is None:
+                if self._pool_respawns > _MAX_POOL_RESPAWNS:
+                    self.scatter_mode = "thread"
+                    return None
+                from repro.shard.procpool import ProcessScatterPool
+
+                pool = ProcessScatterPool(
+                    self, max(1, min(self.scatter_workers, self.shard_count))
+                )
+                self.add_listener(pool.on_mutation)
+                self._pool = pool
+            return pool
+
     def close(self) -> None:
-        """Release the scatter executor (idempotent).
+        """Release the scatter executor and recycle the process pool
+        (idempotent).
 
         The table remains fully usable afterwards — scatters simply run
         inline, the way a ``scatter_workers=1`` facade always does.
         """
         with self._executor_lock:
             executor = self._executor
+            pool = self._pool
             self._executor = None
+            self._pool = None
             self._closed = True
             self.scatter_workers = 1
+        if pool is not None:
+            self.remove_listener(pool.on_mutation)
+            pool.close()
         if executor is not None:
             executor.shutdown(wait=True)
 
@@ -346,6 +529,158 @@ class ShardedTable:
         """Merge *values* into the record on its owning shard."""
         with self._write_lock:
             return self.shard_for(record_id).update(record_id, values)
+
+    # ------------------------------------------------------------------
+    # online shard topology: split / merge / rebalance
+    # ------------------------------------------------------------------
+    def _move_one_locked(self, record_id: int, target: int) -> bool:
+        """Move one record to *target* (write lock held by the caller).
+
+        A move is a plain delete off the source shard followed by a
+        plain insert into the target — the relay stamps the
+        ``RemoveDelta`` with the source shard (the override map is
+        updated *between* the two mutations) and the ``InsertDelta``
+        with the target, so every delta-following cache patches
+        exactly the two shard streams that changed.
+        """
+        source = self.shard_of(record_id)
+        if source == target:
+            return False
+        record = self.shards[source].get(record_id)
+        if record is None:
+            return False
+        values = dict(record)
+        self.shards[source].delete(record_id)
+        if self._base_shard_of(record_id) == target:
+            self._overrides.pop(record_id, None)
+        else:
+            self._overrides[record_id] = target
+        self.shards[target].insert(values, record_id=record_id)
+        return True
+
+    def move_records(self, record_ids: Iterable[int], target: int) -> int:
+        """Move *record_ids* onto shard *target*; returns moved count.
+
+        Records already on *target* (or absent) are skipped.  Raises
+        for an out-of-range or retired target.
+        """
+        if not 0 <= target < len(self.shards):
+            raise ValueError(f"target shard {target} out of range")
+        if target in self._retired:
+            raise ValueError(f"target shard {target} is retired")
+        moved = 0
+        with self._write_lock:
+            for record_id in record_ids:
+                if self._move_one_locked(record_id, target):
+                    moved += 1
+        if moved:
+            record_rebalance_moves(self.name, moved)
+        return moved
+
+    def add_shard(self) -> int:
+        """Append an empty shard; returns its index.
+
+        The partitioner modulus stays frozen, so the new shard fills
+        only through :meth:`move_records` / :meth:`rebalance` — adding
+        capacity never reshuffles existing placements.
+        """
+        with self._write_lock:
+            index = len(self.shards)
+            shard = Table(self.schema, substring_gram=self._substring_gram)
+            shard.name = f"{self.name}::shard{index}"
+            shard.add_listener(self._relay)
+            self.shards.append(shard)
+            self.shard_count = len(self.shards)
+            self._scatter_ewma.append(None)
+            register_shard_rows_gauge(self, index)
+            return index
+
+    def split_shard(self, source: int) -> int:
+        """Split *source*: append a shard, move its top half of record
+        ids there.  Returns the new shard's index."""
+        with self._write_lock:
+            if not 0 <= source < len(self.shards):
+                raise ValueError(f"source shard {source} out of range")
+            if source in self._retired:
+                raise ValueError(f"source shard {source} is retired")
+            target = self.add_shard()
+            ids = sorted(
+                record.record_id for record in self.shards[source].snapshot()
+            )
+            self.move_records(ids[len(ids) // 2 :], target)
+            return target
+
+    def merge_shard(self, source: int, target: int) -> int:
+        """Merge *source* into *target* and retire it; returns moved count.
+
+        The retired shard's Table stays in ``shards`` (empty) so shard
+        indexes — and everything keyed on them: fragment-cache tags,
+        per-shard column stores, metrics labels — remain stable.  Its
+        base placements are redirected to *target*, so future inserts
+        whose partitioner verdict lands on the retired shard route
+        through without per-record overrides.
+        """
+        with self._write_lock:
+            if source == target:
+                raise ValueError("cannot merge a shard into itself")
+            for index in (source, target):
+                if not 0 <= index < len(self.shards):
+                    raise ValueError(f"shard {index} out of range")
+                if index in self._retired:
+                    raise ValueError(f"shard {index} is retired")
+            ids = [
+                record.record_id for record in self.shards[source].snapshot()
+            ]
+            moved = self.move_records(ids, target)
+            self._retired.add(source)
+            self._redirects[source] = target
+            # Moves recorded before the redirect may now agree with the
+            # (redirected) base placement: drop the redundant overrides.
+            for record_id in [
+                record_id
+                for record_id, override in self._overrides.items()
+                if override == self._base_shard_of(record_id)
+            ]:
+                del self._overrides[record_id]
+            return moved
+
+    def rebalance(
+        self,
+        plan: "RebalancePlan | None" = None,
+        chunk: int = 64,
+        tolerance: float = 0.1,
+        use_latency: bool = False,
+    ) -> int:
+        """Apply *plan* (default: freshly computed) in lock-released
+        chunks; returns records moved.
+
+        Chunking keeps the rebalance *online*: between chunks the
+        write lock is released, so concurrent inserts/queries
+        interleave with the migration instead of stalling behind one
+        long exclusive section.  Every move is an ordinary typed-delta
+        pair, so a query racing the rebalance sees each record on
+        exactly one shard at every instant the lock is free.
+        """
+        if plan is None:
+            from repro.shard.rebalance import plan_rebalance
+
+            plan = plan_rebalance(
+                self, tolerance=tolerance, use_latency=use_latency
+            )
+        moved = 0
+        moves = list(plan.moves)
+        for start in range(0, len(moves), max(1, chunk)):
+            with self._write_lock:
+                for move in moves[start : start + max(1, chunk)]:
+                    if move.target in self._retired or not (
+                        0 <= move.target < len(self.shards)
+                    ):
+                        continue
+                    if self._move_one_locked(move.record_id, move.target):
+                        moved += 1
+        if moved:
+            record_rebalance_moves(self.name, moved)
+        return moved
 
     def _notify(self, event: MutationEvent) -> None:
         if not self._listeners:

@@ -1,0 +1,532 @@
+"""Process-scatter tier: shared-memory segments, workers, fallbacks.
+
+Four layers:
+
+* **segment export** — a shard's columnar image round-trips through a
+  shared-memory segment bit-for-bit (record ids, numeric + NULL
+  masks, categorical codebooks, Type-I keys), numeric point mutations
+  patch the live segment in place under the seqlock (no re-export),
+  and anything else marks it dirty for the next publish;
+* **worker mirror** — :class:`~repro.shard.procpool._ShadowStore`
+  evaluates relaxation-unit id-sets exactly like the SQL executor's
+  leaf semantics (the ``condition_matches`` oracle), including the
+  NULL/negation corners, and its generation handshake rejects stale
+  epochs;
+* **parity** (the PR's acceptance bar) — a ``scatter_mode="process"``
+  build answers bit-identically to the thread-mode and unsharded
+  builds of the same recipe, before and after mutations, with the
+  worker pool demonstrably engaged;
+* **fallbacks** — killed workers and unexportable layouts degrade to
+  the thread path mid-call with correct answers, never an error.
+
+Everything here skips on platforms without POSIX shared memory or a
+spawn context (``process_scatter_supported()``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.datagen.questions import make_generator
+from repro.db.database import Database
+from repro.db.schema import AttributeType
+from repro.perf.fragment_cache import condition_matches
+from repro.qa.conditions import Condition, ConditionOp
+from repro.ranking.rank_sim import ScoringUnit
+from repro.shard import ProcessScatterPool, ShardedTable, process_scatter_supported
+from repro.shard.procpool import _export_shard, _ShadowStore
+from repro.system import build_system
+
+from tests.conftest import SMALL_CAR_ROWS, small_car_schema
+
+pytestmark = pytest.mark.skipif(
+    not process_scatter_supported(),
+    reason="platform lacks shared memory or a spawn context",
+)
+
+SYSTEM_SCALE = dict(
+    ads_per_domain=120,
+    sessions_per_domain=100,
+    corpus_documents=80,
+    train_classifier=False,
+)
+PARITY_QUESTIONS = 20
+
+
+def _seed_table(shards: int = 1, **kwargs) -> ShardedTable:
+    table = ShardedTable(small_car_schema(), shards, **kwargs)
+    table.insert_many(dict(row) for row in SMALL_CAR_ROWS)
+    return table
+
+
+def _type_i_names(table) -> list[str]:
+    return [column.name for column in table.schema.type_i_columns]
+
+
+# ----------------------------------------------------------------------
+# segment export and in-place maintenance
+# ----------------------------------------------------------------------
+class TestSegmentExport:
+    def test_export_roundtrips_every_region(self):
+        database = Database()
+        table = database.create_table(small_car_schema())
+        table.insert_many(dict(row) for row in SMALL_CAR_ROWS)
+        image = _export_shard("cars", 0, table, _type_i_names(table))
+        assert image is not None
+        try:
+            shadow = _ShadowStore(image.shm)
+            records = sorted(table, key=lambda r: r.record_id)
+            assert shadow.record_ids == [r.record_id for r in records]
+            for name in ("price", "mileage", "year"):
+                assert shadow.numeric[name] == [
+                    float(r[name]) for r in records
+                ]
+            for name in ("make", "model", "color", "transmission"):
+                assert shadow.categorical[name] == [
+                    r.get(name) for r in records
+                ]
+            assert shadow.keys == [
+                tuple(
+                    str(r.get(column, "") or "")
+                    for column in _type_i_names(table)
+                )
+                for r in records
+            ]
+            assert shadow.epoch == image.epoch
+        finally:
+            image.destroy()
+
+    def test_null_numeric_values_export_as_nulls(self):
+        database = Database()
+        table = database.create_table(small_car_schema())
+        table.insert({"make": "kia", "model": "rio", "price": None})
+        table.insert({"make": "kia", "model": "rio", "price": 4000})
+        image = _export_shard("cars", 0, table, _type_i_names(table))
+        assert image is not None
+        try:
+            shadow = _ShadowStore(image.shm)
+            assert shadow.numeric["price"] == [None, 4000.0]
+            assert shadow.numeric["mileage"] == [None, None]
+        finally:
+            image.destroy()
+
+    def test_numeric_update_patches_segment_in_place(self):
+        table = _seed_table(shards=2)
+        pool = ProcessScatterPool(table, 1)
+        table.add_listener(pool.on_mutation)
+        try:
+            published = pool.publish()
+            assert published is not None
+            names_before = [name for name, _epoch in published]
+
+            record_id = next(iter(table)).record_id
+            shard_index = table.shard_of(record_id)
+            old_epoch = pool._images[shard_index].epoch
+            table.update(record_id, {"price": 12345.0})
+
+            image = pool._images[shard_index]
+            assert not image.dirty  # patched, not re-exported
+            assert image.epoch == old_epoch + 1
+            shadow = _ShadowStore(image.shm)
+            assert (
+                shadow.numeric["price"][shadow.row_of[record_id]] == 12345.0
+            )
+            # publish() keeps the patched segments: same names, new epoch.
+            republished = pool.publish()
+            assert [name for name, _epoch in republished] == names_before
+        finally:
+            pool.close()
+            table.close()
+
+    def test_memoized_condition_sets_repair_across_patches(self):
+        # Point patches must not stale (or needlessly drop) memoized
+        # numeric condition sets: the changed rows are re-judged and
+        # the cached sets patched in place, untouched columns keep
+        # their memos identically.
+        table = _seed_table(shards=1)
+        pool = ProcessScatterPool(table, 1)
+        table.add_listener(pool.on_mutation)
+        try:
+            pool.publish()
+            image = pool._images[0]
+            shadow = _ShadowStore(image.shm)
+            lt = Condition(
+                "price", AttributeType.TYPE_III, ConditionOp.LT, 10000.0
+            )
+            not_lt = Condition(
+                "price",
+                AttributeType.TYPE_III,
+                ConditionOp.LT,
+                10000.0,
+                negated=True,
+            )
+            mileage_ge = Condition(
+                "mileage", AttributeType.TYPE_III, ConditionOp.GE, 0.0
+            )
+            before = set(shadow.condition_id_set(lt))
+            shadow.condition_id_set(not_lt)
+            mileage_set = shadow.condition_id_set(mileage_ge)
+
+            ids = shadow.record_ids
+            table.update(ids[0], {"price": 1.0})  # joins lt
+            table.update(ids[1], {"price": 99999.0})  # leaves lt
+            table.update(ids[2], {"price": None})  # NULL: negated side
+            assert image.epoch == shadow.epoch + 3  # all patched in place
+            assert shadow.refresh(image.epoch)
+
+            oracle = _ShadowStore(image.shm)  # memo-free recompute
+            for condition in (lt, not_lt, mileage_ge):
+                assert shadow.condition_id_set(
+                    condition
+                ) == oracle.condition_id_set(condition)
+            assert shadow.condition_id_set(lt) != before  # non-vacuous
+            # The kept memos are the same objects — repaired, not rebuilt.
+            assert shadow._condition_sets_numeric[mileage_ge] is mileage_set
+            assert lt in shadow._condition_sets_numeric
+        finally:
+            pool.close()
+            table.close()
+
+    def test_categorical_update_and_insert_force_reexport(self):
+        table = _seed_table(shards=2)
+        pool = ProcessScatterPool(table, 1)
+        table.add_listener(pool.on_mutation)
+        try:
+            published = pool.publish()
+            record_id = next(iter(table)).record_id
+            shard_index = table.shard_of(record_id)
+            table.update(record_id, {"color": "green"})
+            assert pool._images[shard_index].dirty
+
+            republished = pool.publish()
+            assert republished[shard_index][0] != published[shard_index][0]
+            assert republished[shard_index][1] == table.shards[shard_index].epoch
+
+            inserted = table.insert(dict(SMALL_CAR_ROWS[0]))
+            target = table.shard_of(inserted.record_id)
+            assert pool._images[target].dirty
+        finally:
+            pool.close()
+            table.close()
+
+    def test_type_i_update_reexports_even_when_numeric(self):
+        # A Type-I column can never be patched in place: the key
+        # codebook is static for a segment's lifetime.
+        table = _seed_table(shards=1)
+        pool = ProcessScatterPool(table, 1)
+        table.add_listener(pool.on_mutation)
+        try:
+            pool.publish()
+            record_id = next(iter(table)).record_id
+            table.update(record_id, {"make": "saab"})
+            assert pool._images[0].dirty
+        finally:
+            pool.close()
+            table.close()
+
+    def test_stale_epoch_handshake(self):
+        table = _seed_table(shards=1)
+        pool = ProcessScatterPool(table, 1)
+        table.add_listener(pool.on_mutation)
+        try:
+            pool.publish()
+            image = pool._images[0]
+            shadow = _ShadowStore(image.shm)
+            old_epoch = image.epoch
+            record_id = next(iter(table)).record_id
+            table.update(record_id, {"mileage": 1.0})
+            # The segment moved on: the old generation is refused, the
+            # current one accepted (and sees the patched value).
+            fresh = _ShadowStore(image.shm)
+            assert fresh.refresh(old_epoch) is False
+            assert fresh.refresh(image.epoch) is True
+            assert fresh.numeric["mileage"][fresh.row_of[record_id]] == 1.0
+            assert shadow.epoch == old_epoch  # untouched by the refusal
+        finally:
+            pool.close()
+            table.close()
+
+
+# ----------------------------------------------------------------------
+# worker-side unit evaluation mirrors the executor
+# ----------------------------------------------------------------------
+CONDITION_BATTERY = [
+    Condition("color", AttributeType.TYPE_II, ConditionOp.EQ, "blue"),
+    Condition("color", AttributeType.TYPE_II, ConditionOp.EQ, "blue", negated=True),
+    Condition("color", AttributeType.TYPE_II, ConditionOp.NE, "blue"),
+    Condition("color", AttributeType.TYPE_II, ConditionOp.EQ, None),
+    Condition("color", AttributeType.TYPE_II, ConditionOp.NE, None),
+    Condition("make", AttributeType.TYPE_I, ConditionOp.EQ, "honda"),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.LT, 9000),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.LE, 9000),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.GT, 9000),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.GE, 9000),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.EQ, 9000),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.NE, 9000),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.EQ, None),
+    Condition("price", AttributeType.TYPE_III, ConditionOp.NE, None),
+    Condition(
+        "price", AttributeType.TYPE_III, ConditionOp.BETWEEN, (5000, 9000)
+    ),
+    Condition(
+        "price",
+        AttributeType.TYPE_III,
+        ConditionOp.BETWEEN,
+        (5000, 9000),
+        negated=True,
+    ),
+    Condition("year", AttributeType.TYPE_III, ConditionOp.GE, 2004),
+]
+
+
+class TestShadowMirror:
+    @pytest.fixture()
+    def shadow_pair(self):
+        database = Database()
+        table = database.create_table(small_car_schema())
+        table.insert_many(dict(row) for row in SMALL_CAR_ROWS)
+        # A NULL-bearing row exercises every NULL corner of the mirror.
+        table.insert({"make": "kia", "model": "rio", "price": None})
+        image = _export_shard("cars", 0, table, _type_i_names(table))
+        assert image is not None
+        yield table, _ShadowStore(image.shm)
+        image.destroy()
+
+    @pytest.mark.parametrize(
+        "condition", CONDITION_BATTERY, ids=lambda c: f"{c.column}-{c.op.value}"
+        f"{'-neg' if c.negated else ''}-{c.value}"
+    )
+    def test_condition_id_set_matches_executor_mirror(
+        self, shadow_pair, condition
+    ):
+        table, shadow = shadow_pair
+        expected = {
+            record.record_id
+            for record in table
+            if condition_matches(table.schema, condition, record)
+        }
+        assert shadow.condition_id_set(condition) == expected
+
+    def test_unknown_column_returns_none(self, shadow_pair):
+        _table, shadow = shadow_pair
+        bogus = Condition("nope", AttributeType.TYPE_III, ConditionOp.EQ, 1)
+        assert shadow.condition_id_set(bogus) is None
+        unit = ScoringUnit(conditions=(bogus,))
+        assert shadow.unit_id_set(unit) is None
+
+    def test_unit_id_set_all_intersects_and_any_unions(self, shadow_pair):
+        table, shadow = shadow_pair
+        blue = Condition("color", AttributeType.TYPE_II, ConditionOp.EQ, "blue")
+        cheap = Condition("price", AttributeType.TYPE_III, ConditionOp.LT, 9000)
+        both = ScoringUnit(conditions=(blue, cheap))
+        either = ScoringUnit(conditions=(blue, cheap), mode="any")
+        blue_ids = shadow.condition_id_set(blue)
+        cheap_ids = shadow.condition_id_set(cheap)
+        assert shadow.unit_id_set(both) == blue_ids & cheap_ids
+        assert shadow.unit_id_set(either) == blue_ids | cheap_ids
+
+
+# ----------------------------------------------------------------------
+# end-to-end parity (the acceptance bar)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def mode_builds():
+    """The same cars recipe unsharded, thread-sharded and
+    process-sharded; torn down as a unit."""
+    builds = {
+        "single": build_system(["cars"], **SYSTEM_SCALE),
+        "thread": build_system(["cars"], shards=4, **SYSTEM_SCALE),
+        "process": build_system(
+            ["cars"], shards=4, scatter_mode="process", **SYSTEM_SCALE
+        ),
+    }
+    yield builds
+    for build in builds.values():
+        build.close()
+
+
+def _signature(result):
+    return [
+        (a.record.record_id, a.exact, a.score, a.similarity_kind)
+        for a in result.partial_answers
+    ]
+
+
+def _questions(build, count, seed=11):
+    generator = make_generator(build.domain("cars").dataset, seed=seed)
+    return [generator.generate().text for _ in range(count)]
+
+
+def _assert_parity(builds, questions):
+    for question in questions:
+        reference = None
+        for mode, build in builds.items():
+            signature = _signature(build.cqads.answer(question, domain="cars"))
+            if reference is None:
+                reference = signature
+            else:
+                assert signature == reference, (
+                    f"{mode} diverged on {question!r}"
+                )
+
+
+class TestProcessParity:
+    def test_answers_bit_identical_and_pool_engaged(self, mode_builds):
+        questions = _questions(mode_builds["single"], PARITY_QUESTIONS)
+        _assert_parity(mode_builds, questions)
+
+        table = mode_builds["process"].database.table("car_ads")
+        assert table.scatter_mode == "process"
+        pool = table.process_pool()
+        assert pool is not None
+        assert not pool.broken and not pool.unsupported
+        assert pool.worker_pids()  # workers actually spawned and served
+
+    def test_parity_survives_mutations(self, mode_builds):
+        record_id = next(
+            iter(mode_builds["single"].database.table("car_ads"))
+        ).record_id
+        for build in mode_builds.values():
+            table = build.database.table("car_ads")
+            price = table.get(record_id).get("price") or 0
+            table.update(record_id, {"price": float(price) + 1.0})
+        _assert_parity(
+            mode_builds, _questions(mode_builds["single"], 6, seed=23)
+        )
+
+    def test_parity_survives_topology_changes(self, mode_builds):
+        table = mode_builds["process"].database.table("car_ads")
+        new_shard = table.split_shard(0)
+        moved = table.merge_shard(1, new_shard)
+        assert 1 in table.retired_shards
+        assert len(table.shards[1]) == 0 and moved >= 0
+        table.rebalance()
+        _assert_parity(
+            mode_builds, _questions(mode_builds["single"], 6, seed=37)
+        )
+        pool = table.process_pool()
+        assert pool is not None and not pool.broken
+
+
+# ----------------------------------------------------------------------
+# fallbacks: every failure mode lands on the thread path
+# ----------------------------------------------------------------------
+class TestFallbacks:
+    def _small_pair(self, **process_kwargs):
+        scale = dict(SYSTEM_SCALE, ads_per_domain=60, sessions_per_domain=60)
+        single = build_system(["cars"], **scale)
+        proc = build_system(
+            ["cars"], shards=2, scatter_mode="process", **scale, **process_kwargs
+        )
+        return single, proc
+
+    def test_killed_workers_degrade_midcall_with_correct_answers(self):
+        single, proc = self._small_pair()
+        try:
+            questions = _questions(single, 4, seed=5)
+            _assert_parity({"single": single, "process": proc}, questions)
+            table = proc.database.table("car_ads")
+            pool = table.process_pool()
+            assert pool is not None
+            pids = pool.worker_pids()
+            assert pids
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            # The dead pool is detected in-flight; answers stay correct.
+            _assert_parity({"single": single, "process": proc}, questions)
+            assert pool.broken
+            # The facade recycles the broken pool (bounded respawns).
+            fresh = table.process_pool()
+            assert fresh is not pool
+        finally:
+            proc.close()
+            single.close()
+
+    def test_unexportable_layout_degrades_to_thread_mode(self, monkeypatch):
+        import repro.shard.procpool as procpool
+
+        monkeypatch.setattr(
+            procpool, "_export_shard", lambda *args, **kwargs: None
+        )
+        single, proc = self._small_pair()
+        try:
+            questions = _questions(single, 4, seed=5)
+            _assert_parity({"single": single, "process": proc}, questions)
+            table = proc.database.table("car_ads")
+            # The publish failure marked the tier unsupported; the
+            # facade degrades permanently to threads.
+            assert table.process_pool() is None
+            assert table.scatter_mode == "thread"
+        finally:
+            proc.close()
+            single.close()
+
+
+# ----------------------------------------------------------------------
+# wiring: env override, builder and CLI
+# ----------------------------------------------------------------------
+class TestWiring:
+    def test_env_override_sizes_scatter_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCATTER_WORKERS", "3")
+        table = ShardedTable(small_car_schema(), 8)
+        assert table.scatter_workers == 3
+        table.close()
+        # Still capped by the shard count.
+        table = ShardedTable(small_car_schema(), 2)
+        assert table.scatter_workers == 2
+        table.close()
+        # An explicit argument wins over the environment.
+        table = ShardedTable(small_car_schema(), 8, scatter_workers=5)
+        assert table.scatter_workers == 5
+        table.close()
+        # Garbage values fall back to the cpu-count default.
+        monkeypatch.setenv("REPRO_SCATTER_WORKERS", "banana")
+        table = ShardedTable(small_car_schema(), 8)
+        assert table.scatter_workers == min(8, os.cpu_count() or 1)
+        table.close()
+
+    def test_builder_forwards_scatter_mode(self):
+        from repro.api.builder import SystemBuilder
+
+        system = (
+            SystemBuilder()
+            .with_domains("cars")
+            .ads_per_domain(60)
+            .sessions_per_domain(60)
+            .corpus_documents(60)
+            .train_classifier(False)
+            .shards(2, scatter_mode="process")
+            .build()
+        )
+        try:
+            table = system.database.table("car_ads")
+            assert table.scatter_mode == "process"
+        finally:
+            system.close()
+
+    def test_cli_parses_and_forwards_scatter_mode(self, monkeypatch):
+        import repro.__main__ as cli
+
+        args = cli.build_arg_parser().parse_args(
+            ["--shards", "2", "--scatter-mode", "process",
+             "--domain", "cars", "honda"]
+        )
+        assert args.scatter_mode == "process"
+
+        calls = {}
+
+        class RecordingBuilder:
+            def __getattr__(self, name):
+                def record(*call_args, **call_kwargs):
+                    calls[name] = (call_args, call_kwargs)
+                    return self
+
+                return record
+
+        monkeypatch.setattr(cli, "SystemBuilder", RecordingBuilder)
+        cli._provision_service(args)
+        assert calls["shards"][0] == (2,)
+        assert calls["shards"][1].get("scatter_mode") == "process"
